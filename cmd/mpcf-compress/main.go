@@ -1,0 +1,94 @@
+// mpcf-compress inspects and decodes the compressed dump files written by
+// the simulation (one file per quantity, wavelet + decimation + lossless
+// coding; see internal/dump for the format).
+//
+// Usage:
+//
+//	mpcf-compress -info file.mpcf          # header and compression summary
+//	mpcf-compress -stats file.mpcf         # per-rank payloads, field ranges
+//	mpcf-compress -csv file.mpcf > out.csv # decode to cell CSV (small files)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+
+	"cubism"
+)
+
+func main() {
+	info := flag.Bool("info", false, "print the file header")
+	stats := flag.Bool("stats", false, "decode and print field statistics")
+	csv := flag.Bool("csv", false, "decode and print block,cell,value CSV")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mpcf-compress [-info|-stats|-csv] <file.mpcf>")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+
+	hdr, fields, err := cubism.ReadDump(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	if *info || (!*stats && !*csv) {
+		fmt.Printf("quantity:   %s\n", hdr.Quantity)
+		fmt.Printf("encoder:    %s (epsilon %.1e)\n", hdr.Encoder, hdr.Epsilon)
+		fmt.Printf("step/time:  %d / %.6e\n", hdr.Step, hdr.Time)
+		fmt.Printf("geometry:   ranks %v, blocks/rank %v, block %d^3\n",
+			hdr.RankDims, hdr.BlockDims, hdr.BlockSize)
+		var blocks int
+		for _, r := range hdr.Ranks {
+			blocks += r.Blocks
+		}
+		raw := int64(blocks) * int64(hdr.BlockSize*hdr.BlockSize*hdr.BlockSize) * 4
+		fmt.Printf("payload:    %d blocks, %d bytes on disk, %.1f:1 vs raw %d bytes\n",
+			blocks, fi.Size(), float64(raw)/float64(fi.Size()), raw)
+	}
+
+	if *stats {
+		lo, hi := math.Inf(1), math.Inf(-1)
+		var sum float64
+		var count int64
+		for _, rank := range fields {
+			for _, blk := range rank {
+				for _, v := range blk {
+					f := float64(v)
+					if f < lo {
+						lo = f
+					}
+					if f > hi {
+						hi = f
+					}
+					sum += f
+					count++
+				}
+			}
+		}
+		fmt.Printf("cells:      %d\n", count)
+		fmt.Printf("min/max:    %.6e / %.6e\n", lo, hi)
+		fmt.Printf("mean:       %.6e\n", sum/float64(count))
+		for r, entry := range hdr.Ranks {
+			fmt.Printf("rank %3d:   %d blocks, %d bytes\n", r, entry.Blocks, entry.Size)
+		}
+	}
+
+	if *csv {
+		fmt.Println("rank,block,cell,value")
+		for r, rank := range fields {
+			for b, blk := range rank {
+				for i, v := range blk {
+					fmt.Printf("%d,%d,%d,%g\n", r, b, i, v)
+				}
+			}
+		}
+	}
+}

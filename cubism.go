@@ -1,0 +1,233 @@
+// Package cubism is a Go reproduction of CUBISM-MPCF, the compressible
+// two-phase flow solver of Rossinelli et al., "11 PFLOP/s Simulations of
+// Cloud Cavitation Collapse" (SC '13).
+//
+// The library simulates inviscid compressible two-phase flow (cloud
+// cavitation collapse, shock-bubble interaction, shock tubes) with a finite
+// volume method: fifth-order WENO reconstruction of primitive quantities,
+// HLLE numerical fluxes, and low-storage third-order TVD Runge-Kutta time
+// stepping, on a block-structured uniform grid reindexed by a space-filling
+// curve. The software follows the paper's three-layer design — cluster
+// (domain decomposition over a simulated MPI runtime), node (dynamic
+// one-block work scheduling over goroutines), core (scalar and 4-lane
+// "QPX"-model vector kernels) — and includes the paper's wavelet-based
+// compression scheme for data dumps.
+//
+// Quick start:
+//
+//	cfg := cubism.Config{
+//	    Blocks:    [3]int{4, 4, 4},
+//	    BlockSize: 16,
+//	    Extent:    1.0,
+//	    Steps:     100,
+//	    Init:      cubism.SodInit,
+//	}
+//	summary, err := cubism.Run(cfg, func(s cubism.StepInfo) {
+//	    fmt.Printf("step %d t=%.3g dt=%.3g\n", s.Step, s.Time, s.DT)
+//	})
+//
+// See examples/ for cloud collapse, shock-bubble interaction and
+// compression walkthroughs, and cmd/mpcf-bench for the harness that
+// regenerates every table and figure of the paper's evaluation.
+package cubism
+
+import (
+	"cubism/internal/cloud"
+	"cubism/internal/cluster"
+	"cubism/internal/compress"
+	"cubism/internal/dump"
+	"cubism/internal/grid"
+	"cubism/internal/physics"
+	"cubism/internal/sim"
+)
+
+// State is a primitive flow state: density, velocity, pressure and the two
+// material functions Γ = 1/(γ-1) and Π = γ p_c/(γ-1).
+type State = physics.Prim
+
+// Material describes one pure phase (specific heat ratio γ and correction
+// pressure p_c of the stiffened equation of state).
+type Material = physics.Material
+
+// The paper's two phases (§7): water vapor and pressurized liquid water.
+var (
+	Vapor  = physics.Vapor
+	Liquid = physics.Liquid
+)
+
+// Mix blends the material functions of two phases by vapor volume fraction.
+func Mix(liquid, vapor Material, alpha float64) (gamma, pi float64) {
+	return physics.Mix(liquid, vapor, alpha)
+}
+
+// Face identifies a domain face for boundary conditions and diagnostics.
+type Face = grid.Face
+
+// Domain faces.
+const (
+	XLo = grid.XLo
+	XHi = grid.XHi
+	YLo = grid.YLo
+	YHi = grid.YHi
+	ZLo = grid.ZLo
+	ZHi = grid.ZHi
+)
+
+// BC assigns a boundary condition to each face.
+type BC = grid.BC
+
+// Boundary condition kinds.
+const (
+	Absorbing  = grid.Absorbing
+	Reflecting = grid.Reflecting
+	Periodic   = grid.Periodic
+)
+
+// Convenience boundary-condition constructors.
+var (
+	DefaultBC  = grid.DefaultBC
+	WallBC     = grid.WallBC
+	PeriodicBC = grid.PeriodicBC
+)
+
+// Bubble is one spherical vapor cavity of a cloud.
+type Bubble = cloud.Bubble
+
+// CloudSpec describes a bubble cloud (lognormal radii, non-overlapping
+// rejection packing).
+type CloudSpec = cloud.Spec
+
+// GenerateCloud samples a reproducible bubble cloud.
+func GenerateCloud(spec CloudSpec) ([]Bubble, error) { return spec.Generate() }
+
+// CloudField builds the two-phase initial condition of a bubble cloud with
+// the paper's material states; eps is the interface smoothing half-width.
+func CloudField(bubbles []Bubble, eps float64) func(x, y, z float64) State {
+	f := cloud.NewField(bubbles, eps)
+	return f.At
+}
+
+// SodInit is the classic Sod shock-tube initial condition along x.
+var SodInit = sim.SodInit
+
+// Config describes a simulation campaign.
+type Config struct {
+	// Ranks is the cartesian decomposition into (simulated) MPI ranks;
+	// zero means a single rank.
+	Ranks [3]int
+	// Blocks is the number of blocks per rank per dimension.
+	Blocks [3]int
+	// BlockSize is the block edge in cells (the paper's production size is
+	// 32; it must be a multiple of 4 and at least 8).
+	BlockSize int
+	// Extent is the physical domain size along x.
+	Extent float64
+	// Boundaries are the physical boundary conditions (default absorbing).
+	Boundaries BC
+	// Workers is the number of worker goroutines per rank (0: NumCPU).
+	Workers int
+	// Vector selects the QPX-model vector kernels.
+	Vector bool
+	// CFL is the time-step safety factor (0 defaults to the paper's 0.3).
+	CFL float64
+	// TimeStepper selects the Runge-Kutta formulation: "lsrk3" (default,
+	// the paper's low-storage scheme) or "ssprk3" (three-register ablation).
+	TimeStepper string
+	// Init provides the initial condition in global coordinates.
+	Init func(x, y, z float64) State
+
+	// Steps and TEnd bound the run (either may be zero).
+	Steps int
+	TEnd  float64
+
+	// DumpEvery writes compressed p and Γ snapshots every so many steps
+	// into DumpDir (0: never).
+	DumpEvery int
+	DumpDir   string
+	// EpsP, EpsG are decimation thresholds (0: the paper's 1e-2 / 1e-3).
+	EpsP, EpsG float64
+	// Encoder is the lossless dump coder: "zlib" (default) or "rle".
+	Encoder string
+
+	// DiagEvery controls the diagnostics cadence (0: every step).
+	DiagEvery int
+	// CheckpointEvery writes a lossless full-state checkpoint every so many
+	// steps (0: never) into CheckpointPath.
+	CheckpointEvery int
+	CheckpointPath  string
+	// Wall marks a face as the solid wall for wall-pressure diagnostics.
+	Wall    Face
+	HasWall bool
+}
+
+// StepInfo is delivered after every step.
+type StepInfo = sim.StepInfo
+
+// Diagnostics are the global flow statistics of the paper's Figure 5.
+type Diagnostics = cluster.Diagnostics
+
+// Summary reports campaign-level results.
+type Summary = sim.Summary
+
+// Run executes the campaign and invokes onStep (may be nil) after each
+// step with rank-0 visibility of the global state.
+func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
+	ranks := cfg.Ranks
+	if ranks == ([3]int{}) {
+		ranks = [3]int{1, 1, 1}
+	}
+	cfl := cfg.CFL
+	if cfl == 0 {
+		cfl = 0.3
+	}
+	return sim.Run(sim.Config{
+		Cluster: cluster.Config{
+			RankDims:    ranks,
+			BlockDims:   cfg.Blocks,
+			BlockSize:   cfg.BlockSize,
+			Extent:      cfg.Extent,
+			BC:          cfg.Boundaries,
+			Workers:     cfg.Workers,
+			Vector:      cfg.Vector,
+			CFL:         cfl,
+			TimeStepper: cfg.TimeStepper,
+			Init:        cfg.Init,
+		},
+		Steps:           cfg.Steps,
+		TEnd:            cfg.TEnd,
+		DumpEvery:       cfg.DumpEvery,
+		DumpDir:         cfg.DumpDir,
+		EpsP:            cfg.EpsP,
+		EpsG:            cfg.EpsG,
+		Encoder:         cfg.Encoder,
+		DiagEvery:       cfg.DiagEvery,
+		CheckpointEvery: cfg.CheckpointEvery,
+		CheckpointPath:  cfg.CheckpointPath,
+		Wall:            cfg.Wall,
+		HasWall:         cfg.HasWall,
+	}, onStep)
+}
+
+// DumpHeader is the self-describing metadata of a compressed dump file.
+type DumpHeader = dump.Header
+
+// ReadDump opens a compressed dump file and reconstructs the per-block
+// scalar fields of every rank (rank-major, blocks in space-filling-curve
+// order, each block N³ values x-fastest).
+func ReadDump(path string) (DumpHeader, [][][]float32, error) {
+	hdr, payloads, err := dump.Read(path)
+	if err != nil {
+		return hdr, nil, err
+	}
+	fields := make([][][]float32, len(payloads))
+	for r, c := range payloads {
+		fields[r], err = c.Decompress()
+		if err != nil {
+			return hdr, nil, err
+		}
+	}
+	return hdr, fields, nil
+}
+
+// CompressionStats summarizes one compression pass.
+type CompressionStats = compress.Stats

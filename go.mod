@@ -1,0 +1,3 @@
+module cubism
+
+go 1.22

@@ -1,0 +1,286 @@
+// Package baseline is the comparator solver: the same governing equations,
+// reconstruction and flux as the production core, implemented the
+// straightforward way — one global AoS array, per-cell stencil gathering
+// with full index arithmetic, no blocking, no SoA data-slices, no ring
+// buffers, no kernel fusion, and flux recomputation on both faces of every
+// cell.
+//
+// It represents the "naive" row of Table 3 (every stencil operand travels
+// from memory, no spatial or temporal reuse) and stands in for the
+// state-of-the-art throughput reference [68] that the paper's 20X
+// time-to-solution claim is measured against. The physics is identical, so
+// the tests cross-validate it against the production solver; only the data
+// movement differs.
+package baseline
+
+import (
+	"math"
+
+	"cubism/internal/physics"
+)
+
+const nq = physics.NQ
+
+// Solver is a uniform-grid compressible two-phase flow solver without any
+// of the paper's data reordering.
+type Solver struct {
+	NX, NY, NZ int
+	H          float64
+	// Data is the conserved state, AoS: ((z*NY+y)*NX+x)*NQ + q.
+	Data []float32
+	// CFL safety factor.
+	CFL float64
+
+	reg []float32
+	rhs []float32
+}
+
+// New allocates a solver for an NX x NY x NZ grid with spacing h.
+func New(nx, ny, nz int, h float64) *Solver {
+	total := nx * ny * nz * nq
+	return &Solver{
+		NX: nx, NY: ny, NZ: nz, H: h, CFL: 0.3,
+		Data: make([]float32, total),
+		reg:  make([]float32, total),
+		rhs:  make([]float32, total),
+	}
+}
+
+// Init fills the grid from a primitive field.
+func (s *Solver) Init(f func(x, y, z float64) physics.Prim) {
+	for z := 0; z < s.NZ; z++ {
+		for y := 0; y < s.NY; y++ {
+			for x := 0; x < s.NX; x++ {
+				px := (float64(x) + 0.5) * s.H
+				py := (float64(y) + 0.5) * s.H
+				pz := (float64(z) + 0.5) * s.H
+				c := f(px, py, pz).ToCons()
+				cell := s.at(x, y, z)
+				cell[0] = float32(c.R)
+				cell[1] = float32(c.RU)
+				cell[2] = float32(c.RV)
+				cell[3] = float32(c.RW)
+				cell[4] = float32(c.E)
+				cell[5] = float32(c.G)
+				cell[6] = float32(c.Pi)
+			}
+		}
+	}
+}
+
+// at returns the cell quantities with clamped (absorbing) out-of-range
+// coordinates — the naive ghost treatment.
+func (s *Solver) at(x, y, z int) []float32 {
+	x = clamp(x, s.NX)
+	y = clamp(y, s.NY)
+	z = clamp(z, s.NZ)
+	off := ((z*s.NY+y)*s.NX + x) * nq
+	return s.Data[off : off+nq : off+nq]
+}
+
+func clamp(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}
+
+// prim converts one cell to primitives, recomputed on every stencil access
+// (no caching — the naive data flow).
+func (s *Solver) prim(x, y, z int) physics.Prim {
+	c := s.at(x, y, z)
+	cons := physics.Cons{
+		R: float64(c[0]), RU: float64(c[1]), RV: float64(c[2]), RW: float64(c[3]),
+		E: float64(c[4]), G: float64(c[5]), Pi: float64(c[6]),
+	}
+	return cons.ToPrim()
+}
+
+// weno5 is the classic reconstruction on five cell values.
+func weno5(a, b, c, d, e float64) float64 {
+	t1 := a - 2*b + c
+	t2 := a - 4*b + 3*c
+	b0 := 13.0/12.0*t1*t1 + 0.25*t2*t2
+	t1 = b - 2*c + d
+	t2 = b - d
+	b1 := 13.0/12.0*t1*t1 + 0.25*t2*t2
+	t1 = c - 2*d + e
+	t2 = 3*c - 4*d + e
+	b2 := 13.0/12.0*t1*t1 + 0.25*t2*t2
+	w0 := 0.1 / ((1e-6 + b0) * (1e-6 + b0))
+	w1 := 0.6 / ((1e-6 + b1) * (1e-6 + b1))
+	w2 := 0.3 / ((1e-6 + b2) * (1e-6 + b2))
+	inv := 1 / (w0 + w1 + w2)
+	q0 := (2*a - 7*b + 11*c) / 6
+	q1 := (-b + 5*c + 2*d) / 6
+	q2 := (2*c + 5*d - e) / 6
+	return (w0*q0 + w1*q1 + w2*q2) * inv
+}
+
+// faceFlux computes the HLLE flux across one face given the five cells on
+// each side (per primitive quantity), with axis selecting the normal
+// velocity component (0=x,1=y,2=z). Returns the seven fluxes and the face
+// velocity.
+func faceFlux(ps [6]physics.Prim, axis int) (f [nq]float64, ustar float64) {
+	comp := func(p physics.Prim) (un, ut1, ut2 float64) {
+		switch axis {
+		case 0:
+			return p.U, p.V, p.W
+		case 1:
+			return p.V, p.U, p.W
+		default:
+			return p.W, p.U, p.V
+		}
+	}
+	recon := func(get func(physics.Prim) float64, side int) float64 {
+		if side == 0 {
+			return weno5(get(ps[0]), get(ps[1]), get(ps[2]), get(ps[3]), get(ps[4]))
+		}
+		return weno5(get(ps[5]), get(ps[4]), get(ps[3]), get(ps[2]), get(ps[1]))
+	}
+	type st struct{ r, un, ut1, ut2, p, g, pi float64 }
+	var m, p st
+	m.r = recon(func(q physics.Prim) float64 { return q.Rho }, 0)
+	p.r = recon(func(q physics.Prim) float64 { return q.Rho }, 1)
+	m.un = recon(func(q physics.Prim) float64 { un, _, _ := comp(q); return un }, 0)
+	p.un = recon(func(q physics.Prim) float64 { un, _, _ := comp(q); return un }, 1)
+	m.ut1 = recon(func(q physics.Prim) float64 { _, t, _ := comp(q); return t }, 0)
+	p.ut1 = recon(func(q physics.Prim) float64 { _, t, _ := comp(q); return t }, 1)
+	m.ut2 = recon(func(q physics.Prim) float64 { _, _, t := comp(q); return t }, 0)
+	p.ut2 = recon(func(q physics.Prim) float64 { _, _, t := comp(q); return t }, 1)
+	m.p = recon(func(q physics.Prim) float64 { return q.P }, 0)
+	p.p = recon(func(q physics.Prim) float64 { return q.P }, 1)
+	m.g = recon(func(q physics.Prim) float64 { return q.G }, 0)
+	p.g = recon(func(q physics.Prim) float64 { return q.G }, 1)
+	m.pi = recon(func(q physics.Prim) float64 { return q.Pi }, 0)
+	p.pi = recon(func(q physics.Prim) float64 { return q.Pi }, 1)
+
+	cs := func(r, pr, g, pi float64) float64 {
+		c2 := ((g+1)*pr + pi) / (g * r)
+		if c2 < 0 {
+			return 0
+		}
+		return math.Sqrt(c2)
+	}
+	cm, cp := cs(m.r, m.p, m.g, m.pi), cs(p.r, p.p, p.g, p.pi)
+	sm := math.Min(math.Min(m.un-cm, p.un-cp), 0)
+	sp := math.Max(math.Max(m.un+cm, p.un+cp), 0)
+	inv := 1 / (sp - sm)
+	combine := func(fl, fr, ul, ur float64) float64 {
+		return (sp*fl - sm*fr + sp*sm*(ur-ul)) * inv
+	}
+	kem := 0.5 * m.r * (m.un*m.un + m.ut1*m.ut1 + m.ut2*m.ut2)
+	kep := 0.5 * p.r * (p.un*p.un + p.ut1*p.ut1 + p.ut2*p.ut2)
+	em := m.g*m.p + m.pi + kem
+	ep := p.g*p.p + p.pi + kep
+
+	var un, ut1, ut2 int
+	switch axis {
+	case 0:
+		un, ut1, ut2 = physics.QU, physics.QV, physics.QW
+	case 1:
+		un, ut1, ut2 = physics.QV, physics.QU, physics.QW
+	default:
+		un, ut1, ut2 = physics.QW, physics.QU, physics.QV
+	}
+	f[physics.QR] = combine(m.r*m.un, p.r*p.un, m.r, p.r)
+	f[un] = combine(m.r*m.un*m.un+m.p, p.r*p.un*p.un+p.p, m.r*m.un, p.r*p.un)
+	f[ut1] = combine(m.r*m.un*m.ut1, p.r*p.un*p.ut1, m.r*m.ut1, p.r*p.ut1)
+	f[ut2] = combine(m.r*m.un*m.ut2, p.r*p.un*p.ut2, m.r*m.ut2, p.r*p.ut2)
+	f[physics.QE] = combine((em+m.p)*m.un, (ep+p.p)*p.un, em, ep)
+	f[physics.QG] = combine(m.g*m.un, p.g*p.un, m.g, p.g)
+	f[physics.QP] = combine(m.pi*m.un, p.pi*p.un, m.pi, p.pi)
+	ustar = (sp*m.un - sm*p.un) * inv
+	return
+}
+
+// computeRHS evaluates dU/dt cell by cell with no reuse: both faces of
+// every cell are recomputed from scratch in each direction.
+func (s *Solver) computeRHS() {
+	invH := 1 / s.H
+	for z := 0; z < s.NZ; z++ {
+		for y := 0; y < s.NY; y++ {
+			for x := 0; x < s.NX; x++ {
+				var acc [nq]float64
+				gSelf := s.prim(x, y, z)
+				for axis := 0; axis < 3; axis++ {
+					var lo, hi [6]physics.Prim
+					for k := 0; k < 6; k++ {
+						switch axis {
+						case 0:
+							lo[k] = s.prim(x-3+k, y, z)
+							hi[k] = s.prim(x-2+k, y, z)
+						case 1:
+							lo[k] = s.prim(x, y-3+k, z)
+							hi[k] = s.prim(x, y-2+k, z)
+						default:
+							lo[k] = s.prim(x, y, z-3+k)
+							hi[k] = s.prim(x, y, z-2+k)
+						}
+					}
+					fl, ul := faceFlux(lo, axis)
+					fh, uh := faceFlux(hi, axis)
+					for q := 0; q < nq; q++ {
+						acc[q] -= fh[q] - fl[q]
+					}
+					du := uh - ul
+					acc[physics.QG] += gSelf.G * du
+					acc[physics.QP] += gSelf.Pi * du
+				}
+				off := ((z*s.NY+y)*s.NX + x) * nq
+				for q := 0; q < nq; q++ {
+					s.rhs[off+q] = float32(acc[q] * invH)
+				}
+			}
+		}
+	}
+}
+
+// MaxCharVel is the naive DT kernel.
+func (s *Solver) MaxCharVel() float64 {
+	maxV := 0.0
+	for z := 0; z < s.NZ; z++ {
+		for y := 0; y < s.NY; y++ {
+			for x := 0; x < s.NX; x++ {
+				if v := s.prim(x, y, z).CharVel(); v > maxV {
+					maxV = v
+				}
+			}
+		}
+	}
+	return maxV
+}
+
+// RK3 coefficients (identical to the production solver).
+var (
+	rkA = [3]float64{0, -5.0 / 9.0, -153.0 / 128.0}
+	rkB = [3]float64{1.0 / 3.0, 15.0 / 16.0, 8.0 / 15.0}
+)
+
+// Step advances one time step and returns dt.
+func (s *Solver) Step() float64 {
+	vel := s.MaxCharVel()
+	if vel <= 0 {
+		return 0
+	}
+	dt := s.CFL * s.H / vel
+	for st := 0; st < 3; st++ {
+		s.computeRHS()
+		for i := range s.Data {
+			r := rkA[st]*float64(s.reg[i]) + dt*float64(s.rhs[i])
+			s.reg[i] = float32(r)
+			s.Data[i] = float32(float64(s.Data[i]) + rkB[st]*r)
+		}
+	}
+	return dt
+}
+
+// Prim returns the primitive state of a cell (for tests and examples).
+func (s *Solver) Prim(x, y, z int) physics.Prim { return s.prim(x, y, z) }
+
+// RHSOnce evaluates the right-hand side once without advancing the state —
+// the benchmark unit for the naive-versus-reordered comparison (Table 3).
+func (s *Solver) RHSOnce() { s.computeRHS() }

@@ -1,0 +1,102 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"cubism/internal/cluster"
+	"cubism/internal/grid"
+	"cubism/internal/mpi"
+	"cubism/internal/physics"
+)
+
+func sodInit(x, y, z float64) physics.Prim {
+	g := 1 / (1.4 - 1)
+	if x < 0.5 {
+		return physics.Prim{Rho: 1, P: 1, G: g, Pi: 0}
+	}
+	return physics.Prim{Rho: 0.125, P: 0.1, G: g, Pi: 0}
+}
+
+// TestBaselineMatchesProduction: the naive solver implements the same
+// discretization, so on the same grid it must track the production solver's
+// trajectory closely (both use WENO5/HLLE/RK3; they differ only in data
+// movement and ghost handling at the domain boundary).
+func TestBaselineMatchesProduction(t *testing.T) {
+	const n = 16
+	b := New(n, n, n, 1.0/n)
+	b.Init(sodInit)
+
+	world := mpi.NewWorld(1)
+	var maxDiff float64
+	world.Run(func(comm *mpi.Comm) {
+		r := cluster.NewRank(comm, cluster.Config{
+			RankDims:  [3]int{1, 1, 1},
+			BlockDims: [3]int{2, 2, 2},
+			BlockSize: n / 2,
+			Extent:    1,
+			BC:        grid.DefaultBC(),
+			Workers:   2,
+			CFL:       0.3,
+			Init:      sodInit,
+		})
+		for s := 0; s < 5; s++ {
+			dtProd := r.MaxDT()
+			dtBase := b.Step()
+			if math.Abs(dtProd-dtBase)/dtProd > 1e-3 {
+				t.Fatalf("step %d: dt %g vs %g", s, dtProd, dtBase)
+			}
+			r.RKStep(dtProd)
+		}
+		for z := 0; z < n; z++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					pb := b.Prim(x, y, z)
+					c := r.G.Cell(x, y, z, physics.QR)
+					if d := math.Abs(float64(c) - pb.Rho); d > maxDiff {
+						maxDiff = d
+					}
+				}
+			}
+		}
+	})
+	if maxDiff > 1e-4 {
+		t.Errorf("baseline deviates from production by %g in density", maxDiff)
+	}
+}
+
+func TestBaselineUniformStaysUniform(t *testing.T) {
+	b := New(12, 12, 12, 1.0/12)
+	b.Init(func(x, y, z float64) physics.Prim {
+		return physics.Prim{Rho: 1000, P: 1e7, G: physics.Liquid.G(), Pi: physics.Liquid.P()}
+	})
+	for s := 0; s < 3; s++ {
+		if dt := b.Step(); dt <= 0 {
+			t.Fatal("non-positive dt")
+		}
+	}
+	for z := 0; z < 12; z++ {
+		for y := 0; y < 12; y++ {
+			for x := 0; x < 12; x++ {
+				p := b.Prim(x, y, z)
+				if math.Abs(p.Rho-1000)/1000 > 1e-5 {
+					t.Fatalf("density drifted to %g", p.Rho)
+				}
+				if math.Abs(p.P-1e7)/1e7 > 1e-4 {
+					t.Fatalf("pressure drifted to %g", p.P)
+				}
+			}
+		}
+	}
+}
+
+func TestBaselineCharVel(t *testing.T) {
+	b := New(8, 8, 8, 1.0/8)
+	b.Init(func(x, y, z float64) physics.Prim {
+		return physics.Prim{Rho: 1.4, U: 3, P: 1, G: 2.5, Pi: 0}
+	})
+	want := 3.0 + 1.0 // |u| + c, c = sqrt(1.4*1/1.4) = 1
+	if got := b.MaxCharVel(); math.Abs(got-want) > 1e-5 {
+		t.Errorf("MaxCharVel = %g, want %g", got, want)
+	}
+}

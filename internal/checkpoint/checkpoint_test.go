@@ -1,0 +1,127 @@
+package checkpoint_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"cubism/internal/checkpoint"
+	"cubism/internal/cluster"
+	"cubism/internal/grid"
+	"cubism/internal/mpi"
+	"cubism/internal/physics"
+)
+
+func sodInit(x, y, z float64) physics.Prim {
+	g := 1 / (1.4 - 1)
+	if x < 0.5 {
+		return physics.Prim{Rho: 1, P: 1, G: g, Pi: 0}
+	}
+	return physics.Prim{Rho: 0.125, P: 0.1, G: g, Pi: 0}
+}
+
+func cfg() cluster.Config {
+	return cluster.Config{
+		RankDims:  [3]int{2, 1, 1},
+		BlockDims: [3]int{1, 1, 1},
+		BlockSize: 8,
+		Extent:    1,
+		Workers:   1,
+		CFL:       0.3,
+		Init:      sodInit,
+	}
+}
+
+// collect snapshots every cell of a rank's grid.
+func collect(r *cluster.Rank) []float32 {
+	var out []float32
+	for _, b := range r.G.Blocks {
+		out = append(out, b.Data...)
+	}
+	return out
+}
+
+// TestRestartBitExact: (3 steps, checkpoint, 3 steps) must equal
+// (restore checkpoint, 3 steps) bit for bit — the time step derives from
+// the state, so the trajectories coincide exactly.
+func TestRestartBitExact(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "state.ckp")
+
+	final := make([][]float32, 2)
+	world := mpi.NewWorld(2)
+	world.Run(func(comm *mpi.Comm) {
+		r := cluster.NewRank(comm, cfg())
+		for i := 0; i < 3; i++ {
+			r.Advance()
+		}
+		if err := r.SaveCheckpoint(path); err != nil {
+			t.Error(err)
+			return
+		}
+		for i := 0; i < 3; i++ {
+			r.Advance()
+		}
+		final[comm.Rank()] = collect(r)
+	})
+
+	world2 := mpi.NewWorld(2)
+	world2.Run(func(comm *mpi.Comm) {
+		r := cluster.NewRank(comm, cfg())
+		if err := r.RestoreCheckpoint(path); err != nil {
+			t.Error(err)
+			return
+		}
+		if r.Step != 3 {
+			t.Errorf("restored step = %d, want 3", r.Step)
+		}
+		if r.Time <= 0 {
+			t.Error("restored time not positive")
+		}
+		for i := 0; i < 3; i++ {
+			r.Advance()
+		}
+		got := collect(r)
+		want := final[comm.Rank()]
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("rank %d elem %d: restart %v vs continuous %v", comm.Rank(), i, got[i], want[i])
+				return
+			}
+		}
+	})
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "h.ckp")
+	world := mpi.NewWorld(1)
+	world.Run(func(comm *mpi.Comm) {
+		g := grid.New(grid.Desc{N: 8, NBX: 1, NBY: 1, NBZ: 1, H: 0.125})
+		if err := checkpoint.Write(comm, path, g, [3]int{1, 1, 1}, 17, 3.5e-4); err != nil {
+			t.Error(err)
+		}
+	})
+	hdr, err := checkpoint.ReadHeader(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Step != 17 || hdr.Time != 3.5e-4 || hdr.BlockSize != 8 {
+		t.Errorf("header %+v", hdr)
+	}
+}
+
+func TestRestoreGeometryMismatch(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.ckp")
+	world := mpi.NewWorld(1)
+	world.Run(func(comm *mpi.Comm) {
+		g := grid.New(grid.Desc{N: 8, NBX: 1, NBY: 1, NBZ: 1, H: 0.125})
+		if err := checkpoint.Write(comm, path, g, [3]int{1, 1, 1}, 0, 0); err != nil {
+			t.Error(err)
+		}
+	})
+	other := grid.New(grid.Desc{N: 8, NBX: 2, NBY: 1, NBZ: 1, H: 0.125})
+	if _, _, err := checkpoint.Restore(path, 0, other); err == nil {
+		t.Error("expected geometry mismatch error")
+	}
+}

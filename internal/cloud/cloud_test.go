@@ -1,0 +1,191 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"cubism/internal/physics"
+)
+
+func TestGenerateCount(t *testing.T) {
+	spec := Spec{
+		Center: [3]float64{0.5, 0.5, 0.5},
+		Radius: 0.4,
+		N:      20,
+		RMin:   0.02, RMax: 0.05,
+		Seed: 1,
+	}
+	bubbles, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bubbles) != 20 {
+		t.Fatalf("generated %d bubbles, want 20", len(bubbles))
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	spec := Spec{Center: [3]float64{0.5, 0.5, 0.5}, Radius: 0.4, N: 10, RMin: 0.02, RMax: 0.05, Seed: 7}
+	a, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("bubble %d differs between runs", i)
+		}
+	}
+}
+
+func TestGenerateRadiiInRange(t *testing.T) {
+	spec := Spec{Center: [3]float64{0.5, 0.5, 0.5}, Radius: 0.4, N: 30, RMin: 0.02, RMax: 0.05, Seed: 3}
+	bubbles, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bubbles {
+		if b.R < spec.RMin || b.R > spec.RMax {
+			t.Fatalf("radius %g outside [%g, %g]", b.R, spec.RMin, spec.RMax)
+		}
+	}
+}
+
+func TestGenerateNoOverlap(t *testing.T) {
+	spec := Spec{Center: [3]float64{0.5, 0.5, 0.5}, Radius: 0.4, N: 25, RMin: 0.02, RMax: 0.05, Seed: 5}
+	bubbles, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bubbles {
+		for j := i + 1; j < len(bubbles); j++ {
+			a, b := bubbles[i], bubbles[j]
+			d := math.Sqrt((a.X-b.X)*(a.X-b.X) + (a.Y-b.Y)*(a.Y-b.Y) + (a.Z-b.Z)*(a.Z-b.Z))
+			if d < a.R+b.R {
+				t.Fatalf("bubbles %d and %d overlap: d=%g, r1+r2=%g", i, j, d, a.R+b.R)
+			}
+		}
+	}
+}
+
+func TestGenerateInsideCloudRegion(t *testing.T) {
+	spec := Spec{Center: [3]float64{0.5, 0.5, 0.5}, Radius: 0.3, N: 15, RMin: 0.02, RMax: 0.05, Seed: 2}
+	bubbles, err := spec.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range bubbles {
+		d := math.Sqrt((b.X-0.5)*(b.X-0.5) + (b.Y-0.5)*(b.Y-0.5) + (b.Z-0.5)*(b.Z-0.5))
+		if d+b.R > spec.Radius+1e-12 {
+			t.Fatalf("bubble at distance %g with radius %g exceeds cloud radius %g", d, b.R, spec.Radius)
+		}
+	}
+}
+
+func TestGenerateTooDenseFails(t *testing.T) {
+	spec := Spec{Center: [3]float64{0.5, 0.5, 0.5}, Radius: 0.1, N: 1000, RMin: 0.05, RMax: 0.09, Seed: 1}
+	if _, err := spec.Generate(); err == nil {
+		t.Error("expected failure for impossible density")
+	}
+}
+
+func TestFieldPhaseStates(t *testing.T) {
+	bubbles := []Bubble{{X: 0.5, Y: 0.5, Z: 0.5, R: 0.2}}
+	f := NewField(bubbles, 0.01)
+	// Deep inside the bubble: pure vapor.
+	inside := f.At(0.5, 0.5, 0.5)
+	if math.Abs(inside.Rho-physics.VaporInit.Rho) > 1e-9 {
+		t.Errorf("inside rho = %g, want vapor %g", inside.Rho, physics.VaporInit.Rho)
+	}
+	if math.Abs(inside.G-physics.Vapor.G()) > 1e-9 {
+		t.Errorf("inside Γ = %g, want %g", inside.G, physics.Vapor.G())
+	}
+	// Far outside: pure pressurized liquid.
+	outside := f.At(0.05, 0.05, 0.05)
+	if math.Abs(outside.Rho-physics.LiquidInit.Rho) > 1e-9 {
+		t.Errorf("outside rho = %g, want liquid %g", outside.Rho, physics.LiquidInit.Rho)
+	}
+	if math.Abs(outside.P-physics.LiquidInit.P) > 1e-9 {
+		t.Errorf("outside p = %g, want %g", outside.P, physics.LiquidInit.P)
+	}
+	// On the interface: strictly between.
+	mid := f.At(0.5, 0.5, 0.7)
+	if mid.Rho <= physics.VaporInit.Rho || mid.Rho >= physics.LiquidInit.Rho {
+		t.Errorf("interface rho = %g not between phases", mid.Rho)
+	}
+}
+
+func TestAlphaMonotonicAcrossInterface(t *testing.T) {
+	f := NewField([]Bubble{{X: 0.5, Y: 0.5, Z: 0.5, R: 0.2}}, 0.02)
+	prev := 2.0
+	for x := 0.5; x < 0.8; x += 0.005 {
+		a := f.alpha(x, 0.5, 0.5)
+		if a > prev+1e-12 {
+			t.Fatalf("alpha not monotone at x=%g: %g > %g", x, a, prev)
+		}
+		if a < 0 || a > 1 {
+			t.Fatalf("alpha %g outside [0,1]", a)
+		}
+		prev = a
+	}
+}
+
+func TestVaporVolume(t *testing.T) {
+	bubbles := []Bubble{{R: 0.1}, {R: 0.2}}
+	want := 4.0 / 3.0 * math.Pi * (0.001 + 0.008)
+	if got := VaporVolume(bubbles); math.Abs(got-want) > 1e-12 {
+		t.Errorf("VaporVolume = %g, want %g", got, want)
+	}
+}
+
+func TestFieldPropertyBounds(t *testing.T) {
+	bubbles := []Bubble{{X: 0.3, Y: 0.4, Z: 0.5, R: 0.15}, {X: 0.7, Y: 0.6, Z: 0.5, R: 0.1}}
+	f := NewField(bubbles, 0.02)
+	check := func(x, y, z float64) bool {
+		x = math.Mod(math.Abs(x), 1)
+		y = math.Mod(math.Abs(y), 1)
+		z = math.Mod(math.Abs(z), 1)
+		p := f.At(x, y, z)
+		return p.Rho >= physics.VaporInit.Rho-1e-9 &&
+			p.Rho <= physics.LiquidInit.Rho+1e-9 &&
+			p.P >= physics.VaporInit.P-1e-9 &&
+			p.P <= physics.LiquidInit.P+1e-9 &&
+			p.G > 0 && p.Pi >= 0
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTile(t *testing.T) {
+	unit := []Bubble{{X: 0.2, Y: 0.3, Z: 0.4, R: 0.05}, {X: 0.7, Y: 0.6, Z: 0.5, R: 0.08}}
+	tiled := Tile(unit, 1.0, 2, 1, 3)
+	if len(tiled) != 2*2*1*3 {
+		t.Fatalf("tiled %d bubbles, want 12", len(tiled))
+	}
+	// The last unit's copy of bubble 0 sits at offset (1, 0, 2).
+	found := false
+	for _, b := range tiled {
+		if b.X == 1.2 && b.Y == 0.3 && b.Z == 2.4 && b.R == 0.05 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("offset copy missing")
+	}
+	// Tiling preserves non-overlap across unit boundaries when the unit
+	// keeps bubbles inside its extent.
+	for i := range tiled {
+		for j := i + 1; j < len(tiled); j++ {
+			a, b := tiled[i], tiled[j]
+			d2 := (a.X-b.X)*(a.X-b.X) + (a.Y-b.Y)*(a.Y-b.Y) + (a.Z-b.Z)*(a.Z-b.Z)
+			if d2 < (a.R+b.R)*(a.R+b.R) {
+				t.Fatalf("tiled bubbles %d and %d overlap", i, j)
+			}
+		}
+	}
+}

@@ -1,0 +1,436 @@
+// Package cluster implements the paper's cluster layer (§6): the domain is
+// decomposed across ranks in a cartesian topology with a constant subdomain
+// size; non-blocking point-to-point messages exchange ghost information for
+// the halo blocks while the interior blocks are dispatched to the node
+// layer, hiding the communication time behind computation.
+package cluster
+
+import (
+	"math"
+	"time"
+
+	"cubism/internal/checkpoint"
+	"cubism/internal/compress"
+	"cubism/internal/core"
+	"cubism/internal/dump"
+	"cubism/internal/grid"
+	"cubism/internal/mpi"
+	"cubism/internal/node"
+	"cubism/internal/perf"
+	"cubism/internal/physics"
+)
+
+// Config describes one production-style run.
+type Config struct {
+	// RankDims is the cartesian rank grid (product must equal world size).
+	RankDims [3]int
+	// BlockDims is the number of blocks per rank per dimension.
+	BlockDims [3]int
+	// BlockSize is the block edge in cells (paper production value: 32).
+	BlockSize int
+	// Extent is the physical edge length of one cell times global cells in
+	// x; H is derived from it.
+	Extent float64
+	// BC are the global physical boundary conditions.
+	BC grid.BC
+	// Workers per rank (0: NumCPU).
+	Workers int
+	// Vector selects the QPX kernel variants.
+	Vector bool
+	// CFL is the time step safety factor (paper: 0.3).
+	CFL float64
+	// TimeStepper selects the Runge-Kutta formulation: "lsrk3" (default,
+	// the paper's low-storage 2N scheme) or "ssprk3" (classic three-register
+	// Shu-Osher scheme, the memory-footprint ablation).
+	TimeStepper string
+	// Init fills the initial condition from global physical coordinates.
+	Init func(x, y, z float64) physics.Prim
+}
+
+// Rank is the per-rank simulation state.
+type Rank struct {
+	Cfg    Config
+	Cart   *mpi.Cart
+	G      *grid.Grid
+	Engine *node.Engine
+	Mon    *perf.Monitor
+
+	Step int
+	Time float64
+
+	reg                  [][]float32 // low-storage Runge-Kutta registers, one per block
+	rhs                  [][]float32 // RHS evaluation buffers, one per block
+	u0                   [][]float32 // step-initial copies, allocated only for ssprk3
+	interior, haloBlocks []*grid.Block
+	interiorRHS, haloRHS [][]float32
+}
+
+// NewRank builds the rank-local grid and engine for comm.
+func NewRank(comm *mpi.Comm, cfg Config) *Rank {
+	cart := mpi.NewCart(comm, cfg.RankDims, [3]bool{
+		cfg.BC[grid.XLo] == grid.Periodic,
+		cfg.BC[grid.YLo] == grid.Periodic,
+		cfg.BC[grid.ZLo] == grid.Periodic,
+	})
+	n := cfg.BlockSize
+	globalCellsX := cfg.RankDims[0] * cfg.BlockDims[0] * n
+	h := cfg.Extent / float64(globalCellsX)
+	desc := grid.Desc{
+		N:   n,
+		NBX: cfg.BlockDims[0], NBY: cfg.BlockDims[1], NBZ: cfg.BlockDims[2],
+		H: h,
+		Origin: [3]float64{
+			float64(cart.Coords[0]*cfg.BlockDims[0]*n) * h,
+			float64(cart.Coords[1]*cfg.BlockDims[1]*n) * h,
+			float64(cart.Coords[2]*cfg.BlockDims[2]*n) * h,
+		},
+	}
+	g := grid.New(desc)
+	r := &Rank{
+		Cfg:    cfg,
+		Cart:   cart,
+		G:      g,
+		Engine: node.New(g, rankBC(cart, cfg.BC), cfg.Workers, cfg.Vector),
+		Mon:    perf.NewMonitor(),
+	}
+	per := n * n * n * physics.NQ
+	r.reg = make([][]float32, len(g.Blocks))
+	r.rhs = make([][]float32, len(g.Blocks))
+	for i := range r.reg {
+		r.reg[i] = make([]float32, per)
+		r.rhs[i] = make([]float32, per)
+	}
+	if cfg.TimeStepper == "ssprk3" {
+		r.u0 = make([][]float32, len(g.Blocks))
+		for i := range r.u0 {
+			r.u0[i] = make([]float32, per)
+		}
+	}
+	r.splitHaloInterior()
+	if cfg.Init != nil {
+		r.Initialize(cfg.Init)
+	}
+	return r
+}
+
+// rankBC keeps the physical BC only on faces that are actual domain
+// boundaries of this rank; interior faces get halos from neighbors, so
+// their BC entry is irrelevant (halo data wins in the grid's ghost
+// resolution).
+func rankBC(cart *mpi.Cart, bc grid.BC) grid.BC { return bc }
+
+// splitHaloInterior partitions the blocks into those whose ghosts depend on
+// a neighboring rank (halo) and the rest (interior), the overlap unit of
+// the paper's communication scheme.
+func (r *Rank) splitHaloInterior() {
+	touchesNeighbor := func(b *grid.Block) bool {
+		for f := grid.XLo; f <= grid.ZHi; f++ {
+			dir := -1
+			if f.IsHigh() {
+				dir = 1
+			}
+			if r.Cart.Neighbor(f.Axis(), dir) < 0 {
+				continue // physical boundary, handled by BC
+			}
+			at := [3]int{b.X, b.Y, b.Z}[f.Axis()]
+			limit := 0
+			if f.IsHigh() {
+				limit = [3]int{r.G.NBX - 1, r.G.NBY - 1, r.G.NBZ - 1}[f.Axis()]
+			}
+			if at == limit {
+				return true
+			}
+		}
+		return false
+	}
+	for i, b := range r.G.Blocks {
+		if touchesNeighbor(b) {
+			r.haloBlocks = append(r.haloBlocks, b)
+			r.haloRHS = append(r.haloRHS, r.rhs[i])
+		} else {
+			r.interior = append(r.interior, b)
+			r.interiorRHS = append(r.interiorRHS, r.rhs[i])
+		}
+	}
+}
+
+// Initialize fills the rank subdomain from a global primitive field.
+func (r *Rank) Initialize(f func(x, y, z float64) physics.Prim) {
+	g := r.G
+	n := g.N
+	for _, b := range g.Blocks {
+		for iz := 0; iz < n; iz++ {
+			for iy := 0; iy < n; iy++ {
+				for ix := 0; ix < n; ix++ {
+					x, y, z := g.CellCenter(b.X*n+ix, b.Y*n+iy, b.Z*n+iz)
+					c := f(x, y, z).ToCons()
+					cell := b.At(ix, iy, iz)
+					cell[physics.QR] = float32(c.R)
+					cell[physics.QU] = float32(c.RU)
+					cell[physics.QV] = float32(c.RV)
+					cell[physics.QW] = float32(c.RW)
+					cell[physics.QE] = float32(c.E)
+					cell[physics.QG] = float32(c.G)
+					cell[physics.QP] = float32(c.Pi)
+				}
+			}
+		}
+	}
+}
+
+// ghost message tags: one per face, offset by the RK stage so stages never
+// cross-match.
+func faceTag(f grid.Face, stage int) int { return 100 + 10*stage + int(f) }
+
+// opposite returns the matching face on the neighboring rank.
+func opposite(f grid.Face) grid.Face { return f ^ 1 }
+
+// ExchangeGhosts posts the ghost exchange for one RK stage: returns the
+// receive requests; the caller computes interior blocks, then calls
+// InstallHalos with the requests.
+//
+// "Every rank sends 6 messages to its adjacent neighbors ... while waiting
+// for the messages, the rank dispatches the interior blocks to the node
+// layer" (§6).
+func (r *Rank) ExchangeGhosts(stage int) [6]*mpi.Request {
+	var recvs [6]*mpi.Request
+	r.G.ClearHalos()
+	for f := grid.XLo; f <= grid.ZHi; f++ {
+		dir := -1
+		if f.IsHigh() {
+			dir = 1
+		}
+		nb := r.Cart.Neighbor(f.Axis(), dir)
+		if nb < 0 {
+			continue
+		}
+		recvs[f] = r.Cart.Irecv(nb, faceTag(f, stage))
+		payload := r.G.PackFace(f, nil)
+		// The neighbor installs this as its opposite-face halo; tag with
+		// the receiver's face index.
+		r.Cart.Isend(nb, faceTag(opposite(f), stage), payload)
+	}
+	return recvs
+}
+
+// InstallHalos waits for the ghost messages and installs them.
+func (r *Rank) InstallHalos(recvs [6]*mpi.Request) {
+	for f := grid.XLo; f <= grid.ZHi; f++ {
+		if recvs[f] == nil {
+			continue
+		}
+		data := recvs[f].Wait()
+		r.G.SetHalo(f, haloFromPack(r.G, f, data))
+	}
+}
+
+// haloFromPack converts a neighbor's PackFace payload into this rank's
+// SetHalo layout. PackFace emits depth d=0 as the layer closest to the
+// shared face, which is exactly the d=0 "adjacent to the domain" layer the
+// halo expects, so the payload is used as is.
+func haloFromPack(g *grid.Grid, f grid.Face, data []float32) []float32 { return data }
+
+// MaxDT computes the global CFL time step (the DT kernel + its global
+// scalar reduction).
+func (r *Rank) MaxDT() float64 {
+	t0 := time.Now()
+	local := r.Engine.MaxCharVel()
+	global := r.Cart.Allreduce(local, mpi.MaxOp)
+	cells := int64(r.G.Cells())
+	r.Mon.Kernel("DT").RecordSince(t0, cells*core.SOSFlopsPerCell, cells*core.SOSBytesPerCell)
+	if global <= 0 {
+		return 0
+	}
+	return r.Cfg.CFL * r.G.H / global
+}
+
+// RKStep advances one full Runge-Kutta step of size dt: three stages of
+// ghost exchange, RHS evaluation (interior overlapped with communication)
+// and UP update.
+func (r *Rank) RKStep(dt float64) {
+	cells := int64(r.G.Cells())
+	values := cells * physics.NQ
+	ssp := r.u0 != nil
+	if ssp {
+		for i, b := range r.G.Blocks {
+			copy(r.u0[i], b.Data)
+		}
+	}
+	for s := 0; s < 3; s++ {
+		recvs := r.ExchangeGhosts(s)
+		t0 := time.Now()
+		r.Engine.ComputeRHS(r.interior, r.interiorRHS)
+		r.InstallHalos(recvs)
+		r.Engine.ComputeRHS(r.haloBlocks, r.haloRHS)
+		r.Mon.Kernel("RHS").RecordSince(t0,
+			cells*core.RHSFlopsPerCell(r.G.N), cells*core.RHSBytesPerCell(r.G.N))
+
+		t0 = time.Now()
+		if ssp {
+			for i, b := range r.G.Blocks {
+				core.UpdateSSP(b.Data, r.u0[i], r.rhs[i], s, dt)
+			}
+		} else {
+			r.Engine.Update(r.G.Blocks, r.reg, r.rhs, core.RK3A[s], core.RK3B[s], dt)
+		}
+		r.Mon.Kernel("UP").RecordSince(t0,
+			values*core.UpdateFlopsPerValue, values*core.UpdateBytesPerValue)
+	}
+	r.Step++
+	r.Time += dt
+}
+
+// Advance runs one complete simulation step (DT + RK3) and returns dt.
+func (r *Rank) Advance() float64 {
+	dt := r.MaxDT()
+	r.RKStep(dt)
+	return dt
+}
+
+// Dump writes one quantity's compressed snapshot collectively.
+func (r *Rank) Dump(path string, q compress.Quantity, eps float64, encoder string) (compress.Stats, error) {
+	t0 := time.Now()
+	c, stats, err := compress.Compress(r.G, q, compress.Options{
+		Epsilon: eps, Encoder: encoder, Workers: r.Engine.Workers(),
+	})
+	if err != nil {
+		return stats, err
+	}
+	var dec, enc time.Duration
+	for i := range stats.DecTimes {
+		dec += stats.DecTimes[i]
+		enc += stats.EncTimes[i]
+	}
+	r.Mon.Kernel("FWT").Record(perf.Sample{Duration: dec, FLOPs: 0, Bytes: stats.RawBytes})
+	r.Mon.Kernel("ENC").Record(perf.Sample{Duration: enc, Bytes: stats.Encoded})
+	tIO := time.Now()
+	hdr := dump.Header{
+		Quantity:  q.String(),
+		Encoder:   encoder,
+		Epsilon:   eps,
+		BlockSize: r.G.N,
+		RankDims:  r.Cfg.RankDims,
+		BlockDims: r.Cfg.BlockDims,
+		Step:      r.Step,
+		Time:      r.Time,
+	}
+	if _, err := dump.WriteCollective(r.Cart.Comm, path, hdr, c); err != nil {
+		return stats, err
+	}
+	r.Mon.Kernel("IO").RecordSince(tIO, 0, stats.Encoded)
+	r.Mon.Kernel("IO_WAVELET").RecordSince(t0, 0, stats.RawBytes)
+	return stats, nil
+}
+
+// Diagnostics holds the global flow statistics of Figure 5.
+type Diagnostics struct {
+	Time          float64
+	Step          int
+	MaxPressure   float64 // maximum pressure in the flow field
+	WallPressure  float64 // maximum pressure on the solid wall (if any)
+	KineticEnergy float64
+	VaporVolume   float64
+	EquivRadius   float64
+}
+
+// Diagnose computes the global diagnostics via reductions.
+func (r *Rank) Diagnose(wall grid.Face, hasWall bool) Diagnostics {
+	g := r.G
+	n := g.N
+	h3 := g.H * g.H * g.H
+	gV, gL := physics.Vapor.G(), physics.Liquid.G()
+	var maxP, wallP, ke, vap float64
+	for _, b := range g.Blocks {
+		for iz := 0; iz < n; iz++ {
+			for iy := 0; iy < n; iy++ {
+				for ix := 0; ix < n; ix++ {
+					c := b.At(ix, iy, iz)
+					cons := physics.Cons{
+						R: float64(c[physics.QR]), RU: float64(c[physics.QU]),
+						RV: float64(c[physics.QV]), RW: float64(c[physics.QW]),
+						E: float64(c[physics.QE]), G: float64(c[physics.QG]), Pi: float64(c[physics.QP]),
+					}
+					kin := cons.KineticEnergy()
+					p := physics.Pressure(cons.E, kin, cons.G, cons.Pi)
+					if p > maxP {
+						maxP = p
+					}
+					ke += kin * h3
+					// Vapor volume fraction from the mixture Γ.
+					alpha := (cons.G - gL) / (gV - gL)
+					if alpha > 1 {
+						alpha = 1
+					}
+					if alpha < 0 {
+						alpha = 0
+					}
+					vap += alpha * h3
+					if hasWall && r.onWall(b, wall, ix, iy, iz) && p > wallP {
+						wallP = p
+					}
+				}
+			}
+		}
+	}
+	d := Diagnostics{Time: r.Time, Step: r.Step}
+	d.MaxPressure = r.Cart.Allreduce(maxP, mpi.MaxOp)
+	d.WallPressure = r.Cart.Allreduce(wallP, mpi.MaxOp)
+	d.KineticEnergy = r.Cart.Allreduce(ke, mpi.SumOp)
+	d.VaporVolume = r.Cart.Allreduce(vap, mpi.SumOp)
+	d.EquivRadius = equivRadius(d.VaporVolume)
+	return d
+}
+
+// equivRadius is the cloud-equivalent radius (3V/4π)^(1/3) of Figure 5.
+func equivRadius(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Cbrt(3 * v / (4 * math.Pi))
+}
+
+// onWall reports whether rank-local cell (ix,iy,iz) of block b lies in the
+// first layer adjacent to the global wall face.
+func (r *Rank) onWall(b *grid.Block, wall grid.Face, ix, iy, iz int) bool {
+	// The wall exists only on ranks at the corresponding domain boundary.
+	dir := -1
+	if wall.IsHigh() {
+		dir = 1
+	}
+	if r.Cart.Neighbor(wall.Axis(), dir) >= 0 {
+		return false
+	}
+	gc := [3]int{b.X*r.G.N + ix, b.Y*r.G.N + iy, b.Z*r.G.N + iz}[wall.Axis()]
+	if wall.IsHigh() {
+		limit := [3]int{r.G.CellsX(), r.G.CellsY(), r.G.CellsZ()}[wall.Axis()]
+		return gc == limit-1
+	}
+	return gc == 0
+}
+
+// ComputeRHSOnly performs one ghost exchange plus a full RHS evaluation
+// without the update — the benchmark unit for the node-to-cluster
+// comparison (Table 6). All ranks must call it the same number of times.
+func (r *Rank) ComputeRHSOnly() {
+	recvs := r.ExchangeGhosts(0)
+	r.Engine.ComputeRHS(r.interior, r.interiorRHS)
+	r.InstallHalos(recvs)
+	r.Engine.ComputeRHS(r.haloBlocks, r.haloRHS)
+}
+
+// SaveCheckpoint writes the full conserved state collectively (lossless;
+// see internal/checkpoint). All ranks must call it.
+func (r *Rank) SaveCheckpoint(path string) error {
+	return checkpoint.Write(r.Cart.Comm, path, r.G, r.Cfg.RankDims, r.Step, r.Time)
+}
+
+// RestoreCheckpoint replaces the rank state with the checkpoint contents;
+// the configuration must match the one the checkpoint was written with.
+func (r *Rank) RestoreCheckpoint(path string) error {
+	step, simTime, err := checkpoint.Restore(path, r.Cart.Rank(), r.G)
+	if err != nil {
+		return err
+	}
+	r.Step, r.Time = step, simTime
+	return nil
+}

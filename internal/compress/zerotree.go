@@ -1,0 +1,340 @@
+package compress
+
+import (
+	"errors"
+	"math"
+
+	"cubism/internal/wavelet"
+)
+
+// Zerotree coding of 3D wavelet coefficient blocks — the paper's cited
+// alternative to the ZLIB back-end ("efficient lossy encoders can also be
+// used such as the zerotree coding scheme [72] and the SPIHT library
+// [48]"). This is an EZW-style embedded coder: coefficients are scanned in
+// bitplanes from the most significant down; a coefficient whose entire
+// descendant tree (across resolution levels) is insignificant at the
+// current threshold is encoded as a single zerotree-root symbol, which is
+// where the compression comes from. The bitstream is embedded: decoding
+// can stop after any pass, yielding the best reconstruction for the bits
+// read.
+//
+// Layout contract: the block holds an in-place multi-level transform as
+// produced by wavelet.FWT3 (coarse corner at the origin), edge n a power
+// of two. Parent (x,y,z) outside the coarsest band has up to eight
+// children at (2x+i, 2y+j, 2z+k); a coarsest-detail-band coefficient roots
+// the tree spanning all finer bands below it.
+
+// ztSymbol is one 2-bit significance-pass symbol.
+type ztSymbol byte
+
+const (
+	ztZTR ztSymbol = iota // zerotree root: self and all descendants insignificant
+	ztIZ                  // isolated zero: self insignificant, some descendant significant
+	ztPOS                 // significant, positive
+	ztNEG                 // significant, negative
+)
+
+// bitWriter packs bits little-endian within bytes.
+type bitWriter struct {
+	buf []byte
+	n   uint // bits used in the last byte
+}
+
+func (w *bitWriter) writeBit(b int) {
+	if w.n == 0 {
+		w.buf = append(w.buf, 0)
+		w.n = 8
+	}
+	if b != 0 {
+		w.buf[len(w.buf)-1] |= 1 << (8 - w.n)
+	}
+	w.n--
+}
+
+func (w *bitWriter) writeBits(v uint32, count uint) {
+	for i := uint(0); i < count; i++ {
+		w.writeBit(int((v >> i) & 1))
+	}
+}
+
+// bitReader mirrors bitWriter.
+type bitReader struct {
+	buf []byte
+	pos uint // absolute bit position
+}
+
+var errZTUnderflow = errors.New("compress: zerotree bitstream underflow")
+
+func (r *bitReader) readBit() (int, error) {
+	byteIdx := r.pos / 8
+	if int(byteIdx) >= len(r.buf) {
+		return 0, errZTUnderflow
+	}
+	bit := (r.buf[byteIdx] >> (r.pos % 8)) & 1
+	r.pos++
+	return int(bit), nil
+}
+
+func (r *bitReader) readBits(count uint) (uint32, error) {
+	var v uint32
+	for i := uint(0); i < count; i++ {
+		b, err := r.readBit()
+		if err != nil {
+			return 0, err
+		}
+		v |= uint32(b) << i
+	}
+	return v, nil
+}
+
+// ztCoder holds the shared scan state.
+type ztCoder struct {
+	n     int // block edge
+	c0    int // coarsest band edge (scaling coefficients)
+	field []float32
+}
+
+func newZTCoder(field []float32, n int) *ztCoder {
+	return &ztCoder{n: n, c0: n >> uint(wavelet.Levels(n)), field: field}
+}
+
+func (z *ztCoder) at(x, y, v int) float32 { return z.field[(v*z.n+y)*z.n+x] }
+
+// maxDescendant returns the maximum |coefficient| over the descendant tree
+// of (x,y,zc), excluding the node itself.
+func (z *ztCoder) maxDescendant(x, y, zc int) float32 {
+	var m float32
+	cx, cy, cz := 2*x, 2*y, 2*zc
+	if cx >= z.n || cy >= z.n || cz >= z.n {
+		return 0
+	}
+	for dz := 0; dz < 2; dz++ {
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				nx, ny, nz := cx+dx, cy+dy, cz+dz
+				a := abs32(z.at(nx, ny, nz))
+				if a > m {
+					m = a
+				}
+				if d := z.maxDescendant(nx, ny, nz); d > m {
+					m = d
+				}
+			}
+		}
+	}
+	return m
+}
+
+func abs32(v float32) float32 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// scanOrder enumerates coefficients band by band from coarse to fine,
+// excluding the scaling (coarse approximation) band.
+func (z *ztCoder) scanOrder() [][3]int {
+	var order [][3]int
+	for m := z.c0; m < z.n; m *= 2 {
+		// The three + four detail octants of the band with corner cube m.
+		for zc := 0; zc < 2*m; zc++ {
+			for y := 0; y < 2*m; y++ {
+				for x := 0; x < 2*m; x++ {
+					if x < m && y < m && zc < m {
+						continue // covered by coarser bands
+					}
+					order = append(order, [3]int{x, y, zc})
+				}
+			}
+		}
+	}
+	return order
+}
+
+// ZerotreeEncode codes the transformed block down to the given absolute
+// threshold (the embedded analog of the decimation ε·scale) and returns
+// the bitstream. The scaling band is stored verbatim (never lossy), like
+// the pipeline's protected coarse corner.
+func ZerotreeEncode(field []float32, n int, threshold float64) []byte {
+	z := newZTCoder(field, n)
+	w := &bitWriter{}
+
+	// Header: scaling band raw (c0³ float32), then the initial bitplane
+	// exponent.
+	for zc := 0; zc < z.c0; zc++ {
+		for y := 0; y < z.c0; y++ {
+			for x := 0; x < z.c0; x++ {
+				w.writeBits(math.Float32bits(z.at(x, y, zc)), 32)
+			}
+		}
+	}
+	var maxMag float32
+	order := z.scanOrder()
+	for _, p := range order {
+		if a := abs32(z.at(p[0], p[1], p[2])); a > maxMag {
+			maxMag = a
+		}
+	}
+	exp := int8(-128)
+	if maxMag > 0 {
+		exp = int8(math.Floor(math.Log2(float64(maxMag))))
+	}
+	w.writeBits(uint32(uint8(exp)), 8)
+
+	if exp == -128 {
+		return w.buf
+	}
+	type sigEntry struct {
+		pos [3]int
+		val float32
+	}
+	var significant []sigEntry
+	isSig := make(map[[3]int]bool)
+
+	t := math.Pow(2, float64(exp))
+	for t >= threshold && t > 0 {
+		// Significance pass with zerotree skipping.
+		skip := make(map[[3]int]bool)
+		for _, p := range order {
+			if skip[p] || isSig[p] {
+				continue
+			}
+			v := z.at(p[0], p[1], p[2])
+			if float64(abs32(v)) >= t {
+				if v >= 0 {
+					w.writeBits(uint32(ztPOS), 2)
+				} else {
+					w.writeBits(uint32(ztNEG), 2)
+				}
+				isSig[p] = true
+				significant = append(significant, sigEntry{pos: p, val: v})
+				continue
+			}
+			if float64(z.maxDescendant(p[0], p[1], p[2])) < t {
+				w.writeBits(uint32(ztZTR), 2)
+				markDescendants(z, p, skip)
+			} else {
+				w.writeBits(uint32(ztIZ), 2)
+			}
+		}
+		// Refinement pass: one bit per previously significant coefficient.
+		half := t / 2
+		for _, e := range significant {
+			mag := float64(abs32(e.val))
+			// The bit tells whether the magnitude lies in the upper half of
+			// its current uncertainty interval.
+			steps := math.Floor(mag / t)
+			inUpper := mag-steps*t >= half
+			if inUpper {
+				w.writeBit(1)
+			} else {
+				w.writeBit(0)
+			}
+		}
+		t = half
+	}
+	return w.buf
+}
+
+// markDescendants flags the whole subtree below p as skipped this pass.
+func markDescendants(z *ztCoder, p [3]int, skip map[[3]int]bool) {
+	cx, cy, cz := 2*p[0], 2*p[1], 2*p[2]
+	if cx >= z.n || cy >= z.n || cz >= z.n {
+		return
+	}
+	for dz := 0; dz < 2; dz++ {
+		for dy := 0; dy < 2; dy++ {
+			for dx := 0; dx < 2; dx++ {
+				c := [3]int{cx + dx, cy + dy, cz + dz}
+				skip[c] = true
+				markDescendants(z, c, skip)
+			}
+		}
+	}
+}
+
+// ZerotreeDecode inverts ZerotreeEncode into a transformed coefficient
+// block (still in wavelet space; apply wavelet.FWT3.Inverse afterwards).
+func ZerotreeDecode(data []byte, n int, threshold float64) ([]float32, error) {
+	field := make([]float32, n*n*n)
+	z := newZTCoder(field, n)
+	r := &bitReader{buf: data}
+
+	for zc := 0; zc < z.c0; zc++ {
+		for y := 0; y < z.c0; y++ {
+			for x := 0; x < z.c0; x++ {
+				bits, err := r.readBits(32)
+				if err != nil {
+					return nil, err
+				}
+				field[(zc*n+y)*n+x] = math.Float32frombits(bits)
+			}
+		}
+	}
+	expBits, err := r.readBits(8)
+	if err != nil {
+		return nil, err
+	}
+	exp := int8(uint8(expBits))
+	if exp == -128 {
+		return field, nil
+	}
+
+	order := z.scanOrder()
+	type sigEntry struct {
+		pos  [3]int
+		mag  float64
+		sign float64
+	}
+	var significant []sigEntry
+	isSig := make(map[[3]int]bool)
+
+	t := math.Pow(2, float64(exp))
+	// The stream is embedded: running out of bits mid-pass simply ends the
+	// refinement at the precision encoded so far.
+passes:
+	for t >= threshold && t > 0 {
+		skip := make(map[[3]int]bool)
+		for _, p := range order {
+			if skip[p] || isSig[p] {
+				continue
+			}
+			symBits, err := r.readBits(2)
+			if err != nil {
+				break passes
+			}
+			switch ztSymbol(symBits) {
+			case ztPOS, ztNEG:
+				sign := 1.0
+				if ztSymbol(symBits) == ztNEG {
+					sign = -1
+				}
+				isSig[p] = true
+				// Initial magnitude estimate: middle of [t, 2t).
+				significant = append(significant, sigEntry{pos: p, mag: 1.5 * t, sign: sign})
+			case ztZTR:
+				markDescendants(z, p, skip)
+			case ztIZ:
+			}
+		}
+		half := t / 2
+		for i := range significant {
+			bit, err := r.readBit()
+			if err != nil {
+				break passes
+			}
+			// Narrow the uncertainty interval by a quarter of the plane.
+			if bit == 1 {
+				significant[i].mag += half / 2
+			} else {
+				significant[i].mag -= half / 2
+			}
+		}
+		t = half
+	}
+	for _, e := range significant {
+		field[(e.pos[2]*n+e.pos[1])*n+e.pos[0]] = float32(e.sign * e.mag)
+	}
+	return field, nil
+}

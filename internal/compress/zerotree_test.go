@@ -1,0 +1,141 @@
+package compress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"cubism/internal/wavelet"
+)
+
+// ztTestField builds a transformed smooth block.
+func ztTestField(t *testing.T, n int) ([]float32, []float32) {
+	t.Helper()
+	orig := make([]float32, n*n*n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				orig[(z*n+y)*n+x] = float32(
+					2 + math.Sin(5*float64(x)/float64(n))*math.Cos(3*float64(y)/float64(n))*
+						math.Sin(4*float64(z)/float64(n)))
+			}
+		}
+	}
+	coeff := append([]float32(nil), orig...)
+	wavelet.NewFWT3(n).Forward(coeff)
+	return orig, coeff
+}
+
+func TestZerotreeRoundTripErrorBound(t *testing.T) {
+	const n = 16
+	orig, coeff := ztTestField(t, n)
+	const threshold = 1e-3
+	stream := ZerotreeEncode(append([]float32(nil), coeff...), n, threshold)
+	dec, err := ZerotreeDecode(stream, n, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Coefficient-domain error bound: coefficients below the last bitplane
+	// threshold t_last (< 2*threshold) are dropped entirely, and refined
+	// ones carry at most t_last/2 uncertainty.
+	for i := range coeff {
+		if e := math.Abs(float64(dec[i] - coeff[i])); e > 2*threshold {
+			t.Fatalf("coefficient %d error %g > 2*threshold %g", i, e, 2*threshold)
+		}
+	}
+	// ...and the reconstruction error by a small multiple (level cascade).
+	wavelet.NewFWT3(n).Inverse(dec)
+	for i := range orig {
+		if e := math.Abs(float64(dec[i] - orig[i])); e > 20*threshold {
+			t.Fatalf("field %d error %g > 20*threshold", i, e)
+		}
+	}
+}
+
+func TestZerotreeCompressesSmoothField(t *testing.T) {
+	const n = 16
+	_, coeff := ztTestField(t, n)
+	stream := ZerotreeEncode(append([]float32(nil), coeff...), n, 1e-2)
+	raw := n * n * n * 4
+	if len(stream) >= raw/3 {
+		t.Errorf("zerotree stream %d bytes, want < 1/3 of raw %d", len(stream), raw)
+	}
+}
+
+func TestZerotreeEmbeddedTruncation(t *testing.T) {
+	const n = 16
+	_, coeff := ztTestField(t, n)
+	const threshold = 1e-4
+	full := ZerotreeEncode(append([]float32(nil), coeff...), n, threshold)
+	fullDec, err := ZerotreeDecode(full, n, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Truncating the stream must still decode, with larger but bounded error.
+	header := (n / (1 << uint(wavelet.Levels(n)))) // coarse edge
+	minLen := header*header*header*4 + 1
+	cut := minLen + (len(full)-minLen)/2
+	truncDec, err := ZerotreeDecode(full[:cut], n, threshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fullErr, truncErr float64
+	for i := range coeff {
+		fullErr += math.Abs(float64(fullDec[i] - coeff[i]))
+		truncErr += math.Abs(float64(truncDec[i] - coeff[i]))
+	}
+	if truncErr < fullErr {
+		t.Errorf("truncated stream decoded better (%g) than full (%g)?", truncErr, fullErr)
+	}
+	if truncErr == 0 {
+		t.Error("truncation had no effect; embedded property not exercised")
+	}
+}
+
+func TestZerotreeZeroField(t *testing.T) {
+	const n = 8
+	coeff := make([]float32, n*n*n)
+	stream := ZerotreeEncode(append([]float32(nil), coeff...), n, 1e-6)
+	dec, err := ZerotreeDecode(stream, n, 1e-6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range dec {
+		if v != 0 {
+			t.Fatalf("zero field decoded nonzero at %d: %g", i, v)
+		}
+	}
+	// A zero field costs only the scaling band + exponent.
+	c0 := n >> uint(wavelet.Levels(n))
+	if len(stream) > c0*c0*c0*4+2 {
+		t.Errorf("zero field stream %d bytes", len(stream))
+	}
+}
+
+func TestZerotreeSparseSpike(t *testing.T) {
+	// A single significant detail coefficient: the zerotree should collapse
+	// everything else into a handful of root symbols.
+	const n = 16
+	coeff := make([]float32, n*n*n)
+	rng := rand.New(rand.NewSource(2))
+	x, y, z := 8+rng.Intn(8), 8+rng.Intn(8), 8+rng.Intn(8)
+	coeff[(z*n+y)*n+x] = 3.75
+	stream := ZerotreeEncode(append([]float32(nil), coeff...), n, 1e-3)
+	dec, err := ZerotreeDecode(stream, n, 1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := float64(dec[(z*n+y)*n+x])
+	if math.Abs(got-3.75) > 1e-3 {
+		t.Errorf("spike decoded as %g, want 3.75 +- 1e-3", got)
+	}
+	count := 0
+	for _, v := range dec {
+		if v != 0 {
+			count++
+		}
+	}
+	if count != 1 {
+		t.Errorf("%d nonzero coefficients decoded, want 1", count)
+	}
+}

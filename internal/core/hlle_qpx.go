@@ -1,0 +1,101 @@
+package core
+
+import "cubism/internal/qpx"
+
+// Vector HLLE flux: four faces per invocation. Conditional clamping of the
+// wave speeds uses lane-wise min/max against zero instead of branches,
+// matching the select-based control flow of the QPX implementation.
+
+// faceStateV is a 4-lane bundle of reconstructed face states.
+type faceStateV struct {
+	r, un, ut1, ut2, p, g, pi qpx.Vec4
+}
+
+// faceFluxV is a 4-lane bundle of HLLE outputs.
+type faceFluxV struct {
+	fr, fun, fut1, fut2, fe, fg, fpi qpx.Vec4
+	ustar                            qpx.Vec4
+}
+
+var (
+	vZero       = qpx.Zero()
+	vOne        = qpx.Splat(1)
+	vHalf       = qpx.Splat(0.5)
+	vDegenerate = qpx.Splat(1e-12)
+	vHalfDegen  = qpx.Splat(5e-13)
+	vPhysEps    = qpx.Splat(1e-30)
+)
+
+// physMaskV returns +1 in lanes whose state admits a real sound speed and
+// positive density and Γ, -1 elsewhere (NaN lanes map to -1).
+func physMaskV(s faceStateV) qpx.Vec4 {
+	phys := s.r.Min(s.g).Min(s.g.Add(vOne).MAdd(s.p, s.pi))
+	return phys.CmpGE(vPhysEps)
+}
+
+// safeguardV replaces non-physical reconstructed lanes with the adjacent
+// cell averages through branch-free selects (the vector counterpart of the
+// scalar first-order fallback).
+func safeguardV(s, center faceStateV) faceStateV {
+	mask := physMaskV(s)
+	return faceStateV{
+		r:   qpx.Sel(mask, center.r, s.r),
+		un:  qpx.Sel(mask, center.un, s.un),
+		ut1: qpx.Sel(mask, center.ut1, s.ut1),
+		ut2: qpx.Sel(mask, center.ut2, s.ut2),
+		p:   qpx.Sel(mask, center.p, s.p),
+		g:   qpx.Sel(mask, center.g, s.g),
+		pi:  qpx.Sel(mask, center.pi, s.pi),
+	}
+}
+
+// soundSpeedV is the vector mixture sound speed, clamped at zero.
+func soundSpeedV(s faceStateV) qpx.Vec4 {
+	num := s.g.Add(vOne).MAdd(s.p, s.pi) // (Γ+1)p + Π
+	c2 := num.Div(s.g.Mul(s.r))
+	return c2.Max(vZero).Sqrt()
+}
+
+// hlleFaceV computes the HLLE flux across four faces at once.
+func hlleFaceV(m, p faceStateV) faceFluxV {
+	cm := soundSpeedV(m)
+	cp := soundSpeedV(p)
+	sm := m.un.Sub(cm).Min(p.un.Sub(cp)).Min(vZero)
+	sp := m.un.Add(cm).Max(p.un.Add(cp)).Max(vZero)
+	// Degenerate-fan floor (see the scalar kernel): lanes with a collapsed
+	// fan are widened symmetrically through selects.
+	width := sp.Sub(sm)
+	mask := width.CmpGE(vDegenerate) // +1 where the fan is wide enough
+	sp = qpx.Sel(mask, vHalfDegen, sp)
+	sm = qpx.Sel(mask, vHalfDegen.Neg(), sm)
+	inv := sp.Sub(sm).Recip()
+	spsm := sp.Mul(sm)
+
+	// Conserved states and physical fluxes on both sides.
+	keM := m.un.Mul(m.un).Add(m.ut1.Mul(m.ut1)).Add(m.ut2.Mul(m.ut2)).Mul(m.r).Mul(vHalf)
+	keP := p.un.Mul(p.un).Add(p.ut1.Mul(p.ut1)).Add(p.ut2.Mul(p.ut2)).Mul(p.r).Mul(vHalf)
+	eM := m.g.MAdd(m.p, m.pi.Add(keM))
+	eP := p.g.MAdd(p.p, p.pi.Add(keP))
+
+	combine := func(fl, fr, ul, ur qpx.Vec4) qpx.Vec4 {
+		// (sp*fl - sm*fr + sp*sm*(ur-ul)) / (sp-sm)
+		acc := sp.Mul(fl)
+		acc = sm.NMSub(fr, acc)
+		acc = spsm.MAdd(ur.Sub(ul), acc)
+		return acc.Mul(inv)
+	}
+
+	rumM := m.r.Mul(m.un)
+	rumP := p.r.Mul(p.un)
+
+	var out faceFluxV
+	out.fr = combine(rumM, rumP, m.r, p.r)
+	out.fun = combine(rumM.MAdd(m.un, m.p), rumP.MAdd(p.un, p.p), rumM, rumP)
+	out.fut1 = combine(rumM.Mul(m.ut1), rumP.Mul(p.ut1), m.r.Mul(m.ut1), p.r.Mul(p.ut1))
+	out.fut2 = combine(rumM.Mul(m.ut2), rumP.Mul(p.ut2), m.r.Mul(m.ut2), p.r.Mul(p.ut2))
+	out.fe = combine(eM.Add(m.p).Mul(m.un), eP.Add(p.p).Mul(p.un), eM, eP)
+	out.fg = combine(m.g.Mul(m.un), p.g.Mul(p.un), m.g, p.g)
+	out.fpi = combine(m.pi.Mul(m.un), p.pi.Mul(p.un), m.pi, p.pi)
+	out.ustar = sp.Mul(m.un).Sub(sm.Mul(p.un)).Mul(inv)
+	return out
+}

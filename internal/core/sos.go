@@ -1,0 +1,42 @@
+package core
+
+import "math"
+
+// SOS/DT kernel: the maximum characteristic velocity ("speed of sound"
+// reduction) over a block, whose global reduction yields the CFL time step
+// (paper Figure 1, kernel DT).
+
+// MaxCharVelScalar returns max(|u_i| + c) over all cells of a block given
+// in AoS conserved float32 layout.
+func MaxCharVelScalar(data []float32) float64 {
+	maxVel := 0.0
+	for off := 0; off < len(data); off += nq {
+		c := data[off : off+nq : off+nq]
+		r := float64(c[qr])
+		inv := 1 / r
+		u := float64(c[qu]) * inv
+		v := float64(c[qv]) * inv
+		w := float64(c[qw]) * inv
+		g := float64(c[qg])
+		pi := float64(c[qp])
+		ke := 0.5 * r * (u*u + v*v + w*w)
+		p := (float64(c[qe]) - ke - pi) / g
+		c2 := ((g+1)*p + pi) / (g * r)
+		if c2 < 0 {
+			c2 = 0
+		}
+		vel := math.Max(math.Abs(u), math.Max(math.Abs(v), math.Abs(w))) + math.Sqrt(c2)
+		if vel > maxVel {
+			maxVel = vel
+		}
+	}
+	return maxVel
+}
+
+// SOSFlopsPerCell is the floating point work of one SOS cell
+// (conversion + sound speed + comparisons).
+const SOSFlopsPerCell = 24
+
+// SOSBytesPerCell is the compulsory traffic of one SOS cell: one read of
+// the seven float32 quantities.
+const SOSBytesPerCell = nq * 4

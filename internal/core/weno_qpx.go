@@ -1,0 +1,64 @@
+package core
+
+import "cubism/internal/qpx"
+
+// Vector WENO5 reconstruction: four faces (or four cells of a face plane)
+// per invocation, written against the QPX model's Vec4 method set. The
+// structure mirrors the explicitly vectorized QPX kernels of the paper:
+// fused multiply-adds wherever an add follows a multiply, and no
+// data-dependent branches (the nonlinear weights are pure arithmetic).
+
+var (
+	vD0      = qpx.Splat(d0)
+	vD1      = qpx.Splat(d1)
+	vD2      = qpx.Splat(d2)
+	vEps     = qpx.Splat(wenoEps)
+	vC1312   = qpx.Splat(13.0 / 12.0)
+	vQuarter = qpx.Splat(0.25)
+	vSixth   = qpx.Splat(1.0 / 6.0)
+	v2       = qpx.Splat(2)
+	v3       = qpx.Splat(3)
+	v4       = qpx.Splat(4)
+	v5       = qpx.Splat(5)
+	v7       = qpx.Splat(7)
+	v11      = qpx.Splat(11)
+)
+
+// wenoMinusV is the vector counterpart of wenoMinus: the left-biased face
+// value at i+1/2 from the cell averages a..e = v[i-2..i+2], four lanes at
+// a time.
+func wenoMinusV(a, b, c, d, e qpx.Vec4) qpx.Vec4 {
+	// Smoothness indicators, expressed through fused multiply-adds the way
+	// the QPX kernels pair them.
+	t1 := v2.NMSub(b, a.Add(c))      // a - 2b + c
+	t2 := v4.NMSub(b, v3.MAdd(c, a)) // a - 4b + 3c
+	b0 := vC1312.Mul(t1).MAdd(t1, vQuarter.Mul(t2).Mul(t2))
+	t1 = v2.NMSub(c, b.Add(d)) // b - 2c + d
+	t2 = b.Sub(d)              // b - d
+	b1 := vC1312.Mul(t1).MAdd(t1, vQuarter.Mul(t2).Mul(t2))
+	t1 = v2.NMSub(d, c.Add(e))      // c - 2d + e
+	t2 = v4.NMSub(d, v3.MAdd(c, e)) // 3c - 4d + e
+	b2 := vC1312.Mul(t1).MAdd(t1, vQuarter.Mul(t2).Mul(t2))
+	// Nonlinear weights.
+	e0 := vEps.Add(b0)
+	e1 := vEps.Add(b1)
+	e2 := vEps.Add(b2)
+	w0 := vD0.Div(e0.Mul(e0))
+	w1 := vD1.Div(e1.Mul(e1))
+	w2 := vD2.Div(e2.Mul(e2))
+	inv := w0.Add(w1).Add(w2).Recip()
+	// Candidate polynomials.
+	q0 := v11.MAdd(c, v7.NMSub(b, v2.Mul(a))).Mul(vSixth)
+	q1 := v5.MAdd(c, v2.MAdd(d, b.Neg())).Mul(vSixth)
+	q2 := v2.MAdd(c, v5.MSub(d, e)).Mul(vSixth)
+	acc := w0.Mul(q0)
+	acc = w1.MAdd(q1, acc)
+	acc = w2.MAdd(q2, acc)
+	return acc.Mul(inv)
+}
+
+// wenoPlusV is the right-biased reconstruction from a..e = v[i-1..i+3],
+// the mirror of wenoMinusV.
+func wenoPlusV(a, b, c, d, e qpx.Vec4) qpx.Vec4 {
+	return wenoMinusV(e, d, c, b, a)
+}

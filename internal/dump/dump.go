@@ -1,0 +1,214 @@
+// Package dump implements the compressed dump file format and its parallel
+// writer: one file per quantity, written collectively by all ranks through
+// the shared-file abstraction, with each rank's variable-size compressed
+// payload placed at the offset obtained from an exclusive prefix sum of the
+// payload sizes (paper §6, "MPI parallel file I/O is employed to generate a
+// single compressed file per quantity ... preceded by an exclusive scan").
+//
+// Layout:
+//
+//	magic "MPCFDmp1" | header length (uint32) | JSON header | rank payloads
+//
+// The JSON header records the global geometry, compression parameters and
+// the per-rank (offset, size, blocks) table, so the file is self-describing
+// and single-process tools can decompress any subset of ranks.
+package dump
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"cubism/internal/compress"
+	"cubism/internal/mpi"
+)
+
+// Magic identifies dump files.
+const Magic = "MPCFDmp1"
+
+// RankEntry locates one rank's payload in the file.
+type RankEntry struct {
+	Offset  int64 `json:"offset"`
+	Size    int64 `json:"size"`
+	Blocks  int   `json:"blocks"`
+	Streams []int `json:"streams"` // encoded stream sizes within the payload
+}
+
+// Header is the self-describing metadata block of a dump file.
+type Header struct {
+	Quantity  string      `json:"quantity"`
+	Encoder   string      `json:"encoder"`
+	Epsilon   float64     `json:"epsilon"`
+	BlockSize int         `json:"block_size"`
+	RankDims  [3]int      `json:"rank_dims"`
+	BlockDims [3]int      `json:"block_dims"` // blocks per rank per dimension
+	Step      int         `json:"step"`
+	Time      float64     `json:"time"`
+	Ranks     []RankEntry `json:"ranks"`
+}
+
+// WriteCollective writes one quantity's compressed payload from every rank
+// into a single shared file. All ranks must call it; returns the number of
+// payload bytes this rank wrote.
+func WriteCollective(comm *mpi.Comm, path string, hdr Header, c *compress.Compressed) (int64, error) {
+	// Flatten this rank's streams.
+	var payload []byte
+	streams := make([]int, len(c.Streams))
+	for i, s := range c.Streams {
+		streams[i] = len(s)
+		payload = append(payload, s...)
+	}
+	mySize := int64(len(payload))
+
+	// Exclusive prefix sum assigns contiguous regions in rank order.
+	prefix := comm.Exscan(mySize)
+
+	// Rank 0 lays out the header; its size must be known to every rank, so
+	// the header is built collectively: gather sizes and stream counts.
+	sizes := comm.Gather(float64(mySize))
+	blockCounts := comm.Gather(float64(c.Blocks))
+	streamsFlat := comm.Gather(float64(len(streams)))
+
+	// The per-rank stream-size tables are exchanged point-to-point to rank 0.
+	const tagStreams = 7701
+	if comm.Rank() != 0 {
+		data := make([]int64, len(streams))
+		for i, s := range streams {
+			data[i] = int64(s)
+		}
+		comm.SendInts(0, tagStreams, data)
+	}
+
+	var headerBytes []byte
+	if comm.Rank() == 0 {
+		hdr.Ranks = make([]RankEntry, comm.Size())
+		streamTables := make([][]int, comm.Size())
+		streamTables[0] = streams
+		for r := 1; r < comm.Size(); r++ {
+			data := comm.RecvInts(r, tagStreams)
+			tbl := make([]int, int(streamsFlat[r]))
+			for i := range tbl {
+				tbl[i] = int(data[i])
+			}
+			streamTables[r] = tbl
+		}
+		// Two passes: encode with zero offsets to learn the header length,
+		// then fix the offsets and re-encode with padding to fixed size.
+		for r := range hdr.Ranks {
+			hdr.Ranks[r] = RankEntry{Size: int64(sizes[r]), Blocks: int(blockCounts[r]), Streams: streamTables[r]}
+		}
+		probe, err := json.Marshal(hdr)
+		if err != nil {
+			return 0, err
+		}
+		// Reserve room for offset digits growing after assignment.
+		headerLen := len(probe) + 32*comm.Size()
+		base := int64(len(Magic)) + 4 + int64(headerLen)
+		var off int64
+		for r := range hdr.Ranks {
+			hdr.Ranks[r].Offset = base + off
+			off += hdr.Ranks[r].Size
+		}
+		body, err := json.Marshal(hdr)
+		if err != nil {
+			return 0, err
+		}
+		if len(body) > headerLen {
+			return 0, fmt.Errorf("dump: header length estimate too small (%d > %d)", len(body), headerLen)
+		}
+		headerBytes = make([]byte, headerLen)
+		copy(headerBytes, body)
+		for i := len(body); i < headerLen; i++ {
+			headerBytes[i] = ' '
+		}
+	}
+
+	// Every rank needs the payload base offset; rank 0 broadcasts it via
+	// an allreduce (all other ranks contribute 0).
+	var myBase float64
+	if comm.Rank() == 0 {
+		myBase = float64(int64(len(Magic)) + 4 + int64(len(headerBytes)))
+	}
+	base := int64(comm.Allreduce(myBase, mpi.MaxOp))
+
+	f, err := mpi.CreateShared(path)
+	if err != nil {
+		return 0, err
+	}
+	if comm.Rank() == 0 {
+		var pre []byte
+		pre = append(pre, Magic...)
+		var lenBuf [4]byte
+		binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(headerBytes)))
+		pre = append(pre, lenBuf[:]...)
+		pre = append(pre, headerBytes...)
+		if _, err := f.WriteAt(pre, 0); err != nil {
+			return 0, err
+		}
+	}
+	if len(payload) > 0 {
+		if _, err := f.WriteAt(payload, base+prefix); err != nil {
+			return 0, err
+		}
+	}
+	// Ensure all writes land before any rank proceeds (and the file can be
+	// closed/read).
+	comm.Barrier()
+	return mySize, f.Close()
+}
+
+// Read opens a dump file and returns its header and the per-rank compressed
+// payloads, reassembled into compress.Compressed values ready to
+// Decompress.
+func Read(path string) (Header, []*compress.Compressed, error) {
+	var hdr Header
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return hdr, nil, err
+	}
+	if len(data) < len(Magic)+4 || string(data[:len(Magic)]) != Magic {
+		return hdr, nil, fmt.Errorf("dump: %s: bad magic", path)
+	}
+	hlen := int(binary.LittleEndian.Uint32(data[len(Magic):]))
+	hstart := len(Magic) + 4
+	if hstart+hlen > len(data) {
+		return hdr, nil, fmt.Errorf("dump: %s: truncated header", path)
+	}
+	if err := json.Unmarshal(trimSpaces(data[hstart:hstart+hlen]), &hdr); err != nil {
+		return hdr, nil, fmt.Errorf("dump: %s: %v", path, err)
+	}
+	out := make([]*compress.Compressed, len(hdr.Ranks))
+	for r, re := range hdr.Ranks {
+		if re.Offset+re.Size > int64(len(data)) {
+			return hdr, nil, fmt.Errorf("dump: %s: rank %d payload out of range", path, r)
+		}
+		payload := data[re.Offset : re.Offset+re.Size]
+		c := &compress.Compressed{
+			N:        hdr.BlockSize,
+			Blocks:   re.Blocks,
+			Quantity: hdr.Quantity,
+			Encoder:  hdr.Encoder,
+			Epsilon:  hdr.Epsilon,
+		}
+		off := 0
+		for _, sz := range re.Streams {
+			c.Streams = append(c.Streams, payload[off:off+sz])
+			off += sz
+		}
+		if int64(off) != re.Size {
+			return hdr, nil, fmt.Errorf("dump: %s: rank %d stream table inconsistent", path, r)
+		}
+		out[r] = c
+	}
+	return hdr, out, nil
+}
+
+// trimSpaces removes the trailing padding of the fixed-size header.
+func trimSpaces(b []byte) []byte {
+	end := len(b)
+	for end > 0 && b[end-1] == ' ' {
+		end--
+	}
+	return b[:end]
+}

@@ -1,0 +1,142 @@
+package dump
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"cubism/internal/compress"
+	"cubism/internal/grid"
+	"cubism/internal/mpi"
+	"cubism/internal/physics"
+)
+
+func makeGrid(n, nb int, offset float64) *grid.Grid {
+	g := grid.New(grid.Desc{N: n, NBX: nb, NBY: nb, NBZ: nb, H: 1.0 / float64(n*nb)})
+	for _, b := range g.Blocks {
+		for iz := 0; iz < n; iz++ {
+			for iy := 0; iy < n; iy++ {
+				for ix := 0; ix < n; ix++ {
+					x, y, z := g.CellCenter(b.X*n+ix, b.Y*n+iy, b.Z*n+iz)
+					p := physics.Prim{
+						Rho: 1000,
+						P:   1e7 * (1 + 0.1*math.Sin(2*math.Pi*(x+offset))*math.Cos(2*math.Pi*y)*math.Sin(2*math.Pi*z)),
+						G:   physics.Liquid.G(),
+						Pi:  physics.Liquid.P(),
+					}
+					c := p.ToCons()
+					cell := b.At(ix, iy, iz)
+					cell[physics.QR] = float32(c.R)
+					cell[physics.QE] = float32(c.E)
+					cell[physics.QG] = float32(c.G)
+					cell[physics.QP] = float32(c.Pi)
+				}
+			}
+		}
+	}
+	return g
+}
+
+func TestWriteReadRoundTripMultiRank(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.mpcf")
+	const nRanks = 4
+	world := mpi.NewWorld(nRanks)
+	originals := make([][][]float32, nRanks)
+	world.Run(func(comm *mpi.Comm) {
+		// Each rank compresses a slightly different field.
+		g := makeGrid(8, 2, float64(comm.Rank())*0.1)
+		c, _, err := compress.Compress(g, compress.Pressure, compress.Options{
+			Epsilon: 1e-3, Encoder: "zlib", Workers: 2,
+		})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Remember the reconstruction for comparison after reading back.
+		fields, err := c.Decompress()
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		originals[comm.Rank()] = fields
+		hdr := Header{
+			Quantity: "p", Encoder: "zlib", Epsilon: 1e-3,
+			BlockSize: 8,
+			RankDims:  [3]int{4, 1, 1}, BlockDims: [3]int{2, 2, 2},
+			Step: 42, Time: 1.25e-5,
+		}
+		if _, err := WriteCollective(comm, path, hdr, c); err != nil {
+			t.Error(err)
+		}
+	})
+
+	hdr, payloads, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hdr.Quantity != "p" || hdr.Step != 42 || hdr.BlockSize != 8 {
+		t.Fatalf("header mismatch: %+v", hdr)
+	}
+	if len(payloads) != nRanks {
+		t.Fatalf("ranks = %d, want %d", len(payloads), nRanks)
+	}
+	for r, c := range payloads {
+		fields, err := c.Decompress()
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		if len(fields) != len(originals[r]) {
+			t.Fatalf("rank %d: %d blocks, want %d", r, len(fields), len(originals[r]))
+		}
+		for bi := range fields {
+			for i := range fields[bi] {
+				if fields[bi][i] != originals[r][bi][i] {
+					t.Fatalf("rank %d block %d elem %d differs", r, bi, i)
+				}
+			}
+		}
+	}
+}
+
+func TestReadRejectsCorruptMagic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bad.mpcf")
+	if err := os.WriteFile(path, []byte("NOTADUMP0000"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(path); err == nil {
+		t.Error("expected error for corrupt magic")
+	}
+}
+
+func TestReadRejectsTruncated(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.mpcf")
+	world := mpi.NewWorld(1)
+	world.Run(func(comm *mpi.Comm) {
+		g := makeGrid(8, 1, 0)
+		c, _, err := compress.Compress(g, compress.Pressure, compress.Options{Epsilon: 1e-3, Encoder: "zlib"})
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if _, err := WriteCollective(comm, path, Header{
+			Quantity: "p", Encoder: "zlib", BlockSize: 8,
+			RankDims: [3]int{1, 1, 1}, BlockDims: [3]int{1, 1, 1},
+		}, c); err != nil {
+			t.Error(err)
+		}
+	})
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Read(path); err == nil {
+		t.Error("expected error for truncated file")
+	}
+}

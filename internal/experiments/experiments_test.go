@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+const quick = 50 * time.Millisecond
+
+func TestTable3Output(t *testing.T) {
+	var b bytes.Buffer
+	Table3(&b, 16)
+	out := b.String()
+	for _, want := range []string{"Table 3", "Naive", "Reordered", "Factor", "ridge"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable4ImbalanceShape(t *testing.T) {
+	var b bytes.Buffer
+	res := Table4(&b, 16)
+	// The statistics must be non-negative and finite; with few workers on a
+	// homogeneous field, imbalance can legitimately be small.
+	for _, v := range []float64{res.DecG, res.EncG, res.IOG, res.DecP, res.EncP, res.IOP} {
+		if v < 0 || v > 1000 {
+			t.Errorf("implausible imbalance %g", v)
+		}
+	}
+}
+
+func TestTable8Output(t *testing.T) {
+	var b bytes.Buffer
+	Table8(&b, 16)
+	for _, want := range []string{"CONV", "WENO", "HLLE", "SUM", "BACK", "ALL"} {
+		if !strings.Contains(b.String(), want) {
+			t.Errorf("missing stage %q", want)
+		}
+	}
+}
+
+func TestMeasureKernelsPositive(t *testing.T) {
+	if v := MeasureRHS(8, false, false, quick); v <= 0 {
+		t.Errorf("scalar RHS rate %g", v)
+	}
+	if v := MeasureRHS(8, true, false, quick); v <= 0 {
+		t.Errorf("vector RHS rate %g", v)
+	}
+	if v := MeasureDT(8, false, quick); v <= 0 {
+		t.Errorf("DT rate %g", v)
+	}
+	if v := MeasureUP(8, true, quick); v <= 0 {
+		t.Errorf("UP rate %g", v)
+	}
+}
+
+func TestKernelRateCounts(t *testing.T) {
+	calls := 0
+	rate := KernelRate(1e6, 10*time.Millisecond, func() {
+		calls++
+		time.Sleep(time.Millisecond)
+	})
+	if calls < 2 {
+		t.Errorf("too few calls: %d", calls)
+	}
+	if rate <= 0 {
+		t.Errorf("rate %g", rate)
+	}
+}
+
+func TestCompressionExperimentRuns(t *testing.T) {
+	var b bytes.Buffer
+	Compression(&b, 16)
+	if !strings.Contains(b.String(), "Gamma") && !strings.Contains(b.String(), "G") {
+		t.Errorf("missing gamma row:\n%s", b.String())
+	}
+}
+
+func TestFig5SeriesPhysical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-driven experiment")
+	}
+	var b bytes.Buffer
+	Fig5(&b, 15)
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	var dataLines int
+	for _, l := range lines {
+		if strings.Count(l, ",") == 4 && !strings.Contains(l, "time,") {
+			dataLines++
+		}
+	}
+	if dataLines < 2 {
+		t.Errorf("expected CSV series, got:\n%s", b.String())
+	}
+}

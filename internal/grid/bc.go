@@ -1,0 +1,111 @@
+package grid
+
+import "cubism/internal/physics"
+
+// BCKind selects the physical boundary condition applied to a domain face.
+type BCKind int
+
+// Supported boundary conditions.
+const (
+	// Absorbing extrapolates the interior state with zero gradient
+	// (non-reflecting outflow); the default for open cloud simulations.
+	Absorbing BCKind = iota
+	// Reflecting mirrors the interior state and flips the normal momentum:
+	// the solid wall of the paper's cloud-collapse setup.
+	Reflecting
+	// Periodic wraps around to the opposite side of the domain.
+	Periodic
+)
+
+// String implements fmt.Stringer.
+func (k BCKind) String() string {
+	return [...]string{"absorbing", "reflecting", "periodic"}[k]
+}
+
+// BC assigns a boundary condition to each of the six domain faces.
+type BC [6]BCKind
+
+// DefaultBC is all-absorbing.
+func DefaultBC() BC { return BC{} }
+
+// WallBC returns absorbing conditions everywhere except a reflecting solid
+// wall on the given face.
+func WallBC(wall Face) BC {
+	var bc BC
+	bc[wall] = Reflecting
+	return bc
+}
+
+// PeriodicBC returns fully periodic conditions.
+func PeriodicBC() BC {
+	return BC{Periodic, Periodic, Periodic, Periodic, Periodic, Periodic}
+}
+
+// ghost resolves quantity q of cell (ix,iy,iz) where exactly one coordinate
+// lies outside the rank-local domain [0,CellsX) x [0,CellsY) x [0,CellsZ).
+// Precedence: an installed halo slab (inter-rank ghost from the cluster
+// layer) wins; otherwise the physical boundary condition applies.
+func (g *Grid) ghost(bc BC, ix, iy, iz, q int) float32 {
+	f, _ := g.outFace(ix, iy, iz)
+	if g.halos[f] != nil {
+		return g.haloAt(f, ix, iy, iz, q)
+	}
+	switch bc[f] {
+	case Periodic:
+		nx, ny, nz := g.CellsX(), g.CellsY(), g.CellsZ()
+		return g.Cell((ix+nx)%nx, (iy+ny)%ny, (iz+nz)%nz, q)
+	case Reflecting:
+		mx, my, mz := mirror(ix, g.CellsX()), mirror(iy, g.CellsY()), mirror(iz, g.CellsZ())
+		v := g.Cell(mx, my, mz, q)
+		// Flip the momentum component normal to the face.
+		if q == physics.QU+f.Axis() {
+			v = -v
+		}
+		return v
+	default: // Absorbing: clamp to the nearest interior cell.
+		cx, cy, cz := clamp(ix, g.CellsX()), clamp(iy, g.CellsY()), clamp(iz, g.CellsZ())
+		return g.Cell(cx, cy, cz, q)
+	}
+}
+
+// outFace identifies which face the out-of-range coordinate crosses and how
+// deep beyond it the cell lies (1-based).
+func (g *Grid) outFace(ix, iy, iz int) (Face, int) {
+	switch {
+	case ix < 0:
+		return XLo, -ix
+	case ix >= g.CellsX():
+		return XHi, ix - g.CellsX() + 1
+	case iy < 0:
+		return YLo, -iy
+	case iy >= g.CellsY():
+		return YHi, iy - g.CellsY() + 1
+	case iz < 0:
+		return ZLo, -iz
+	default:
+		return ZHi, iz - g.CellsZ() + 1
+	}
+}
+
+// mirror reflects an out-of-range coordinate about the domain face:
+// -1 -> 0, -2 -> 1, n -> n-1, n+1 -> n-2.
+func mirror(i, n int) int {
+	if i < 0 {
+		return -i - 1
+	}
+	if i >= n {
+		return 2*n - 1 - i
+	}
+	return i
+}
+
+// clamp limits a coordinate to [0, n).
+func clamp(i, n int) int {
+	if i < 0 {
+		return 0
+	}
+	if i >= n {
+		return n - 1
+	}
+	return i
+}

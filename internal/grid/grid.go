@@ -1,0 +1,276 @@
+// Package grid implements the block-structured uniform-resolution grid of
+// CUBISM-MPCF (paper §5, Figure 2).
+//
+// Computational elements are grouped into 3D blocks of contiguous memory in
+// AoS format (one cell = NQ consecutive float32 values), and the blocks are
+// reindexed with a space-filling curve. A rank owns a box of NBX x NBY x NBZ
+// blocks of N³ cells each; ghost information needed by the WENO stencil is
+// assembled per block into a Lab scratch structure from the surrounding
+// blocks, the physical boundary conditions, or the halo slabs received from
+// adjacent ranks.
+package grid
+
+import (
+	"fmt"
+
+	"cubism/internal/physics"
+	"cubism/internal/sfc"
+)
+
+// NQ re-exports the number of flow quantities per cell.
+const NQ = physics.NQ
+
+// StencilWidth is the one-sided ghost width required by the fifth-order
+// WENO reconstruction (3 cells).
+const StencilWidth = 3
+
+// Desc describes the geometry of a rank-local grid.
+type Desc struct {
+	N             int        // cells per dimension per block (32 in production)
+	NBX, NBY, NBZ int        // blocks per dimension
+	H             float64    // uniform cell spacing
+	Origin        [3]float64 // physical coordinates of the low corner
+}
+
+// CellsX returns the rank-local cell count in x.
+func (d Desc) CellsX() int { return d.N * d.NBX }
+
+// CellsY returns the rank-local cell count in y.
+func (d Desc) CellsY() int { return d.N * d.NBY }
+
+// CellsZ returns the rank-local cell count in z.
+func (d Desc) CellsZ() int { return d.N * d.NBZ }
+
+// Cells returns the total rank-local cell count.
+func (d Desc) Cells() int { return d.CellsX() * d.CellsY() * d.CellsZ() }
+
+// Blocks returns the total rank-local block count.
+func (d Desc) Blocks() int { return d.NBX * d.NBY * d.NBZ }
+
+// CellCenter returns the physical coordinates of the center of global
+// rank-local cell (ix,iy,iz).
+func (d Desc) CellCenter(ix, iy, iz int) (x, y, z float64) {
+	x = d.Origin[0] + (float64(ix)+0.5)*d.H
+	y = d.Origin[1] + (float64(iy)+0.5)*d.H
+	z = d.Origin[2] + (float64(iz)+0.5)*d.H
+	return
+}
+
+// Block is one N³ tile of cells stored as a single AoS allocation.
+// Data layout: ((iz*N+iy)*N+ix)*NQ + q.
+type Block struct {
+	X, Y, Z int    // block coordinates within the rank
+	Index   uint64 // position along the space-filling curve
+	N       int    // cells per dimension
+	Data    []float32
+}
+
+// At returns a pointer to the NQ quantities of cell (ix,iy,iz).
+func (b *Block) At(ix, iy, iz int) []float32 {
+	off := ((iz*b.N+iy)*b.N + ix) * NQ
+	return b.Data[off : off+NQ : off+NQ]
+}
+
+// Get returns quantity q of cell (ix,iy,iz).
+func (b *Block) Get(ix, iy, iz, q int) float32 {
+	return b.Data[((iz*b.N+iy)*b.N+ix)*NQ+q]
+}
+
+// Set assigns quantity q of cell (ix,iy,iz).
+func (b *Block) Set(ix, iy, iz, q int, v float32) {
+	b.Data[((iz*b.N+iy)*b.N+ix)*NQ+q] = v
+}
+
+// Grid is a rank-local collection of blocks in space-filling-curve order.
+type Grid struct {
+	Desc
+	Curve  sfc.Curve
+	Blocks []*Block          // in curve order
+	byPos  map[[3]int]*Block // block coordinate lookup
+	halos  [6][]float32      // per-face ghost slabs filled by the cluster layer
+}
+
+// Face identifies one of the six domain faces.
+type Face int
+
+// Face constants; the integer value is direction*2 + (0 for low, 1 for high).
+const (
+	XLo Face = iota
+	XHi
+	YLo
+	YHi
+	ZLo
+	ZHi
+)
+
+// Axis returns 0, 1 or 2 for x, y, z.
+func (f Face) Axis() int { return int(f) / 2 }
+
+// IsHigh reports whether the face is on the high side of its axis.
+func (f Face) IsHigh() bool { return int(f)%2 == 1 }
+
+// String implements fmt.Stringer.
+func (f Face) String() string {
+	return [...]string{"x-", "x+", "y-", "y+", "z-", "z+"}[f]
+}
+
+// New allocates a grid of NBX x NBY x NBZ blocks of N³ cells, ordered along
+// the space-filling curve best suited to the box shape.
+func New(d Desc) *Grid {
+	return NewWithCurve(d, sfc.ForBox(d.NBX, d.NBY, d.NBZ))
+}
+
+// NewWithCurve allocates a grid with an explicit block ordering, used by
+// the space-filling-curve ablation benchmarks. The curve must cover the
+// block box (power-of-two cube curves cover any smaller box).
+func NewWithCurve(d Desc, curve sfc.Curve) *Grid {
+	if d.N <= 0 || d.NBX <= 0 || d.NBY <= 0 || d.NBZ <= 0 {
+		panic(fmt.Sprintf("grid: invalid descriptor %+v", d))
+	}
+	if d.N < 2*StencilWidth {
+		panic(fmt.Sprintf("grid: block size %d smaller than twice the stencil width", d.N))
+	}
+	g := &Grid{
+		Desc:  d,
+		Curve: curve,
+		byPos: make(map[[3]int]*Block, d.Blocks()),
+	}
+	order := sfc.Enumerate(g.Curve, d.NBX, d.NBY, d.NBZ)
+	// One backing allocation for all blocks keeps them contiguous in curve
+	// order, which is the locality the SFC reindexing is after.
+	backing := make([]float32, d.Blocks()*d.N*d.N*d.N*NQ)
+	per := d.N * d.N * d.N * NQ
+	g.Blocks = make([]*Block, 0, d.Blocks())
+	for i, c := range order {
+		b := &Block{
+			X: c[0], Y: c[1], Z: c[2],
+			Index: g.Curve.Index(c[0], c[1], c[2]),
+			N:     d.N,
+			Data:  backing[i*per : (i+1)*per : (i+1)*per],
+		}
+		g.Blocks = append(g.Blocks, b)
+		g.byPos[c] = b
+	}
+	return g
+}
+
+// BlockAt returns the block with the given block coordinates, or nil when
+// the coordinates lie outside the rank.
+func (g *Grid) BlockAt(bx, by, bz int) *Block {
+	return g.byPos[[3]int{bx, by, bz}]
+}
+
+// Cell returns quantity q at rank-local global cell coordinates, which must
+// be in range.
+func (g *Grid) Cell(ix, iy, iz, q int) float32 {
+	b := g.byPos[[3]int{ix / g.N, iy / g.N, iz / g.N}]
+	return b.Get(ix%g.N, iy%g.N, iz%g.N, q)
+}
+
+// SetCell assigns quantity q at rank-local global cell coordinates.
+func (g *Grid) SetCell(ix, iy, iz, q int, v float32) {
+	b := g.byPos[[3]int{ix / g.N, iy / g.N, iz / g.N}]
+	b.Set(ix%g.N, iy%g.N, iz%g.N, q, v)
+}
+
+// haloDims returns the cell dimensions (du, dv) of the plane spanned by the
+// two axes tangent to face f, in fixed (lower-axis, higher-axis) order.
+func (g *Grid) haloDims(f Face) (du, dv int) {
+	switch f.Axis() {
+	case 0:
+		return g.CellsY(), g.CellsZ()
+	case 1:
+		return g.CellsX(), g.CellsZ()
+	default:
+		return g.CellsX(), g.CellsY()
+	}
+}
+
+// HaloSize returns the float32 count of the ghost slab of face f:
+// StencilWidth layers of the full tangent plane, NQ quantities per cell.
+func (g *Grid) HaloSize(f Face) int {
+	du, dv := g.haloDims(f)
+	return StencilWidth * du * dv * NQ
+}
+
+// SetHalo installs a received ghost slab for face f. Layout: depth-major,
+// then v, then u, then quantity: ((d*dv+v)*du+u)*NQ+q, where depth d=0 is
+// the layer adjacent to the domain.
+func (g *Grid) SetHalo(f Face, data []float32) {
+	if len(data) != g.HaloSize(f) {
+		panic(fmt.Sprintf("grid: halo size mismatch for face %v: got %d want %d", f, len(data), g.HaloSize(f)))
+	}
+	g.halos[f] = data
+}
+
+// Halo returns the installed ghost slab for face f, or nil.
+func (g *Grid) Halo(f Face) []float32 { return g.halos[f] }
+
+// ClearHalos drops all installed ghost slabs (single-rank runs use boundary
+// conditions instead).
+func (g *Grid) ClearHalos() {
+	for i := range g.halos {
+		g.halos[i] = nil
+	}
+}
+
+// PackFace extracts the StencilWidth outermost interior layers adjacent to
+// face f in the layout expected by SetHalo on the neighboring rank (depth
+// d=0 is the layer closest to the face). It appends to dst and returns it.
+func (g *Grid) PackFace(f Face, dst []float32) []float32 {
+	du, dv := g.haloDims(f)
+	need := StencilWidth * du * dv * NQ
+	base := len(dst)
+	dst = append(dst, make([]float32, need)...)
+	out := dst[base:]
+	nx, ny, nz := g.CellsX(), g.CellsY(), g.CellsZ()
+	for d := 0; d < StencilWidth; d++ {
+		for v := 0; v < dv; v++ {
+			for u := 0; u < du; u++ {
+				var ix, iy, iz int
+				switch f {
+				case XLo:
+					ix, iy, iz = d, u, v
+				case XHi:
+					ix, iy, iz = nx-1-d, u, v
+				case YLo:
+					ix, iy, iz = u, d, v
+				case YHi:
+					ix, iy, iz = u, ny-1-d, v
+				case ZLo:
+					ix, iy, iz = u, v, d
+				case ZHi:
+					ix, iy, iz = u, v, nz-1-d
+				}
+				b := g.byPos[[3]int{ix / g.N, iy / g.N, iz / g.N}]
+				cell := b.At(ix%g.N, iy%g.N, iz%g.N)
+				off := ((d*dv+v)*du + u) * NQ
+				copy(out[off:off+NQ], cell)
+			}
+		}
+	}
+	return dst
+}
+
+// haloAt reads quantity q of ghost cell (ix,iy,iz) (one coordinate out of
+// range) from the installed slab of the corresponding face. It panics if no
+// slab is installed; callers guard with Halo(f) != nil.
+func (g *Grid) haloAt(f Face, ix, iy, iz, q int) float32 {
+	du, dv := g.haloDims(f)
+	var d, u, v int
+	switch f {
+	case XLo:
+		d, u, v = -ix-1, iy, iz
+	case XHi:
+		d, u, v = ix-g.CellsX(), iy, iz
+	case YLo:
+		d, u, v = -iy-1, ix, iz
+	case YHi:
+		d, u, v = iy-g.CellsY(), ix, iz
+	case ZLo:
+		d, u, v = -iz-1, ix, iy
+	case ZHi:
+		d, u, v = iz-g.CellsZ(), ix, iy
+	}
+	return g.halos[f][((d*dv+v)*du+u)*NQ+q]
+}

@@ -1,0 +1,94 @@
+package grid
+
+// Lab is the per-worker scratch structure that assembles one block together
+// with its ghost cells before a stencil evaluation (the paper's node layer:
+// "the assigned thread loads the block data and ghosts into a per-thread
+// dedicated buffer"). It mirrors CUBISM's BlockLab.
+//
+// The buffer extends the N³ block by StencilWidth cells on each side. Only
+// the face slabs of the extension are filled (the "cross" region); corner
+// and edge regions are never read by the directional WENO sweeps.
+type Lab struct {
+	N    int       // block cells per dimension
+	M    int       // buffer extent: N + 2*StencilWidth
+	Data []float32 // AoS, ((lz*M+ly)*M+lx)*NQ + q
+}
+
+// NewLab allocates a lab for blocks of N³ cells.
+func NewLab(n int) *Lab {
+	m := n + 2*StencilWidth
+	return &Lab{N: n, M: m, Data: make([]float32, m*m*m*NQ)}
+}
+
+// offset returns the float32 offset of stencil coordinates (ix,iy,iz) in
+// [-StencilWidth, N+StencilWidth).
+func (l *Lab) offset(ix, iy, iz int) int {
+	lx, ly, lz := ix+StencilWidth, iy+StencilWidth, iz+StencilWidth
+	return ((lz*l.M+ly)*l.M + lx) * NQ
+}
+
+// At returns the NQ quantities of cell (ix,iy,iz); coordinates may extend
+// StencilWidth cells beyond the block in the face-slab (cross) region.
+func (l *Lab) At(ix, iy, iz int) []float32 {
+	off := l.offset(ix, iy, iz)
+	return l.Data[off : off+NQ : off+NQ]
+}
+
+// Get returns quantity q of cell (ix,iy,iz).
+func (l *Lab) Get(ix, iy, iz, q int) float32 {
+	return l.Data[l.offset(ix, iy, iz)+q]
+}
+
+// Row returns the contiguous AoS row of cells (x0..x0+n-1, iy, iz).
+func (l *Lab) Row(x0, iy, iz, n int) []float32 {
+	off := l.offset(x0, iy, iz)
+	return l.Data[off : off+n*NQ : off+n*NQ]
+}
+
+// Load assembles block b of grid g with its ghosts under boundary
+// conditions bc. Interior data is row-copied; ghost slabs are copied from
+// in-rank neighbor blocks where available and otherwise resolved through
+// the boundary conditions or installed inter-rank halos.
+func (l *Lab) Load(g *Grid, bc BC, b *Block) {
+	if b.N != l.N {
+		panic("grid: lab/block size mismatch")
+	}
+	n, sw := l.N, StencilWidth
+	// Base global cell coordinates of the block.
+	gx, gy, gz := b.X*n, b.Y*n, b.Z*n
+
+	// Interior: straight row copies.
+	for iz := 0; iz < n; iz++ {
+		for iy := 0; iy < n; iy++ {
+			src := b.Data[((iz*n+iy)*n)*NQ : ((iz*n+iy)*n+n)*NQ]
+			dst := l.Row(0, iy, iz, n)
+			copy(dst, src)
+		}
+	}
+
+	// Face slabs of the cross region.
+	fill := func(x0, x1, y0, y1, z0, z1 int) {
+		for iz := z0; iz < z1; iz++ {
+			for iy := y0; iy < y1; iy++ {
+				for ix := x0; ix < x1; ix++ {
+					dst := l.At(ix, iy, iz)
+					jx, jy, jz := gx+ix, gy+iy, gz+iz
+					if jx >= 0 && jx < g.CellsX() && jy >= 0 && jy < g.CellsY() && jz >= 0 && jz < g.CellsZ() {
+						nb := g.byPos[[3]int{jx / n, jy / n, jz / n}]
+						copy(dst, nb.At(jx%n, jy%n, jz%n))
+					} else {
+						for q := 0; q < NQ; q++ {
+							dst[q] = g.ghost(bc, jx, jy, jz, q)
+						}
+					}
+				}
+			}
+		}
+	}
+	fill(-sw, 0, 0, n, 0, n)  // x-
+	fill(n, n+sw, 0, n, 0, n) // x+
+	fill(0, n, -sw, 0, 0, n)  // y-
+	fill(0, n, n, n+sw, 0, n) // y+
+	fill(0, n, 0, n, -sw, 0)  // z-
+	fill(0, n, 0, n, n, n+sw) // z+
+}

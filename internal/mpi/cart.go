@@ -1,0 +1,52 @@
+package mpi
+
+import "fmt"
+
+// Cart is a 3D cartesian communicator: it embeds the rank's communicator
+// and adds the coordinate topology used for the domain decomposition
+// ("the computational domain is decomposed into subdomains across the ranks
+// in a cartesian topology with a constant subdomain size", paper §6).
+type Cart struct {
+	*Comm
+	Dims     [3]int
+	Periodic [3]bool
+	Coords   [3]int
+}
+
+// NewCart builds the cartesian view of comm. The product of dims must equal
+// the world size. Ranks map to coordinates x-fastest.
+func NewCart(comm *Comm, dims [3]int, periodic [3]bool) *Cart {
+	if dims[0]*dims[1]*dims[2] != comm.Size() {
+		panic(fmt.Sprintf("mpi: cartesian dims %v incompatible with world size %d", dims, comm.Size()))
+	}
+	r := comm.Rank()
+	return &Cart{
+		Comm:     comm,
+		Dims:     dims,
+		Periodic: periodic,
+		Coords:   [3]int{r % dims[0], (r / dims[0]) % dims[1], r / (dims[0] * dims[1])},
+	}
+}
+
+// RankOf returns the rank at the given coordinates, or -1 when the
+// coordinates fall outside a non-periodic boundary.
+func (c *Cart) RankOf(x, y, z int) int {
+	co := [3]int{x, y, z}
+	for a := 0; a < 3; a++ {
+		if co[a] < 0 || co[a] >= c.Dims[a] {
+			if !c.Periodic[a] {
+				return -1
+			}
+			co[a] = (co[a]%c.Dims[a] + c.Dims[a]) % c.Dims[a]
+		}
+	}
+	return (co[2]*c.Dims[1]+co[1])*c.Dims[0] + co[0]
+}
+
+// Neighbor returns the rank adjacent along axis in direction dir (-1 or +1),
+// or -1 at a non-periodic boundary.
+func (c *Cart) Neighbor(axis, dir int) int {
+	co := c.Coords
+	co[axis] += dir
+	return c.RankOf(co[0], co[1], co[2])
+}

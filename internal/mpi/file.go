@@ -1,0 +1,70 @@
+package mpi
+
+import (
+	"os"
+	"sync"
+)
+
+// File is the parallel-I/O abstraction: all ranks write disjoint regions of
+// one shared file at explicit offsets, the pattern MPI parallel file I/O
+// gives CUBISM-MPCF ("the I/O write collective operation is preceded by an
+// exclusive prefix sum; after the scan, each rank acquires a destination
+// offset and ... writes its compressed buffer in the file", paper §6).
+//
+// Ranks share one *os.File; WriteAt on distinct regions is safe
+// concurrently, so the simulated transport adds only open/close rendezvous.
+type File struct {
+	mu   sync.Mutex
+	f    *os.File
+	refs int
+}
+
+// fileRegistry deduplicates opens of the same path within a world.
+var (
+	fileMu  sync.Mutex
+	fileReg = map[string]*File{}
+)
+
+// CreateShared opens (creating/truncating on first open) path as a shared
+// file. Every rank must call it; the first call creates, the rest attach.
+func CreateShared(path string) (*File, error) {
+	fileMu.Lock()
+	defer fileMu.Unlock()
+	if sf, ok := fileReg[path]; ok {
+		sf.mu.Lock()
+		sf.refs++
+		sf.mu.Unlock()
+		return sf, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	sf := &File{f: f, refs: 1}
+	fileReg[path] = sf
+	return sf, nil
+}
+
+// WriteAt writes data at the given byte offset.
+func (sf *File) WriteAt(data []byte, off int64) (int, error) {
+	return sf.f.WriteAt(data, off)
+}
+
+// Close detaches; the underlying file closes when every rank has closed.
+func (sf *File) Close() error {
+	sf.mu.Lock()
+	sf.refs--
+	last := sf.refs == 0
+	sf.mu.Unlock()
+	if !last {
+		return nil
+	}
+	fileMu.Lock()
+	for p, f := range fileReg {
+		if f == sf {
+			delete(fileReg, p)
+		}
+	}
+	fileMu.Unlock()
+	return sf.f.Close()
+}

@@ -1,0 +1,334 @@
+// Package mpi is an in-process message-passing runtime providing the MPI
+// subset CUBISM-MPCF uses: non-blocking point-to-point messages, a cartesian
+// communicator, allreduce, exclusive prefix sums (for the compressed
+// parallel dumps), barriers, and a shared file abstraction with
+// write-at-offset semantics.
+//
+// The paper runs on up to 96 Blue Gene/Q racks with one MPI rank per node.
+// This machine has no MPI and no interconnect, so the substrate is
+// simulated: ranks are goroutines inside one process and the network is
+// replaced by in-memory mailboxes. All ordering and matching semantics
+// (source+tag matching, collective call alignment) follow MPI, so the
+// cluster layer above is written exactly as it would be against MPI proper;
+// only the transport differs.
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// message is one point-to-point payload in flight.
+type message struct {
+	src, tag int
+	data     []float32
+}
+
+// mailbox is the per-rank receive queue with source/tag matching.
+type mailbox struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.pending = append(m.pending, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take blocks until a message matching (src, tag) is available and removes
+// it. src == AnySource matches any sender.
+func (m *mailbox) take(src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.pending {
+			if (src == AnySource || msg.src == src) && msg.tag == tag {
+				m.pending = append(m.pending[:i], m.pending[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// AnySource matches messages from any rank.
+const AnySource = -1
+
+// World owns the communication state of a set of ranks.
+type World struct {
+	size  int
+	boxes []*mailbox
+
+	collMu sync.Mutex
+	colls  map[uint64]*collective
+	seqs   []uint64
+}
+
+// NewWorld creates a world of the given number of ranks.
+func NewWorld(size int) *World {
+	if size <= 0 {
+		panic("mpi: world size must be positive")
+	}
+	w := &World{
+		size:  size,
+		colls: make(map[uint64]*collective),
+		seqs:  make([]uint64, size),
+	}
+	for i := 0; i < size; i++ {
+		w.boxes = append(w.boxes, newMailbox())
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Run executes body once per rank, each on its own goroutine, and waits for
+// all of them. It is the moral equivalent of mpirun.
+func (w *World) Run(body func(*Comm)) {
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			body(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+}
+
+// Comm is one rank's handle on the world.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// Request represents an in-flight non-blocking operation.
+type Request struct {
+	done chan struct{}
+	data []float32
+}
+
+// Wait blocks until the operation completes and returns the received data
+// (nil for sends).
+func (r *Request) Wait() []float32 {
+	<-r.done
+	return r.data
+}
+
+// WaitAll waits for every request.
+func WaitAll(reqs []*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}
+
+// Isend posts a non-blocking send of data to rank dst with the given tag.
+// The payload is handed off by reference; the caller must not mutate it
+// until the receiver is done with it (the cluster layer double-buffers).
+func (c *Comm) Isend(dst, tag int, data []float32) *Request {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpi: Isend to invalid rank %d", dst))
+	}
+	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data})
+	done := make(chan struct{})
+	close(done)
+	return &Request{done: done}
+}
+
+// Irecv posts a non-blocking receive matching (src, tag).
+func (c *Comm) Irecv(src, tag int) *Request {
+	req := &Request{done: make(chan struct{})}
+	go func() {
+		msg := c.world.boxes[c.rank].take(src, tag)
+		req.data = msg.data
+		close(req.done)
+	}()
+	return req
+}
+
+// Send is a blocking send.
+func (c *Comm) Send(dst, tag int, data []float32) { c.Isend(dst, tag, data).Wait() }
+
+// Recv is a blocking receive.
+func (c *Comm) Recv(src, tag int) []float32 {
+	msg := c.world.boxes[c.rank].take(src, tag)
+	return msg.data
+}
+
+// collective is the rendezvous state for one collective call site.
+type collective struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	arrived int
+	vals    []float64
+	result  float64
+	done    bool
+}
+
+// coll returns the collective state for this rank's next collective call.
+// MPI semantics require all ranks to issue collectives in the same order,
+// so the per-rank sequence number lines the calls up.
+func (c *Comm) coll() *collective {
+	w := c.world
+	w.collMu.Lock()
+	defer w.collMu.Unlock()
+	seq := w.seqs[c.rank]
+	w.seqs[c.rank]++
+	st, ok := w.colls[seq]
+	if !ok {
+		st = &collective{vals: make([]float64, w.size)}
+		st.cond = sync.NewCond(&st.mu)
+		w.colls[seq] = st
+	}
+	// Garbage-collect completed slots behind the slowest rank occasionally.
+	if seq > 64 && seq%64 == 0 {
+		low := w.seqs[0]
+		for _, s := range w.seqs {
+			if s < low {
+				low = s
+			}
+		}
+		for k := range w.colls {
+			if k+2 < low {
+				delete(w.colls, k)
+			}
+		}
+	}
+	return st
+}
+
+// Op combines two float64 values in a reduction.
+type Op func(a, b float64) float64
+
+// MaxOp returns the larger value.
+func MaxOp(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// MinOp returns the smaller value.
+func MinOp(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// SumOp adds the values.
+func SumOp(a, b float64) float64 { return a + b }
+
+// Allreduce combines x across all ranks with op and returns the result to
+// every rank. The combination is performed in rank order, so results are
+// deterministic (bit-reproducible) run to run.
+func (c *Comm) Allreduce(x float64, op Op) float64 {
+	st := c.coll()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.vals[c.rank] = x
+	st.arrived++
+	if st.arrived == c.world.size {
+		acc := st.vals[0]
+		for i := 1; i < c.world.size; i++ {
+			acc = op(acc, st.vals[i])
+		}
+		st.result = acc
+		st.done = true
+		st.cond.Broadcast()
+	} else {
+		for !st.done {
+			st.cond.Wait()
+		}
+	}
+	return st.result
+}
+
+// Exscan returns the exclusive prefix sum of x over the ranks: rank r gets
+// sum of x from ranks < r (0 for rank 0). The compressed dump uses it to
+// assign file offsets to variable-size rank buffers (paper §6).
+func (c *Comm) Exscan(x int64) int64 {
+	st := c.coll()
+	st.mu.Lock()
+	st.vals[c.rank] = float64(x) // exact for |x| < 2^53, far above dump sizes
+	st.arrived++
+	if st.arrived == c.world.size {
+		st.done = true
+		st.cond.Broadcast()
+	} else {
+		for !st.done {
+			st.cond.Wait()
+		}
+	}
+	var sum int64
+	for i := 0; i < c.rank; i++ {
+		sum += int64(st.vals[i])
+	}
+	st.mu.Unlock()
+	return sum
+}
+
+// Barrier blocks until all ranks arrive.
+func (c *Comm) Barrier() { c.Allreduce(0, SumOp) }
+
+// Gather collects one float64 per rank on every rank (an allgather).
+func (c *Comm) Gather(x float64) []float64 {
+	st := c.coll()
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.vals[c.rank] = x
+	st.arrived++
+	if st.arrived == c.world.size {
+		st.done = true
+		st.cond.Broadcast()
+	} else {
+		for !st.done {
+			st.cond.Wait()
+		}
+	}
+	out := make([]float64, c.world.size)
+	copy(out, st.vals)
+	return out
+}
+
+// SendInts transmits int64 values bit-exactly by packing each into two
+// float32 bit patterns (the message payload type of this substrate).
+func (c *Comm) SendInts(dst, tag int, v []int64) {
+	data := make([]float32, 2*len(v))
+	for i, x := range v {
+		data[2*i] = math.Float32frombits(uint32(uint64(x) >> 32))
+		data[2*i+1] = math.Float32frombits(uint32(uint64(x)))
+	}
+	c.Send(dst, tag, data)
+}
+
+// RecvInts receives a message sent with SendInts.
+func (c *Comm) RecvInts(src, tag int) []int64 {
+	data := c.Recv(src, tag)
+	v := make([]int64, len(data)/2)
+	for i := range v {
+		hi := uint64(math.Float32bits(data[2*i]))
+		lo := uint64(math.Float32bits(data[2*i+1]))
+		v[i] = int64(hi<<32 | lo)
+	}
+	return v
+}

@@ -1,0 +1,158 @@
+// Package node implements the paper's node layer (§6): it coordinates the
+// work within one rank, assigning blocks to threads with dynamic scheduling
+// at one-block granularity and providing each worker with dedicated scratch
+// buffers (Lab, ring slices, RHS workspace).
+//
+// Threads are goroutines pinned 1:1 to workers; the work-stealing-free
+// dynamic queue is an atomic cursor over the block list, the direct analog
+// of OpenMP dynamic scheduling with chunk size one.
+package node
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"cubism/internal/core"
+	"cubism/internal/grid"
+	"cubism/internal/physics"
+)
+
+// Engine executes the compute kernels over the blocks of one rank-local
+// grid.
+type Engine struct {
+	G  *grid.Grid
+	BC grid.BC
+	// Vector selects the QPX (4-lane vector) kernel variants.
+	Vector bool
+	// Staged selects the non-fused WENO→HLLE baseline (Table 9).
+	Staged bool
+
+	workers int
+	scratch []*workspace
+}
+
+// workspace is the per-worker dedicated buffer set.
+type workspace struct {
+	lab *grid.Lab
+	rhs *core.RHS
+	vec *core.RHSVec
+}
+
+// New creates an engine with the given number of workers (0 means
+// runtime.NumCPU()).
+func New(g *grid.Grid, bc grid.BC, workers int, vector bool) *Engine {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	e := &Engine{G: g, BC: bc, Vector: vector, workers: workers}
+	e.scratch = make([]*workspace, workers)
+	for i := range e.scratch {
+		ws := &workspace{lab: grid.NewLab(g.N)}
+		if vector {
+			ws.vec = core.NewRHSVec(g.N)
+		} else {
+			ws.rhs = core.NewRHS(g.N)
+		}
+		e.scratch[i] = ws
+	}
+	return e
+}
+
+// Workers returns the worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// parallel runs body(worker, blockOrdinal) for every ordinal in [0, n),
+// distributing ordinals dynamically across the workers.
+func (e *Engine) parallel(n int, body func(w, i int)) {
+	if n == 0 {
+		return
+	}
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ComputeRHS evaluates the right-hand side of the listed blocks into the
+// matching out buffers (block AoS layout). Each worker loads block data and
+// ghosts into its dedicated lab before invoking the core kernel.
+func (e *Engine) ComputeRHS(blocks []*grid.Block, out [][]float32) {
+	e.parallel(len(blocks), func(w, i int) {
+		ws := e.scratch[w]
+		ws.lab.Load(e.G, e.BC, blocks[i])
+		if e.Vector {
+			ws.vec.Staged = e.Staged
+			ws.vec.Compute(ws.lab, e.G.H, out[i])
+		} else {
+			ws.rhs.Staged = e.Staged
+			ws.rhs.Compute(ws.lab, e.G.H, out[i])
+		}
+	})
+}
+
+// Update applies one UP stage to every block: reg ← a·reg + dt·rhs,
+// u ← u + b·reg.
+func (e *Engine) Update(blocks []*grid.Block, reg, rhs [][]float32, a, b, dt float64) {
+	vector := e.Vector
+	e.parallel(len(blocks), func(w, i int) {
+		if vector {
+			core.UpdateQPX(blocks[i].Data, reg[i], rhs[i], a, b, dt)
+		} else {
+			core.UpdateScalar(blocks[i].Data, reg[i], rhs[i], a, b, dt)
+		}
+	})
+}
+
+// MaxCharVel returns the rank-local maximum characteristic velocity (the
+// SOS kernel) over all blocks. The per-block maxima are combined in block
+// order so the result is deterministic.
+func (e *Engine) MaxCharVel() float64 {
+	blocks := e.G.Blocks
+	partial := make([]float64, len(blocks))
+	vector := e.Vector
+	e.parallel(len(blocks), func(w, i int) {
+		if vector {
+			partial[i] = core.MaxCharVelQPX(blocks[i].Data)
+		} else {
+			partial[i] = core.MaxCharVelScalar(blocks[i].Data)
+		}
+	})
+	maxV := 0.0
+	for _, v := range partial {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	return maxV
+}
+
+// KernelWork reports the per-step floating point work and compulsory
+// traffic of the engine's grid, used by the perf/roofline accounting.
+func (e *Engine) KernelWork() (rhsFlops, rhsBytes, upFlops, upBytes, sosFlops, sosBytes int64) {
+	cells := int64(e.G.Cells())
+	values := cells * physics.NQ
+	rhsFlops = cells * core.RHSFlopsPerCell(e.G.N)
+	rhsBytes = cells * core.RHSBytesPerCell(e.G.N)
+	upFlops = values * core.UpdateFlopsPerValue
+	upBytes = values * core.UpdateBytesPerValue
+	sosFlops = cells * core.SOSFlopsPerCell
+	sosBytes = cells * core.SOSBytesPerCell
+	return
+}

@@ -1,0 +1,159 @@
+package node
+
+import (
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"cubism/internal/core"
+	"cubism/internal/grid"
+	"cubism/internal/physics"
+)
+
+func testGrid(n, nb int) *grid.Grid {
+	g := grid.New(grid.Desc{N: n, NBX: nb, NBY: nb, NBZ: nb, H: 1.0 / float64(n*nb)})
+	for _, b := range g.Blocks {
+		for iz := 0; iz < n; iz++ {
+			for iy := 0; iy < n; iy++ {
+				for ix := 0; ix < n; ix++ {
+					x, y, z := g.CellCenter(b.X*n+ix, b.Y*n+iy, b.Z*n+iz)
+					p := physics.Prim{
+						Rho: 2 + math.Sin(2*math.Pi*x)*math.Cos(2*math.Pi*y),
+						U:   0.3 * math.Sin(2*math.Pi*z),
+						P:   3 + math.Cos(2*math.Pi*x),
+						G:   2.5,
+						Pi:  0.5,
+					}
+					c := p.ToCons()
+					cell := b.At(ix, iy, iz)
+					cell[physics.QR] = float32(c.R)
+					cell[physics.QU] = float32(c.RU)
+					cell[physics.QV] = float32(c.RV)
+					cell[physics.QW] = float32(c.RW)
+					cell[physics.QE] = float32(c.E)
+					cell[physics.QG] = float32(c.G)
+					cell[physics.QP] = float32(c.Pi)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// TestWorkerCountIndependence: the RHS result must not depend on the number
+// of workers (block results are independent; scheduling is dynamic).
+func TestWorkerCountIndependence(t *testing.T) {
+	n := 8
+	g := testGrid(n, 2)
+	ref := make([][]float32, len(g.Blocks))
+	for w := 1; w <= 5; w++ {
+		e := New(g, grid.PeriodicBC(), w, false)
+		outs := make([][]float32, len(g.Blocks))
+		for i := range outs {
+			outs[i] = make([]float32, n*n*n*physics.NQ)
+		}
+		e.ComputeRHS(g.Blocks, outs)
+		if w == 1 {
+			ref = outs
+			continue
+		}
+		for bi := range outs {
+			for i := range outs[bi] {
+				if outs[bi][i] != ref[bi][i] {
+					t.Fatalf("workers=%d block %d elem %d: %v vs %v",
+						w, bi, i, outs[bi][i], ref[bi][i])
+				}
+			}
+		}
+	}
+}
+
+// TestDynamicSchedulingCoversAllBlocks: every block is processed exactly
+// once regardless of contention.
+func TestDynamicSchedulingCoversAllBlocks(t *testing.T) {
+	g := testGrid(8, 2)
+	e := New(g, grid.PeriodicBC(), 4, false)
+	var count atomic.Int64
+	e.parallel(len(g.Blocks), func(w, i int) {
+		count.Add(1)
+	})
+	if int(count.Load()) != len(g.Blocks) {
+		t.Fatalf("processed %d of %d blocks", count.Load(), len(g.Blocks))
+	}
+}
+
+func TestMaxCharVelMatchesDirectScan(t *testing.T) {
+	g := testGrid(8, 2)
+	e := New(g, grid.PeriodicBC(), 3, false)
+	got := e.MaxCharVel()
+	want := 0.0
+	for _, b := range g.Blocks {
+		if v := core.MaxCharVelScalar(b.Data); v > want {
+			want = v
+		}
+	}
+	if got != want {
+		t.Fatalf("MaxCharVel = %v, want %v", got, want)
+	}
+}
+
+func TestUpdateAppliesRK(t *testing.T) {
+	g := testGrid(8, 1)
+	per := 8 * 8 * 8 * physics.NQ
+	reg := [][]float32{make([]float32, per)}
+	rhs := [][]float32{make([]float32, per)}
+	for i := range rhs[0] {
+		rhs[0][i] = 1
+	}
+	before := append([]float32(nil), g.Blocks[0].Data...)
+	e := New(g, grid.PeriodicBC(), 2, false)
+	dt := 0.5
+	b0 := 1.0 / 3.0
+	e.Update(g.Blocks, reg, rhs, 0, b0, dt)
+	for i := range before {
+		want := before[i] + float32(b0*dt*1)
+		if math.Abs(float64(g.Blocks[0].Data[i]-want)) > 1e-6 {
+			t.Fatalf("elem %d: %v, want %v", i, g.Blocks[0].Data[i], want)
+		}
+	}
+}
+
+func TestVectorEngineMatchesScalar(t *testing.T) {
+	n := 8
+	g := testGrid(n, 2)
+	scalar := New(g, grid.PeriodicBC(), 2, false)
+	vector := New(g, grid.PeriodicBC(), 2, true)
+	mk := func() [][]float32 {
+		outs := make([][]float32, len(g.Blocks))
+		for i := range outs {
+			outs[i] = make([]float32, n*n*n*physics.NQ)
+		}
+		return outs
+	}
+	so, vo := mk(), mk()
+	scalar.ComputeRHS(g.Blocks, so)
+	vector.ComputeRHS(g.Blocks, vo)
+	for bi := range so {
+		for i := range so[bi] {
+			d := math.Abs(float64(so[bi][i] - vo[bi][i]))
+			scale := math.Max(1, math.Abs(float64(so[bi][i])))
+			if d/scale > 1e-5 {
+				t.Fatalf("block %d elem %d: scalar %v vs vector %v", bi, i, so[bi][i], vo[bi][i])
+			}
+		}
+	}
+}
+
+func TestKernelWorkPositive(t *testing.T) {
+	g := testGrid(8, 2)
+	e := New(g, grid.PeriodicBC(), 1, false)
+	rf, rb, uf, ub, sf, sb := e.KernelWork()
+	for i, v := range []int64{rf, rb, uf, ub, sf, sb} {
+		if v <= 0 {
+			t.Fatalf("work[%d] = %d, want positive", i, v)
+		}
+	}
+	if rf <= uf {
+		t.Error("RHS work should dominate UP work")
+	}
+}

@@ -1,0 +1,199 @@
+package physics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimConsRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := Prim{
+			Rho: 0.1 + rng.Float64()*1000,
+			U:   rng.NormFloat64() * 100,
+			V:   rng.NormFloat64() * 100,
+			W:   rng.NormFloat64() * 100,
+			P:   1 + rng.Float64()*1e7,
+			G:   0.5 + rng.Float64()*3,
+			Pi:  rng.Float64() * 1e8,
+		}
+		q := p.ToCons().ToPrim()
+		tol := 1e-9
+		rel := func(a, b float64) float64 { return math.Abs(a-b) / (math.Abs(a) + math.Abs(b) + 1) }
+		return rel(q.Rho, p.Rho) < tol && rel(q.U, p.U) < tol && rel(q.V, p.V) < tol &&
+			rel(q.W, p.W) < tol && rel(q.P, p.P) < tol && rel(q.G, p.G) < tol && rel(q.Pi, p.Pi) < tol
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMaterialFunctions(t *testing.T) {
+	// Vapor: γ=1.4, pc=1e5: Γ = 2.5, Π = 1.4e5*2.5 = 3.5e5.
+	if g := Vapor.G(); math.Abs(g-2.5) > 1e-12 {
+		t.Errorf("vapor Γ = %g, want 2.5", g)
+	}
+	if pi := Vapor.P(); math.Abs(pi-3.5e5) > 1e-6 {
+		t.Errorf("vapor Π = %g, want 3.5e5", pi)
+	}
+	// Round trip through the effective getters.
+	pr := Prim{Rho: 1, P: 1e5, G: Liquid.G(), Pi: Liquid.P()}
+	if gm := pr.Gamma(); math.Abs(gm-6.59) > 1e-12 {
+		t.Errorf("effective γ = %g, want 6.59", gm)
+	}
+	if pc := pr.PcEff(); math.Abs(pc-4096e5)/4096e5 > 1e-12 {
+		t.Errorf("effective pc = %g, want %g", pc, 4096e5)
+	}
+}
+
+func TestSoundSpeedIdealGas(t *testing.T) {
+	// Ideal gas (Π=0): c = sqrt(γ p / ρ).
+	p := Prim{Rho: 1.4, P: 1, G: 2.5, Pi: 0}
+	want := math.Sqrt(1.4 * 1 / 1.4)
+	if c := SoundSpeed(p.Rho, p.P, p.G, p.Pi); math.Abs(c-want) > 1e-12 {
+		t.Errorf("c = %g, want %g", c, want)
+	}
+	// Negative argument clamps to zero instead of NaN.
+	if c := SoundSpeed(1, -10, 2.5, 0); c != 0 {
+		t.Errorf("clamped c = %g, want 0", c)
+	}
+}
+
+func TestCharVel(t *testing.T) {
+	p := Prim{Rho: 1.4, P: 1, U: -3, V: 1, W: 0.5, G: 2.5, Pi: 0}
+	want := 3 + math.Sqrt(1.4*1/1.4)
+	if v := p.CharVel(); math.Abs(v-want) > 1e-12 {
+		t.Errorf("CharVel = %g, want %g", v, want)
+	}
+}
+
+func TestMixEndpoints(t *testing.T) {
+	g0, pi0 := Mix(Liquid, Vapor, 0)
+	if g0 != Liquid.G() || pi0 != Liquid.P() {
+		t.Error("Mix(0) is not pure liquid")
+	}
+	g1, pi1 := Mix(Liquid, Vapor, 1)
+	if g1 != Vapor.G() || pi1 != Vapor.P() {
+		t.Error("Mix(1) is not pure vapor")
+	}
+}
+
+// TestRiemannSod checks the exact solver against the textbook Sod star
+// state (Toro): p* = 0.30313, u* = 0.92745.
+func TestRiemannSod(t *testing.T) {
+	g := 1 / (1.4 - 1)
+	r := RiemannExact{
+		Left:  Prim{Rho: 1, P: 1, G: g, Pi: 0},
+		Right: Prim{Rho: 0.125, P: 0.1, G: g, Pi: 0},
+	}
+	pstar, ustar, err := r.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pstar-0.30313) > 1e-4 {
+		t.Errorf("p* = %g, want 0.30313", pstar)
+	}
+	if math.Abs(ustar-0.92745) > 1e-4 {
+		t.Errorf("u* = %g, want 0.92745", ustar)
+	}
+	// Sampled states: left of the fan head is undisturbed.
+	if s := r.Sample(-2); math.Abs(s.Rho-1) > 1e-12 {
+		t.Errorf("undisturbed left rho = %g", s.Rho)
+	}
+	// Right of the shock is undisturbed.
+	if s := r.Sample(2); math.Abs(s.Rho-0.125) > 1e-12 {
+		t.Errorf("undisturbed right rho = %g", s.Rho)
+	}
+	// Density on the left of the contact (Toro: 0.42632).
+	if s := r.Sample(ustar - 1e-6); math.Abs(s.Rho-0.42632) > 1e-4 {
+		t.Errorf("left-of-contact rho = %g, want 0.42632", s.Rho)
+	}
+	// Density on the right of the contact (Toro: 0.26557).
+	if s := r.Sample(ustar + 1e-6); math.Abs(s.Rho-0.26557) > 1e-4 {
+		t.Errorf("right-of-contact rho = %g, want 0.26557", s.Rho)
+	}
+	// Inside the left rarefaction fan the state must satisfy the
+	// characteristic relation u - c = s exactly.
+	for _, s := range []float64{-1.0, -0.7, -0.3} {
+		st := r.Sample(s)
+		c := SoundSpeed(st.Rho, st.P, st.G, st.Pi)
+		if math.Abs(st.U-c-s) > 1e-6 {
+			t.Errorf("fan state at s=%g violates u-c=s: u=%g c=%g", s, st.U, c)
+		}
+	}
+}
+
+// TestRiemannSymmetric: equal states with opposite velocities produce a
+// symmetric solution with u*=0.
+func TestRiemannSymmetric(t *testing.T) {
+	g := 1 / (1.4 - 1)
+	r := RiemannExact{
+		Left:  Prim{Rho: 1, U: 1, P: 1, G: g, Pi: 0},
+		Right: Prim{Rho: 1, U: -1, P: 1, G: g, Pi: 0},
+	}
+	pstar, ustar, err := r.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ustar) > 1e-10 {
+		t.Errorf("u* = %g, want 0", ustar)
+	}
+	if pstar <= 1 {
+		t.Errorf("colliding streams must compress: p* = %g", pstar)
+	}
+}
+
+// TestRiemannStiffenedGas: a liquid-like stiffened gas shock tube must
+// produce a consistent solution (star pressure between the two inputs for
+// an expansion-compression pair, positive density everywhere).
+func TestRiemannStiffenedGas(t *testing.T) {
+	r := RiemannExact{
+		Left:  Prim{Rho: 1000, P: 100e5, G: Liquid.G(), Pi: Liquid.P()},
+		Right: Prim{Rho: 1000, P: 1e5, G: Liquid.G(), Pi: Liquid.P()},
+	}
+	pstar, _, err := r.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pstar < 1e5 || pstar > 100e5 {
+		t.Errorf("p* = %g outside the bracketing pressures", pstar)
+	}
+	for _, s := range []float64{-1500, -100, 0, 100, 1500} {
+		st := r.Sample(s)
+		if st.Rho <= 0 {
+			t.Errorf("negative density %g at s=%g", st.Rho, s)
+		}
+	}
+}
+
+func TestRiemannVacuum(t *testing.T) {
+	g := 1 / (1.4 - 1)
+	r := RiemannExact{
+		Left:  Prim{Rho: 1, U: -100, P: 1e-3, G: g, Pi: 0},
+		Right: Prim{Rho: 1, U: 100, P: 1e-3, G: g, Pi: 0},
+	}
+	if _, _, err := r.Solve(); err == nil {
+		t.Error("expected vacuum error for strongly receding states")
+	}
+}
+
+func TestEnergyPressureInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := 0.1 + rng.Float64()*1e8
+		ke := rng.Float64() * 1e6
+		g := 0.5 + rng.Float64()*5
+		pi := rng.Float64() * 1e9
+		e := Energy(p, ke, g, pi)
+		back := Pressure(e, ke, g, pi)
+		// Catastrophic cancellation is bounded by the magnitude of the
+		// largest term relative to p.
+		scale := math.Max(e, math.Max(pi, ke)) / g
+		return math.Abs(back-p) <= 1e-12*scale+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+package physics
+
+import (
+	"errors"
+	"math"
+)
+
+// Rayleigh–Plesset bubble dynamics (Lord Rayleigh 1917, paper ref. [61]).
+// The paper positions its simulations against the century of cavitation
+// modeling built on the spherical collapse of an isolated bubble; this
+// integrator provides that classical reference solution so the 3D solver
+// can be compared against it (examples, tests) — the incompressible,
+// inviscid, surface-tension-free form:
+//
+//	R R̈ + (3/2) Ṙ² = (p_B - p_∞) / ρ
+//
+// with p_B the (constant or polytropic) bubble pressure and p_∞ the
+// ambient liquid pressure.
+
+// RayleighPlesset integrates the bubble radius under constant ambient
+// conditions.
+type RayleighPlesset struct {
+	R0   float64 // initial radius [m]
+	PInf float64 // ambient liquid pressure [Pa]
+	PB0  float64 // initial bubble pressure [Pa]
+	Rho  float64 // liquid density [kg/m³]
+	// Kappa is the polytropic exponent of the bubble contents: 0 keeps the
+	// bubble pressure constant; 1.4 models adiabatic vapor compression.
+	Kappa float64
+}
+
+// errRPStalled reports that the integration exceeded the step budget.
+var errRPStalled = errors.New("physics: Rayleigh-Plesset integration stalled")
+
+// bubblePressure returns p_B at radius r.
+func (rp RayleighPlesset) bubblePressure(r float64) float64 {
+	if rp.Kappa == 0 {
+		return rp.PB0
+	}
+	return rp.PB0 * math.Pow(rp.R0/r, 3*rp.Kappa)
+}
+
+// rhs evaluates (Ṙ, R̈) at state (r, v).
+func (rp RayleighPlesset) rhs(r, v float64) (float64, float64) {
+	acc := ((rp.bubblePressure(r)-rp.PInf)/rp.Rho - 1.5*v*v) / r
+	return v, acc
+}
+
+// Integrate advances the radius from R0 at rest until it shrinks below
+// rMin (fraction of R0) or tMax elapses, returning the time series with
+// the requested sampling interval. Classic RK4 with adaptive step capping
+// near the singular final collapse.
+func (rp RayleighPlesset) Integrate(tMax, sample float64) (times, radii []float64, err error) {
+	r, v := rp.R0, 0.0
+	t := 0.0
+	nextSample := 0.0
+	const rMinFrac = 1e-3
+	for steps := 0; t < tMax; steps++ {
+		if steps > 50_000_000 {
+			return times, radii, errRPStalled
+		}
+		if t >= nextSample {
+			times = append(times, t)
+			radii = append(radii, r)
+			nextSample += sample
+		}
+		// Adaptive dt: resolve the local dynamical time scale.
+		scale := math.Abs(v)/r + math.Sqrt(math.Abs(rp.PInf-rp.bubblePressure(r))/rp.Rho)/r
+		dt := 1e-3 / math.Max(scale, 1e-12)
+		if t+dt > tMax {
+			dt = tMax - t
+		}
+		// RK4.
+		k1r, k1v := rp.rhs(r, v)
+		k2r, k2v := rp.rhs(r+0.5*dt*k1r, v+0.5*dt*k1v)
+		k3r, k3v := rp.rhs(r+0.5*dt*k2r, v+0.5*dt*k2v)
+		k4r, k4v := rp.rhs(r+dt*k3r, v+dt*k3v)
+		r += dt / 6 * (k1r + 2*k2r + 2*k3r + k4r)
+		v += dt / 6 * (k1v + 2*k2v + 2*k3v + k4v)
+		t += dt
+		if r <= rMinFrac*rp.R0 {
+			times = append(times, t)
+			radii = append(radii, r)
+			return times, radii, nil
+		}
+	}
+	times = append(times, t)
+	radii = append(radii, r)
+	return times, radii, nil
+}
+
+// CollapseTime integrates until the radius reaches the given fraction of
+// R0 and returns the elapsed time.
+func (rp RayleighPlesset) CollapseTime(frac float64) (float64, error) {
+	r, v := rp.R0, 0.0
+	t := 0.0
+	for steps := 0; ; steps++ {
+		if steps > 50_000_000 {
+			return t, errRPStalled
+		}
+		scale := math.Abs(v)/r + math.Sqrt(math.Abs(rp.PInf-rp.bubblePressure(r))/rp.Rho)/r
+		dt := 1e-3 / math.Max(scale, 1e-12)
+		k1r, k1v := rp.rhs(r, v)
+		k2r, k2v := rp.rhs(r+0.5*dt*k1r, v+0.5*dt*k1v)
+		k3r, k3v := rp.rhs(r+0.5*dt*k2r, v+0.5*dt*k2v)
+		k4r, k4v := rp.rhs(r+dt*k3r, v+dt*k3v)
+		r += dt / 6 * (k1r + 2*k2r + 2*k3r + k4r)
+		v += dt / 6 * (k1v + 2*k2v + 2*k3v + k4v)
+		t += dt
+		if r <= frac*rp.R0 {
+			return t, nil
+		}
+	}
+}
+
+// RayleighCollapseTime is the closed-form collapse time of an empty cavity,
+// τ = 0.91468 R0 sqrt(ρ/Δp) — the classical result the integrator is
+// validated against.
+func RayleighCollapseTime(r0, rho, dp float64) float64 {
+	return 0.91468 * r0 * math.Sqrt(rho/dp)
+}

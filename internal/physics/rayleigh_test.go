@@ -1,0 +1,110 @@
+package physics
+
+import (
+	"math"
+	"testing"
+)
+
+// TestRayleighCollapseTime: the RK4 integration of an (almost) empty
+// cavity must reproduce the classical Rayleigh collapse time
+// τ = 0.91468 R0 sqrt(ρ/Δp) within a fraction of a percent.
+func TestRayleighCollapseTime(t *testing.T) {
+	rp := RayleighPlesset{
+		R0:    100e-6,    // 100 micron, the paper's bubble scale
+		PInf:  100 * Bar, // pressurized liquid
+		PB0:   0,         // empty cavity (Rayleigh's limit)
+		Rho:   1000,
+		Kappa: 0,
+	}
+	got, err := rp.CollapseTime(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := RayleighCollapseTime(rp.R0, rp.Rho, rp.PInf)
+	if rel := math.Abs(got-want) / want; rel > 0.005 {
+		t.Errorf("collapse time %g, Rayleigh %g (rel err %.3f)", got, want, rel)
+	}
+}
+
+// TestRayleighScaling: τ scales linearly with R0 and as 1/sqrt(Δp).
+func TestRayleighScaling(t *testing.T) {
+	base := RayleighPlesset{R0: 50e-6, PInf: 100 * Bar, PB0: 0, Rho: 1000}
+	t1, err := base.CollapseTime(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	doubleR := base
+	doubleR.R0 *= 2
+	t2, err := doubleR.CollapseTime(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(t2-2*t1) / (2 * t1); rel > 0.01 {
+		t.Errorf("radius scaling: τ(2R)=%g, want 2τ(R)=%g", t2, 2*t1)
+	}
+	quadP := base
+	quadP.PInf *= 4
+	t4, err := quadP.CollapseTime(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := math.Abs(t4-t1/2) / (t1 / 2); rel > 0.01 {
+		t.Errorf("pressure scaling: τ(4Δp)=%g, want τ/2=%g", t4, t1/2)
+	}
+}
+
+// TestRayleighPolytropicRebound: with adiabatic bubble contents the
+// collapse arrests and the radius rebounds instead of reaching zero.
+func TestRayleighPolytropicRebound(t *testing.T) {
+	rp := RayleighPlesset{
+		R0:    100e-6,
+		PInf:  100 * Bar,
+		PB0:   0.0234 * Bar, // the paper's vapor pressure
+		Rho:   1000,
+		Kappa: 1.4,
+	}
+	tau := RayleighCollapseTime(rp.R0, rp.Rho, rp.PInf)
+	times, radii, err := rp.Integrate(3*tau, tau/200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(times) < 10 {
+		t.Fatalf("too few samples: %d", len(times))
+	}
+	// Find the minimum radius; it must be positive (gas cushion) and the
+	// radius must grow again afterwards (rebound).
+	minR, minI := radii[0], 0
+	for i, r := range radii {
+		if r < minR {
+			minR, minI = r, i
+		}
+	}
+	if minR <= 0 {
+		t.Fatal("radius collapsed to zero despite gas cushion")
+	}
+	if minI == len(radii)-1 {
+		t.Fatal("no rebound observed within 3 collapse times")
+	}
+	if radii[len(radii)-1] <= minR {
+		t.Errorf("radius did not rebound: min %g, final %g", minR, radii[len(radii)-1])
+	}
+	// The minimum must occur near the Rayleigh time (within 25%: the gas
+	// cushion delays it slightly).
+	if dev := math.Abs(times[minI]-tau) / tau; dev > 0.25 {
+		t.Errorf("collapse at t=%g, Rayleigh time %g (dev %.2f)", times[minI], tau, dev)
+	}
+}
+
+func TestRayleighMonotoneBeforeCollapse(t *testing.T) {
+	rp := RayleighPlesset{R0: 100e-6, PInf: 100 * Bar, PB0: 0, Rho: 1000}
+	tau := RayleighCollapseTime(rp.R0, rp.Rho, rp.PInf)
+	_, radii, err := rp.Integrate(0.95*tau, tau/100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(radii); i++ {
+		if radii[i] > radii[i-1]+1e-15 {
+			t.Fatalf("radius grew during collapse at sample %d", i)
+		}
+	}
+}

@@ -1,0 +1,146 @@
+package physics
+
+import (
+	"errors"
+	"math"
+)
+
+// RiemannExact solves the one-dimensional Riemann problem for the stiffened
+// gas equation of state exactly. It generalizes the classical ideal-gas
+// solver (Toro) by the substitution p → p + p_c; with Pc=0 it reduces to the
+// textbook solution and is used by the tests to validate the HLLE solver and
+// the full solver stack on Sod's shock tube.
+type RiemannExact struct {
+	Left, Right Prim
+	// pstar, ustar cache the star-region solution after Solve.
+	pstar, ustar float64
+	solved       bool
+}
+
+// errRiemannVacuum reports that a vacuum forms between the states.
+var errRiemannVacuum = errors.New("physics: vacuum in Riemann problem")
+
+func gammaPc(s Prim) (gamma, pc float64) {
+	gamma = s.Gamma()
+	pc = s.PcEff()
+	return
+}
+
+// fK evaluates Toro's flux function f_K(p) and its derivative for one side.
+func fK(p float64, s Prim) (f, df float64) {
+	gamma, pc := gammaPc(s)
+	a := SoundSpeed(s.Rho, s.P, s.G, s.Pi)
+	if p > s.P { // shock
+		A := 2 / ((gamma + 1) * s.Rho)
+		B := (gamma - 1) / (gamma + 1) * (s.P + pc)
+		ps := p + pc // shifted pressure
+		q := math.Sqrt(A / (ps + B))
+		f = (p - s.P) * q
+		df = q * (1 - (p-s.P)/(2*(ps+B)))
+	} else { // rarefaction
+		ps := p + pc
+		psk := s.P + pc
+		pr := ps / psk
+		f = 2 * a / (gamma - 1) * (math.Pow(pr, (gamma-1)/(2*gamma)) - 1)
+		df = 1 / (s.Rho * a) * math.Pow(pr, -(gamma+1)/(2*gamma))
+	}
+	return
+}
+
+// Solve finds the star-region pressure and velocity by Newton iteration.
+func (r *RiemannExact) Solve() (pstar, ustar float64, err error) {
+	l, rr := r.Left, r.Right
+	aL := SoundSpeed(l.Rho, l.P, l.G, l.Pi)
+	aR := SoundSpeed(rr.Rho, rr.P, rr.G, rr.Pi)
+	gL, _ := gammaPc(l)
+	gR, _ := gammaPc(rr)
+	// Vacuum check (pressure positivity condition).
+	if 2*aL/(gL-1)+2*aR/(gR-1) <= rr.U-l.U {
+		return 0, 0, errRiemannVacuum
+	}
+	// Initial guess: two-rarefaction approximation on the shifted pressures.
+	p := 0.5*(l.P+rr.P) - 0.125*(rr.U-l.U)*(l.Rho+rr.Rho)*(aL+aR)
+	if p < 1e-8*(l.P+rr.P) {
+		p = 1e-8 * (l.P + rr.P)
+	}
+	for iter := 0; iter < 100; iter++ {
+		fL, dL := fK(p, l)
+		fR, dR := fK(p, rr)
+		g := fL + fR + (rr.U - l.U)
+		dg := dL + dR
+		dp := g / dg
+		pn := p - dp
+		if pn <= -min(l.PcEff(), rr.PcEff()) {
+			pn = 0.5 * p // damp toward positivity
+		}
+		if math.Abs(pn-p) < 1e-12*(math.Abs(pn)+1e-300) {
+			p = pn
+			break
+		}
+		p = pn
+	}
+	fL, _ := fK(p, l)
+	fR, _ := fK(p, rr)
+	u := 0.5*(l.U+rr.U) + 0.5*(fR-fL)
+	r.pstar, r.ustar, r.solved = p, u, true
+	return p, u, nil
+}
+
+// Sample returns the exact solution state at similarity coordinate s = x/t.
+func (r *RiemannExact) Sample(s float64) Prim {
+	if !r.solved {
+		if _, _, err := r.Solve(); err != nil {
+			// Vacuum: return a near-vacuum state; callers validate upstream.
+			return Prim{Rho: 1e-12, P: 1e-12, G: r.Left.G, Pi: 0}
+		}
+	}
+	p, u := r.pstar, r.ustar
+	if s <= u {
+		return sampleSide(r.Left, p, u, s, -1)
+	}
+	return sampleSide(r.Right, p, u, s, +1)
+}
+
+// sampleSide samples left (-1) or right (+1) of the contact.
+func sampleSide(k Prim, pstar, ustar, s float64, sign float64) Prim {
+	gamma, pc := gammaPc(k)
+	a := SoundSpeed(k.Rho, k.P, k.G, k.Pi)
+	psK := k.P + pc
+	psS := pstar + pc
+	out := k // carries G, Pi, V, W of the side
+	if pstar > k.P {
+		// Shock on this side.
+		ratio := psS / psK
+		gm := (gamma - 1) / (gamma + 1)
+		sSpeed := k.U + sign*a*math.Sqrt((gamma+1)/(2*gamma)*ratio+(gamma-1)/(2*gamma))
+		if sign*s >= sign*sSpeed {
+			return k // ahead of shock: undisturbed
+		}
+		out.Rho = k.Rho * (ratio + gm) / (gm*ratio + 1)
+		out.U = ustar
+		out.P = pstar
+		return out
+	}
+	// Rarefaction on this side.
+	aStar := a * math.Pow(psS/psK, (gamma-1)/(2*gamma))
+	head := k.U + sign*a
+	tail := ustar + sign*aStar
+	if sign*s >= sign*head {
+		return k // ahead of the head: undisturbed
+	}
+	if sign*s <= sign*tail {
+		out.Rho = k.Rho * math.Pow(psS/psK, 1/gamma)
+		out.U = ustar
+		out.P = pstar
+		return out
+	}
+	// Inside the fan (Toro eqs. 4.56/4.63, generalized by p -> p + pc):
+	// left fan uses (u-s), right fan (s-u); both collapse to sign*(s-u).
+	gm1 := gamma - 1
+	gp1 := gamma + 1
+	fac := 2/gp1 + sign*gm1/(gp1*a)*(s-k.U)
+	out.Rho = k.Rho * math.Pow(fac, 2/gm1)
+	out.U = 2 / gp1 * (-sign*a + gm1/2*k.U + s)
+	out.P = (psK)*math.Pow(fac, 2*gamma/gm1) - pc
+	return out
+}

@@ -1,0 +1,176 @@
+package qpx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(rng *rand.Rand) Vec4 {
+	return New(rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64())
+}
+
+func eq(a, b Vec4, tol float64) bool {
+	for i := 0; i < Width; i++ {
+		if math.Abs(a.Lane(i)-b.Lane(i)) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLaneArithmetic(t *testing.T) {
+	a := New(1, 2, 3, 4)
+	b := New(10, 20, 30, 40)
+	if got := a.Add(b); got != New(11, 22, 33, 44) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := b.Sub(a); got != New(9, 18, 27, 36) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b); got != New(10, 40, 90, 160) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := b.Div(a); got != New(10, 10, 10, 10) {
+		t.Errorf("Div = %v", got)
+	}
+	if got := a.Neg(); got != New(-1, -2, -3, -4) {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestFusedOps(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c := randVec(rng), randVec(rng), randVec(rng)
+		if !eq(a.MAdd(b, c), a.Mul(b).Add(c), 1e-12) {
+			return false
+		}
+		if !eq(a.MSub(b, c), a.Mul(b).Sub(c), 1e-12) {
+			return false
+		}
+		if !eq(a.NMSub(b, c), c.Sub(a.Mul(b)), 1e-12) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelSemantics(t *testing.T) {
+	mask := New(-1, 0, 1, math.NaN())
+	a := New(10, 20, 30, 40) // fallback (mask < 0 or NaN)
+	b := New(1, 2, 3, 4)     // selected when mask >= 0
+	got := Sel(mask, a, b)
+	want := New(10, 2, 3, 40)
+	if got != want {
+		t.Errorf("Sel = %v, want %v", got, want)
+	}
+}
+
+func TestCompareMasks(t *testing.T) {
+	a := New(1, 5, 3, 2)
+	b := New(2, 5, 1, 9)
+	if got := a.CmpGE(b); got != New(-1, 1, 1, -1) {
+		t.Errorf("CmpGE = %v", got)
+	}
+	if got := a.CmpLT(b); got != New(1, -1, -1, 1) {
+		t.Errorf("CmpLT = %v", got)
+	}
+}
+
+func TestShifts(t *testing.T) {
+	a := New(0, 1, 2, 3)
+	b := New(4, 5, 6, 7)
+	if got := ShiftL1(a, b); got != New(1, 2, 3, 4) {
+		t.Errorf("ShiftL1 = %v", got)
+	}
+	if got := ShiftL2(a, b); got != New(2, 3, 4, 5) {
+		t.Errorf("ShiftL2 = %v", got)
+	}
+	if got := ShiftL3(a, b); got != New(3, 4, 5, 6) {
+		t.Errorf("ShiftL3 = %v", got)
+	}
+}
+
+func TestPermMatchesShift(t *testing.T) {
+	a := New(0, 1, 2, 3)
+	b := New(4, 5, 6, 7)
+	if got := Perm(a, b, [4]int{1, 2, 3, 4}); got != ShiftL1(a, b) {
+		t.Errorf("Perm shift-1 = %v", got)
+	}
+	if got := Perm(a, b, [4]int{3, 2, 1, 0}); got != New(3, 2, 1, 0) {
+		t.Errorf("Perm reverse = %v", got)
+	}
+}
+
+func TestHorizontalOps(t *testing.T) {
+	a := New(3, -1, 7, 2)
+	if got := a.HMax(); got != 7 {
+		t.Errorf("HMax = %v", got)
+	}
+	if got := a.HSum(); got != 11 {
+		t.Errorf("HSum = %v", got)
+	}
+}
+
+func TestTranspose4(t *testing.T) {
+	r0 := New(0, 1, 2, 3)
+	r1 := New(4, 5, 6, 7)
+	r2 := New(8, 9, 10, 11)
+	r3 := New(12, 13, 14, 15)
+	Transpose4(&r0, &r1, &r2, &r3)
+	if r0 != New(0, 4, 8, 12) || r1 != New(1, 5, 9, 13) ||
+		r2 != New(2, 6, 10, 14) || r3 != New(3, 7, 11, 15) {
+		t.Errorf("Transpose4 = %v %v %v %v", r0, r1, r2, r3)
+	}
+	// Transposing twice restores the original.
+	Transpose4(&r0, &r1, &r2, &r3)
+	if r0 != New(0, 1, 2, 3) || r3 != New(12, 13, 14, 15) {
+		t.Error("double transpose is not the identity")
+	}
+}
+
+func TestLoadStoreRoundTrip(t *testing.T) {
+	s64 := []float64{1.5, -2.25, 3, 4.75}
+	v := Load4(s64)
+	out := make([]float64, 4)
+	v.Store4(out)
+	for i := range s64 {
+		if out[i] != s64[i] {
+			t.Errorf("float64 roundtrip[%d] = %v", i, out[i])
+		}
+	}
+	s32 := []float32{1.5, -2.25, 3, 4.75}
+	v = Load4f(s32)
+	out32 := make([]float32, 4)
+	v.Store4f(out32)
+	for i := range s32 {
+		if out32[i] != s32[i] {
+			t.Errorf("float32 roundtrip[%d] = %v", i, out32[i])
+		}
+	}
+}
+
+func TestAbsMinMaxSqrtRecip(t *testing.T) {
+	a := New(-4, 9, -16, 25)
+	if got := a.Abs(); got != New(4, 9, 16, 25) {
+		t.Errorf("Abs = %v", got)
+	}
+	if got := a.Abs().Sqrt(); got != New(2, 3, 4, 5) {
+		t.Errorf("Sqrt = %v", got)
+	}
+	if got := New(2, 4, 8, 10).Recip(); got != New(0.5, 0.25, 0.125, 0.1) {
+		t.Errorf("Recip = %v", got)
+	}
+	b := New(1, 10, -20, 30)
+	if got := a.Max(b); got != New(1, 10, -16, 30) {
+		t.Errorf("Max = %v", got)
+	}
+	if got := a.Min(b); got != New(-4, 9, -20, 25) {
+		t.Errorf("Min = %v", got)
+	}
+}

@@ -1,0 +1,132 @@
+// Package roofline implements the roofline performance model (Williams et
+// al., paper ref. [79]) that guided the paper's high performance techniques,
+// plus the machine descriptions of the paper's experimental platforms
+// (Tables 1, 2 and §4) used to project measured kernel behavior onto the
+// original hardware for the portability analysis (Table 10).
+package roofline
+
+import (
+	"fmt"
+	"time"
+)
+
+// Machine characterizes one compute node by its nominal peak performance
+// and measured memory bandwidth.
+type Machine struct {
+	Name       string
+	PeakGFLOPS float64 // nominal peak, GFLOP/s per node
+	MemBW      float64 // measured peak memory bandwidth, GB/s per node
+}
+
+// Paper platforms (§4).
+var (
+	// BGQ is one Blue Gene/Q node: 16 cores at 1.6 GHz, 204.8 GFLOP/s peak,
+	// 28 GB/s measured memory bandwidth (Table 2).
+	BGQ = Machine{Name: "IBM BGQ (BQC)", PeakGFLOPS: 204.8, MemBW: 28}
+	// MonteRosa is one Cray XE6 node: 2P AMD Bulldozer, 540 GFLOP/s,
+	// 60 GB/s aggregate.
+	MonteRosa = Machine{Name: "Cray XE6 Monte Rosa", PeakGFLOPS: 540, MemBW: 60}
+	// PizDaint is one Cray XC30 node: Sandy Bridge, 670 GFLOP/s, 80 GB/s.
+	PizDaint = Machine{Name: "Cray XC30 Piz Daint", PeakGFLOPS: 670, MemBW: 80}
+)
+
+// System is a full installation (Table 1).
+type System struct {
+	Name    string
+	Racks   int
+	Cores   int
+	PFLOPSs float64
+}
+
+// BGQ installations used by the paper (Table 1).
+var Systems = []System{
+	{Name: "Sequoia", Racks: 96, Cores: 1572864, PFLOPSs: 20.1},
+	{Name: "Juqueen", Racks: 24, Cores: 393216, PFLOPSs: 5.0},
+	{Name: "ZRL", Racks: 1, Cores: 16384, PFLOPSs: 0.2},
+}
+
+// RackGFLOPS is the nominal peak of one BGQ rack (32 node boards of 32
+// nodes... 32 nodes per board x 32 boards: 1024 nodes): 0.21 PFLOP/s.
+const RackGFLOPS = 1024 * 204.8
+
+// Ridge returns the machine's ridge point in FLOP/Byte: kernels below it
+// are memory-bound.
+func (m Machine) Ridge() float64 { return m.PeakGFLOPS / m.MemBW }
+
+// Attainable returns the roofline bound min(peak, OI*BW) for a kernel with
+// the given operational intensity.
+func (m Machine) Attainable(oi float64) float64 {
+	bw := oi * m.MemBW
+	if bw < m.PeakGFLOPS {
+		return bw
+	}
+	return m.PeakGFLOPS
+}
+
+// PeakFraction returns Attainable/Peak: the best peak fraction the roofline
+// model allows for the given operational intensity.
+func (m Machine) PeakFraction(oi float64) float64 {
+	return m.Attainable(oi) / m.PeakGFLOPS
+}
+
+// Project estimates the peak fraction a kernel reaches on machine m given
+// its operational intensity and the efficiency observed on a reference
+// machine (measured GFLOP/s divided by the reference roofline bound). This
+// is the model behind the portability discussion of Table 10: the same
+// kernel implementation realizes a similar fraction of its roofline bound
+// across micro-architectures.
+func (m Machine) Project(oi, efficiency float64) float64 {
+	return efficiency * m.PeakFraction(oi)
+}
+
+// String renders the machine line used by reports.
+func (m Machine) String() string {
+	return fmt.Sprintf("%-22s peak %7.1f GFLOP/s  bw %5.1f GB/s  ridge %.1f FLOP/B",
+		m.Name, m.PeakGFLOPS, m.MemBW, m.Ridge())
+}
+
+// MeasureHost estimates the host's effective scalar peak and memory
+// bandwidth with two micro-benchmarks, returning a Machine usable in the
+// same projections. The FLOP benchmark chains fused multiply-adds per the
+// paper's counting convention (FMA = 2 FLOPs); the bandwidth benchmark
+// streams a buffer much larger than cache.
+func MeasureHost() Machine {
+	// Peak: 8 independent FMA chains to fill the pipeline.
+	const iters = 1 << 22
+	a0, a1, a2, a3 := 1.0, 1.1, 1.2, 1.3
+	a4, a5, a6, a7 := 1.4, 1.5, 1.6, 1.7
+	const c1, c2 = 0.999999, 1e-9
+	t0 := time.Now()
+	for i := 0; i < iters; i++ {
+		a0 = a0*c1 + c2
+		a1 = a1*c1 + c2
+		a2 = a2*c1 + c2
+		a3 = a3*c1 + c2
+		a4 = a4*c1 + c2
+		a5 = a5*c1 + c2
+		a6 = a6*c1 + c2
+		a7 = a7*c1 + c2
+	}
+	dt := time.Since(t0).Seconds()
+	sink = a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7
+	gflops := float64(iters) * 16 / dt / 1e9 // 8 FMAs x 2 FLOPs
+
+	// Bandwidth: stream-copy a 64 MB buffer.
+	buf := make([]float64, 8<<20)
+	dst := make([]float64, len(buf))
+	for i := range buf {
+		buf[i] = float64(i)
+	}
+	t0 = time.Now()
+	const passes = 4
+	for p := 0; p < passes; p++ {
+		copy(dst, buf)
+	}
+	dt = time.Since(t0).Seconds()
+	bytes := float64(passes) * float64(len(buf)) * 8 * 2 // read + write
+	bw := bytes / dt / 1e9
+	return Machine{Name: "host (measured, 1 core)", PeakGFLOPS: gflops, MemBW: bw}
+}
+
+// sink defeats dead-code elimination in MeasureHost.
+var sink float64

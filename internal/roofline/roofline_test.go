@@ -1,0 +1,84 @@
+package roofline
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPaperMachineNumbers(t *testing.T) {
+	// Table 2: BGQ ridge point 204.8/28 = 7.3 FLOP/B.
+	if r := BGQ.Ridge(); math.Abs(r-7.3) > 0.05 {
+		t.Errorf("BGQ ridge = %g, want ~7.3", r)
+	}
+	// §4: Monte Rosa ridge 9 FLOP/B, Piz Daint 8.4 FLOP/B.
+	if r := MonteRosa.Ridge(); math.Abs(r-9) > 0.05 {
+		t.Errorf("XE6 ridge = %g, want ~9", r)
+	}
+	if r := PizDaint.Ridge(); math.Abs(r-8.4) > 0.05 {
+		t.Errorf("XC30 ridge = %g, want ~8.4", r)
+	}
+}
+
+func TestAttainable(t *testing.T) {
+	// Paper's example: 200 GFLOP/s peak, 30 GB/s, OI 0.1 -> 3 GFLOP/s.
+	m := Machine{Name: "example", PeakGFLOPS: 200, MemBW: 30}
+	if got := m.Attainable(0.1); math.Abs(got-3) > 1e-12 {
+		t.Errorf("Attainable(0.1) = %g, want 3", got)
+	}
+	// Above the ridge: peak.
+	if got := m.Attainable(100); got != 200 {
+		t.Errorf("Attainable(100) = %g, want 200", got)
+	}
+	// Ridge point itself: peak.
+	if got := m.Attainable(m.Ridge()); math.Abs(got-200) > 1e-9 {
+		t.Errorf("Attainable(ridge) = %g, want 200", got)
+	}
+}
+
+func TestAttainableMonotone(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Abs(a), math.Abs(b)
+		if math.IsInf(a, 0) || math.IsInf(b, 0) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := math.Min(a, b), math.Max(a, b)
+		return BGQ.Attainable(lo) <= BGQ.Attainable(hi)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeakFractionBounds(t *testing.T) {
+	for _, oi := range []float64{0.1, 1, 7.3, 50} {
+		pf := BGQ.PeakFraction(oi)
+		if pf <= 0 || pf > 1 {
+			t.Errorf("PeakFraction(%g) = %g outside (0,1]", oi, pf)
+		}
+	}
+}
+
+func TestSystemsTable1(t *testing.T) {
+	// Table 1: Sequoia 96 racks, 1.6M cores, 20.1 PFLOP/s.
+	if Systems[0].Name != "Sequoia" || Systems[0].Racks != 96 || Systems[0].Cores != 1572864 {
+		t.Errorf("Sequoia entry wrong: %+v", Systems[0])
+	}
+	// Rack peak: 0.21 PFLOP/s nominal.
+	if math.Abs(RackGFLOPS-209715.2) > 1 {
+		t.Errorf("rack peak = %g GFLOP/s, want ~0.21 PFLOP/s", RackGFLOPS)
+	}
+}
+
+func TestMeasureHostSane(t *testing.T) {
+	if testing.Short() {
+		t.Skip("micro-benchmarks in short mode")
+	}
+	m := MeasureHost()
+	if m.PeakGFLOPS < 0.1 || m.PeakGFLOPS > 1000 {
+		t.Errorf("implausible host peak %g GFLOP/s", m.PeakGFLOPS)
+	}
+	if m.MemBW < 0.1 || m.MemBW > 10000 {
+		t.Errorf("implausible host bandwidth %g GB/s", m.MemBW)
+	}
+}

@@ -1,0 +1,173 @@
+// Package sim is the simulation driver: it stands up the (simulated) MPI
+// world, builds one cluster rank per process, and runs the paper's step
+// loop — DT, three Runge-Kutta stages of RHS+UP, periodic compressed data
+// dumps and flow diagnostics (Figure 1 left, §7).
+package sim
+
+import (
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"cubism/internal/cluster"
+	"cubism/internal/compress"
+	"cubism/internal/grid"
+	"cubism/internal/mpi"
+	"cubism/internal/physics"
+)
+
+// Config describes one simulation campaign.
+type Config struct {
+	Cluster cluster.Config
+
+	// Steps is the number of time steps to run (0: run to TEnd).
+	Steps int
+	// TEnd stops the run when simulated time reaches it (0: ignore).
+	TEnd float64
+
+	// DumpEvery triggers a compressed dump of p and Γ every so many steps
+	// (0: never). Paper: every 100 steps.
+	DumpEvery int
+	// DumpDir receives the dump files.
+	DumpDir string
+	// EpsP and EpsG are the decimation thresholds (paper: 1e-2 and 1e-3).
+	EpsP, EpsG float64
+	// Encoder is the lossless back-end ("zlib" default).
+	Encoder string
+
+	// DiagEvery computes global diagnostics every so many steps (0: every
+	// step).
+	DiagEvery int
+	// CheckpointEvery writes a lossless full-state checkpoint every so many
+	// steps (0: never) to CheckpointPath.
+	CheckpointEvery int
+	CheckpointPath  string
+	// Wall marks a reflecting wall face for wall-pressure diagnostics.
+	Wall    grid.Face
+	HasWall bool
+}
+
+// StepInfo is delivered to the per-step callback on rank 0.
+type StepInfo struct {
+	Step int
+	Time float64
+	DT   float64
+	// Diag is valid when HasDiag is set (DiagEvery cadence).
+	Diag    cluster.Diagnostics
+	HasDiag bool
+	// DumpRates lists quantity:rate pairs when this step dumped.
+	DumpRates map[string]float64
+}
+
+// Summary reports campaign-level results gathered on rank 0.
+type Summary struct {
+	Steps        int
+	SimTime      float64
+	WallTime     time.Duration
+	GlobalCells  int64
+	PointsPerSec float64
+	// KernelShare maps kernel name to its fraction of the total kernel
+	// wall-clock time on rank 0 (Figure 7 left).
+	KernelShare map[string]float64
+	// Report is rank 0's full perf table.
+	Report string
+}
+
+// Run executes the campaign. onStep (may be nil) is invoked on rank 0 after
+// every step. Returns the rank-0 summary.
+func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
+	if cfg.Encoder == "" {
+		cfg.Encoder = "zlib"
+	}
+	if cfg.EpsP == 0 {
+		cfg.EpsP = 1e-2
+	}
+	if cfg.EpsG == 0 {
+		cfg.EpsG = 1e-3
+	}
+	nRanks := cfg.Cluster.RankDims[0] * cfg.Cluster.RankDims[1] * cfg.Cluster.RankDims[2]
+	if nRanks <= 0 {
+		return Summary{}, fmt.Errorf("sim: invalid rank dims %v", cfg.Cluster.RankDims)
+	}
+	world := mpi.NewWorld(nRanks)
+	var summary Summary
+	var runErr error
+	world.Run(func(comm *mpi.Comm) {
+		r := cluster.NewRank(comm, cfg.Cluster)
+		start := time.Now()
+		for {
+			if cfg.Steps > 0 && r.Step >= cfg.Steps {
+				break
+			}
+			if cfg.TEnd > 0 && r.Time >= cfg.TEnd {
+				break
+			}
+			if cfg.Steps == 0 && cfg.TEnd == 0 {
+				break
+			}
+			dt := r.Advance()
+			info := StepInfo{Step: r.Step, Time: r.Time, DT: dt}
+
+			if cfg.DiagEvery == 0 || r.Step%max(cfg.DiagEvery, 1) == 0 {
+				info.Diag = r.Diagnose(cfg.Wall, cfg.HasWall)
+				info.HasDiag = true
+			}
+			if cfg.DumpEvery > 0 && r.Step%cfg.DumpEvery == 0 {
+				rates := map[string]float64{}
+				for _, dq := range []struct {
+					q   compress.Quantity
+					eps float64
+				}{{compress.Pressure, cfg.EpsP}, {compress.Gamma, cfg.EpsG}} {
+					path := filepath.Join(cfg.DumpDir,
+						fmt.Sprintf("%s_step%06d.mpcf", dq.q, r.Step))
+					st, err := r.Dump(path, dq.q, dq.eps, cfg.Encoder)
+					if err != nil {
+						runErr = err
+						return
+					}
+					rates[dq.q.String()] = st.Rate()
+				}
+				info.DumpRates = rates
+			}
+			if cfg.CheckpointEvery > 0 && r.Step%cfg.CheckpointEvery == 0 {
+				if err := r.SaveCheckpoint(cfg.CheckpointPath); err != nil {
+					runErr = err
+					return
+				}
+			}
+			if comm.Rank() == 0 && onStep != nil {
+				onStep(info)
+			}
+		}
+		if comm.Rank() == 0 {
+			wall := time.Since(start)
+			cells := int64(r.G.Cells()) * int64(nRanks)
+			summary = Summary{
+				Steps:       r.Step,
+				SimTime:     r.Time,
+				WallTime:    wall,
+				GlobalCells: cells,
+				KernelShare: map[string]float64{},
+				Report:      r.Mon.Report(),
+			}
+			if wall > 0 && r.Step > 0 {
+				summary.PointsPerSec = float64(cells) * float64(r.Step) / wall.Seconds()
+			}
+			for _, k := range []string{"RHS", "UP", "DT", "IO_WAVELET"} {
+				summary.KernelShare[k] = r.Mon.Share(k)
+			}
+		}
+	})
+	return summary, runErr
+}
+
+// SodInit returns the classic Sod shock tube initial condition along x,
+// posed in a single-phase ideal gas (Γ, Π constant), used by the validation
+// tests and the quickstart example.
+func SodInit(x, y, z float64) physics.Prim {
+	g := 1 / (1.4 - 1)
+	if x < 0.5 {
+		return physics.Prim{Rho: 1, P: 1, G: g, Pi: 0}
+	}
+	return physics.Prim{Rho: 0.125, P: 0.1, G: g, Pi: 0}
+}

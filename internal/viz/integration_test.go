@@ -1,0 +1,104 @@
+package viz_test
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"cubism/internal/cloud"
+	"cubism/internal/cluster"
+	"cubism/internal/compress"
+	"cubism/internal/dump"
+	"cubism/internal/grid"
+	"cubism/internal/mpi"
+	"cubism/internal/viz"
+)
+
+// TestRenderRealDump runs a tiny two-rank cloud simulation, dumps the
+// pressure field, reassembles it through viz and renders a slice —
+// exercising the whole visualization path (the mpcf-render flow) end to
+// end, including the multi-rank/multi-block reassembly.
+func TestRenderRealDump(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.mpcf")
+	bubbles := []cloud.Bubble{{X: 0.5, Y: 0.5, Z: 0.5, R: 0.2}}
+	field := cloud.NewField(bubbles, 0.03)
+
+	world := mpi.NewWorld(2)
+	world.Run(func(comm *mpi.Comm) {
+		r := cluster.NewRank(comm, cluster.Config{
+			RankDims:  [3]int{2, 1, 1},
+			BlockDims: [3]int{1, 2, 2},
+			BlockSize: 8,
+			Extent:    1,
+			BC:        grid.DefaultBC(),
+			Workers:   1,
+			CFL:       0.3,
+			Init:      field.At,
+		})
+		r.Advance()
+		if _, err := r.Dump(path, compress.Pressure, 1e-3, "zlib"); err != nil {
+			t.Error(err)
+		}
+	})
+
+	hdr, payloads, err := dump.Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fields := make([][][]float32, len(payloads))
+	for ri, c := range payloads {
+		fields[ri], err = c.Decompress()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	vol, err := viz.Assemble(hdr, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if vol.NX != 16 || vol.NY != 16 || vol.NZ != 16 {
+		t.Fatalf("assembled volume %dx%dx%d, want 16³", vol.NX, vol.NY, vol.NZ)
+	}
+	// Physical sanity of the assembled field: vapor pressure inside the
+	// bubble, liquid pressure in the corners, no seams at the rank boundary.
+	if p := vol.At(8, 8, 8); p > 1e5 {
+		t.Errorf("bubble center pressure %g, want vapor-scale", p)
+	}
+	if p := vol.At(0, 0, 0); p < 50e5 {
+		t.Errorf("corner pressure %g, want liquid-scale", p)
+	}
+	// Continuity across the rank boundary (x=7|8): neighboring cells differ
+	// far less than the phase contrast.
+	for y := 0; y < 16; y++ {
+		for z := 0; z < 16; z++ {
+			a, b := vol.At(7, y, z), vol.At(8, y, z)
+			if math.Abs(a-b) > 0.7*100e5 {
+				t.Fatalf("seam at rank boundary y=%d z=%d: %g vs %g", y, z, a, b)
+			}
+		}
+	}
+	// Render the mid-plane; the image must have the right size and contain
+	// both blue-dominant (low p) and red-dominant (high p) pixels.
+	plane := vol.Slice(2, 8)
+	img := plane.PPM(viz.Pressure, 0, false)
+	if !bytes.HasPrefix(img, []byte("P6\n16 16\n255\n")) {
+		t.Fatalf("bad PPM header")
+	}
+	body := img[len("P6\n16 16\n255\n"):]
+	var sawBlue, sawRed bool
+	for i := 0; i+2 < len(body); i += 3 {
+		r, g, b := body[i], body[i+1], body[i+2]
+		_ = g
+		if b > r+50 {
+			sawBlue = true
+		}
+		if r > b+50 {
+			sawRed = true
+		}
+	}
+	if !sawBlue || !sawRed {
+		t.Errorf("rendered slice lacks phase contrast: blue=%v red=%v", sawBlue, sawRed)
+	}
+}

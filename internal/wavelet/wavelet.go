@@ -1,0 +1,107 @@
+// Package wavelet implements the fourth-order interpolating wavelet
+// transform "on the interval" that drives the paper's compression scheme
+// (§5: "fourth-order interpolating wavelets, on the interval ... a balanced
+// trade-off between compression rate and computational cost").
+//
+// The transform is the Deslauriers–Dubuc interpolating (lifting) scheme of
+// Donoho (paper ref. [17]): even samples become the coarse approximation and
+// each odd sample is replaced by its deviation from the cubic interpolation
+// of four neighboring evens. Because the wavelets are interpolating,
+// discarding detail coefficients below a threshold ε perturbs the
+// reconstruction in L∞ by at most a small multiple of ε — the guarantee the
+// paper relies on for its lossy dumps. Near the interval boundaries the
+// interpolation stencils are shifted one-sided (Cohen–Daubechies–Vial-style
+// boundary handling, ref. [12]), so each block transforms independently —
+// the property that makes the per-block parallel compression possible.
+package wavelet
+
+// MinLen is the smallest row length the 4-point boundary stencils support.
+const MinLen = 8
+
+// lagrange4 holds the cubic Lagrange weights evaluated at the half-integer
+// offsets needed by the interval boundary handling: stencil positions are
+// 0..3 and the interpolation point sits at tau = 0.5 + idx.
+var lagrange4 = [4][4]float64{
+	// tau = 0.5: left boundary (one-sided)
+	{0.3125, 0.9375, -0.3125, 0.0625},
+	// tau = 1.5: interior stencil, the classic (-1, 9, 9, -1)/16
+	{-0.0625, 0.5625, 0.5625, -0.0625},
+	// tau = 2.5: right boundary (one-sided)
+	{0.0625, -0.3125, 0.9375, 0.3125},
+	// tau = 3.5: right boundary extrapolation for the last odd sample of a
+	// row. The cubic extrapolation weights (-5/16, 21/16, -35/16, 35/16)
+	// have an absolute sum of 6, which would amplify decimation errors
+	// unacceptably through the multi-level prediction cascade; linear
+	// extrapolation (gain 2) trades the last sample's approximation order
+	// for a tight L∞ error bound under thresholding.
+	{0, 0, -0.5, 1.5},
+}
+
+// predictWeights returns the stencil start s and weight row for the odd
+// sample between evens i and i+1, for a coarse row of ne even samples.
+func predictWeights(i, ne int) (s int, w *[4]float64) {
+	s = i - 1
+	if s < 0 {
+		s = 0
+	}
+	if s > ne-4 {
+		s = ne - 4
+	}
+	return s, &lagrange4[i-s]
+}
+
+// Forward1D performs one level of the interpolating wavelet transform on
+// row (even length >= MinLen): the first half of dst receives the coarse
+// (even) samples and the second half the detail coefficients. dst and row
+// must not alias and len(dst) >= len(row).
+func Forward1D(dst, row []float32) {
+	n := len(row)
+	ne := n / 2
+	if n%2 != 0 || n < MinLen {
+		panic("wavelet: row length must be even and >= MinLen")
+	}
+	coarse := dst[:ne]
+	detail := dst[ne:n]
+	for i := 0; i < ne; i++ {
+		coarse[i] = row[2*i]
+	}
+	for i := 0; i < ne; i++ {
+		s, w := predictWeights(i, ne)
+		pred := w[0]*float64(coarse[s]) + w[1]*float64(coarse[s+1]) +
+			w[2]*float64(coarse[s+2]) + w[3]*float64(coarse[s+3])
+		detail[i] = float32(float64(row[2*i+1]) - pred)
+	}
+}
+
+// Inverse1D undoes Forward1D: src holds [coarse | detail] and dst receives
+// the interleaved samples. dst and src must not alias.
+func Inverse1D(dst, src []float32) {
+	n := len(src)
+	ne := n / 2
+	if n%2 != 0 || n < MinLen {
+		panic("wavelet: row length must be even and >= MinLen")
+	}
+	coarse := src[:ne]
+	detail := src[ne:n]
+	for i := 0; i < ne; i++ {
+		dst[2*i] = coarse[i]
+	}
+	for i := 0; i < ne; i++ {
+		s, w := predictWeights(i, ne)
+		pred := w[0]*float64(coarse[s]) + w[1]*float64(coarse[s+1]) +
+			w[2]*float64(coarse[s+2]) + w[3]*float64(coarse[s+3])
+		dst[2*i+1] = float32(float64(detail[i]) + pred)
+	}
+}
+
+// Levels returns the number of transform levels applicable to a row of
+// length n: a level applies while the current length is even and at least
+// MinLen (n=32 gives three levels: 32 → 16 → 8 → 4).
+func Levels(n int) int {
+	levels := 0
+	for n >= MinLen && n%2 == 0 {
+		n /= 2
+		levels++
+	}
+	return levels
+}

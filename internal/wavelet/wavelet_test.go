@@ -1,0 +1,248 @@
+package wavelet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestForwardInverse1DRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{8, 16, 32, 64} {
+		row := make([]float32, n)
+		for i := range row {
+			row[i] = float32(rng.NormFloat64())
+		}
+		tr := make([]float32, n)
+		back := make([]float32, n)
+		Forward1D(tr, row)
+		Inverse1D(back, tr)
+		for i := range row {
+			if math.Abs(float64(back[i]-row[i])) > 1e-5 {
+				t.Fatalf("n=%d: roundtrip[%d] = %g, want %g", n, i, back[i], row[i])
+			}
+		}
+	}
+}
+
+// TestPolynomialVanishingDetails: the fourth-order interpolating wavelet
+// reproduces cubic polynomials exactly, so every detail coefficient of a
+// cubic sequence vanishes — except the very last one, whose prediction is
+// deliberately linear (see the lagrange4 boundary comment), so it vanishes
+// only for affine input.
+func TestPolynomialVanishingDetails(t *testing.T) {
+	n := 32
+	row := make([]float32, n)
+	for i := range row {
+		x := float64(i)
+		row[i] = float32(0.3 - 1.2*x + 0.05*x*x - 0.002*x*x*x)
+	}
+	tr := make([]float32, n)
+	Forward1D(tr, row)
+	for i := n / 2; i < n-1; i++ {
+		if math.Abs(float64(tr[i])) > 1e-4 {
+			t.Errorf("detail[%d] = %g, want ~0 for cubic input", i, tr[i])
+		}
+	}
+	// Affine input: every detail vanishes, including the last.
+	for i := range row {
+		row[i] = float32(2 - 0.5*float64(i))
+	}
+	Forward1D(tr, row)
+	for i := n / 2; i < n; i++ {
+		if math.Abs(float64(tr[i])) > 1e-4 {
+			t.Errorf("affine detail[%d] = %g, want 0", i, tr[i])
+		}
+	}
+}
+
+// TestLinearity: the transform is linear (property-based).
+func TestLinearity(t *testing.T) {
+	const n = 16
+	f := func(seed int64, a float64) bool {
+		if math.IsNaN(a) || math.IsInf(a, 0) || math.Abs(a) > 1e3 {
+			a = 1.5
+		}
+		rng := rand.New(rand.NewSource(seed))
+		x := make([]float32, n)
+		y := make([]float32, n)
+		sum := make([]float32, n)
+		for i := range x {
+			x[i] = float32(rng.NormFloat64())
+			y[i] = float32(rng.NormFloat64())
+			sum[i] = float32(a)*x[i] + y[i]
+		}
+		tx := make([]float32, n)
+		ty := make([]float32, n)
+		ts := make([]float32, n)
+		Forward1D(tx, x)
+		Forward1D(ty, y)
+		Forward1D(ts, sum)
+		for i := range ts {
+			want := float64(float32(a)*tx[i] + ty[i])
+			if math.Abs(float64(ts[i])-want) > 1e-3*(1+math.Abs(want)) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevels(t *testing.T) {
+	cases := map[int]int{4: 0, 8: 1, 16: 2, 32: 3, 64: 4, 7: 0, 12: 0}
+	// 12: 12 >= 8 and even -> one level? 12/2=6 -> stop. So Levels(12)=1.
+	cases[12] = 1
+	for n, want := range cases {
+		if got := Levels(n); got != want {
+			t.Errorf("Levels(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFWT3RoundTrip(t *testing.T) {
+	for _, n := range []int{8, 16, 32} {
+		tr := NewFWT3(n)
+		data := make([]float32, n*n*n)
+		rng := rand.New(rand.NewSource(7))
+		for i := range data {
+			data[i] = float32(rng.NormFloat64())
+		}
+		orig := append([]float32(nil), data...)
+		tr.Forward(data)
+		// The transform must actually change the data (decorrelate).
+		same := true
+		for i := range data {
+			if data[i] != orig[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatalf("n=%d: forward transform is the identity", n)
+		}
+		tr.Inverse(data)
+		for i := range data {
+			if math.Abs(float64(data[i]-orig[i])) > 1e-4 {
+				t.Fatalf("n=%d: roundtrip[%d] = %g, want %g", n, i, data[i], orig[i])
+			}
+		}
+	}
+}
+
+// TestFWT3SmoothCompaction: on a smooth field, almost all energy must end
+// up in the coarse corner — the de-correlation property the compression
+// pipeline exploits.
+func TestFWT3SmoothCompaction(t *testing.T) {
+	n := 32
+	tr := NewFWT3(n)
+	data := make([]float32, n*n*n)
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				data[(z*n+y)*n+x] = float32(
+					math.Sin(2*math.Pi*float64(x)/float64(n)) *
+						math.Cos(2*math.Pi*float64(y)/float64(n)) *
+						math.Sin(2*math.Pi*float64(z)/float64(n)))
+			}
+		}
+	}
+	tr.Forward(data)
+	// Count coefficients above a small threshold; for a smooth field the
+	// significant set should be a small fraction of the total.
+	significant := 0
+	for _, v := range data {
+		if math.Abs(float64(v)) > 1e-3 {
+			significant++
+		}
+	}
+	frac := float64(significant) / float64(len(data))
+	if frac > 0.2 {
+		t.Errorf("smooth field keeps %.1f%% significant coefficients, want < 20%%", 100*frac)
+	}
+}
+
+// TestThresholdErrorBound: zeroing all detail coefficients with magnitude
+// <= eps must keep the L∞ reconstruction error within a small multiple of
+// eps (the guarantee the paper's decimation relies on).
+func TestThresholdErrorBound(t *testing.T) {
+	n := 32
+	tr := NewFWT3(n)
+	data := make([]float32, n*n*n)
+	rng := rand.New(rand.NewSource(3))
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				smooth := math.Sin(7 * float64(x+2*y+3*z) / float64(n))
+				data[(z*n+y)*n+x] = float32(smooth + 0.01*rng.NormFloat64())
+			}
+		}
+	}
+	orig := append([]float32(nil), data...)
+	tr.Forward(data)
+	const eps = 1e-3
+	c := n >> uint(Levels(n))
+	dropped := 0
+	for z := 0; z < n; z++ {
+		for y := 0; y < n; y++ {
+			for x := 0; x < n; x++ {
+				if x < c && y < c && z < c {
+					continue // never decimate the coarse approximation
+				}
+				i := (z*n+y)*n + x
+				if math.Abs(float64(data[i])) <= eps {
+					data[i] = 0
+					dropped++
+				}
+			}
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("test vector produced no decimatable coefficients")
+	}
+	tr.Inverse(data)
+	maxErr := 0.0
+	for i := range data {
+		if e := math.Abs(float64(data[i] - orig[i])); e > maxErr {
+			maxErr = e
+		}
+	}
+	// Error amplification across levels and directions is bounded; 20x is
+	// a conservative engineering bound validated here.
+	if maxErr > 10*eps {
+		t.Errorf("L∞ error %g exceeds 10*eps = %g", maxErr, 10*eps)
+	}
+}
+
+func TestBoundaryStencilWeightsSumToOne(t *testing.T) {
+	for i, w := range lagrange4 {
+		sum := w[0] + w[1] + w[2] + w[3]
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("stencil %d weights sum to %g, want 1", i, sum)
+		}
+	}
+}
+
+// TestForwardVecMatchesScalar: the 4-stream vectorized transform must be
+// numerically equivalent to the scalar path.
+func TestForwardVecMatchesScalar(t *testing.T) {
+	for _, n := range []int{8, 16, 32} {
+		a := make([]float32, n*n*n)
+		rng := rand.New(rand.NewSource(11))
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+		}
+		b := append([]float32(nil), a...)
+		tr := NewFWT3(n)
+		tr.Forward(a)
+		tr.ForwardVec(b)
+		for i := range a {
+			if math.Abs(float64(a[i]-b[i])) > 1e-4*(1+math.Abs(float64(a[i]))) {
+				t.Fatalf("n=%d: elem %d scalar %g vs vec %g", n, i, a[i], b[i])
+			}
+		}
+	}
+}
