@@ -1,0 +1,27 @@
+# Verification targets; `make check` is the tier-1 gate plus vet and the
+# race-enabled telemetry/sim tests.
+
+GO ?= go
+
+.PHONY: check vet build test race bench sim-json
+
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/telemetry ./internal/sim
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# Machine-readable perf record for cross-PR diffing (docs/observability.md).
+sim-json:
+	$(GO) run ./cmd/mpcf-bench -exp sim -steps 50 -json BENCH_sim.json

@@ -9,7 +9,11 @@
 //	mpcf-bench -n 32 -dur 2s    # production block size, longer timing
 //
 // Experiments: table3 table4 table5 table6 table7 table8 table9 table10
-// fig5 fig7 fig9 compression throughput all
+// fig5 fig7 fig9 compression throughput io sim all
+//
+// The sim experiment also emits a machine-readable BENCH_sim.json (per-kernel
+// GFLOP/s, step latency percentiles, cross-rank imbalance) next to the
+// human-readable report, so the perf trajectory across PRs is diffable.
 package main
 
 import (
@@ -22,10 +26,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table3..table10, fig5, fig7, fig9, compression, throughput, all)")
+	exp := flag.String("exp", "all", "experiment id (table3..table10, fig5, fig7, fig9, compression, throughput, io, sim, all)")
 	n := flag.Int("n", 16, "block edge in cells (paper production: 32)")
 	dur := flag.Duration("dur", 500*time.Millisecond, "minimum timing window per kernel measurement")
 	steps := flag.Int("steps", 100, "time steps for the simulation-driven experiments")
+	jsonPath := flag.String("json", "BENCH_sim.json", "machine-readable output path of the sim experiment (empty: skip)")
 	flag.Parse()
 
 	w := os.Stdout
@@ -44,10 +49,11 @@ func main() {
 		"compression": func() { experiments.Compression(w, *n) },
 		"throughput":  func() { experiments.Throughput(w, *steps) },
 		"io":          func() { experiments.IO(w, *n) },
+		"sim":         func() { experiments.BenchSim(w, *n, *steps, *jsonPath) },
 	}
 	order := []string{
 		"table3", "table4", "table5", "table6", "table7", "table8",
-		"table9", "table10", "fig5", "fig7", "fig9", "compression", "throughput", "io",
+		"table9", "table10", "fig5", "fig7", "fig9", "compression", "throughput", "io", "sim",
 	}
 	if *exp == "all" {
 		for _, id := range order {

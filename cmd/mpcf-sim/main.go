@@ -1,5 +1,6 @@
 // mpcf-sim is the production-style simulation driver: cloud cavitation
-// collapse with configurable decomposition, kernels, dumps and diagnostics.
+// collapse with configurable decomposition, kernels, dumps, diagnostics
+// and telemetry (see docs/observability.md).
 //
 // Usage examples:
 //
@@ -7,6 +8,8 @@
 //	mpcf-sim -ranks 2,2,2 -blocks 2,2,2 -n 16    # 8 simulated MPI ranks
 //	mpcf-sim -bubbles 40 -wall -dump-every 100 -dump-dir out/
 //	mpcf-sim -case sod                           # validation case
+//	mpcf-sim -steps 20 -trace out.trace.json -telemetry-addr :0
+//	mpcf-sim -step-log steps.jsonl -quiet
 package main
 
 import (
@@ -60,7 +63,49 @@ func main() {
 	diagEvery := flag.Int("diag-every", 10, "diagnostics cadence in steps")
 	ckptEvery := flag.Int("checkpoint-every", 0, "write a lossless checkpoint every so many steps (0: never)")
 	ckptPath := flag.String("checkpoint", "checkpoint.ckp", "checkpoint file path")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this path (open in chrome://tracing or Perfetto)")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090; :0 picks a port; empty: disabled)")
+	stepLogPath := flag.String("step-log", "", "write a JSONL structured step log to this path (- for stdout)")
+	quiet := flag.Bool("quiet", false, "suppress per-step human output (final summary still printed)")
 	flag.Parse()
+
+	// Telemetry sinks, each opt-in via its flag; the hot loop pays only a
+	// pointer check for whatever stays disabled.
+	var tel *cubism.Telemetry
+	telOn := *tracePath != "" || *telemetryAddr != "" || *stepLogPath != ""
+	if telOn {
+		tel = &cubism.Telemetry{Metrics: cubism.NewMetricsRegistry()}
+	}
+	var traceFile *os.File
+	if *tracePath != "" {
+		// Created up front so a bad path fails before the run, not after.
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		traceFile = f
+		tel.Tracer = cubism.NewTracer()
+	}
+	if *telemetryAddr != "" {
+		srv, err := cubism.ServeTelemetry(*telemetryAddr, tel.Metrics)
+		if err != nil {
+			log.Fatalf("telemetry listener: %v", err)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics, /debug/vars, /debug/pprof on http://%s\n", srv.Addr())
+	}
+	if *stepLogPath != "" {
+		w := os.Stdout
+		if *stepLogPath != "-" {
+			f, err := os.Create(*stepLogPath)
+			if err != nil {
+				log.Fatalf("step log: %v", err)
+			}
+			w = f
+		}
+		tel.StepLog = cubism.NewStepLogger(w)
+		defer tel.StepLog.Close()
+	}
 
 	cfg := cubism.Config{
 		CheckpointEvery: *ckptEvery,
@@ -76,6 +121,7 @@ func main() {
 		DumpDir:         *dumpDir,
 		Encoder:         *encoder,
 		DiagEvery:       *diagEvery,
+		Telemetry:       tel,
 	}
 
 	switch *caseName {
@@ -94,7 +140,9 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Fprintf(os.Stderr, "generated %d bubbles\n", len(cloudBubbles))
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "generated %d bubbles\n", len(cloudBubbles))
+		}
 		cfg.Init = cubism.CloudField(cloudBubbles, 0.015)
 	default:
 		log.Fatalf("unknown case %q", *caseName)
@@ -105,19 +153,34 @@ func main() {
 		cfg.HasWall = true
 	}
 
-	fmt.Println("step,time,dt,max_p,wall_p,kinetic_energy,equiv_radius")
+	// Per-step output: the structured record goes to the step log (when
+	// enabled); here only a human summary line remains, -quiet silences it.
 	summary, err := cubism.Run(cfg, func(s cubism.StepInfo) {
+		if *quiet {
+			return
+		}
 		if s.HasDiag {
-			fmt.Printf("%d,%.6e,%.3e,%.4e,%.4e,%.4e,%.4e\n",
-				s.Step, s.Time, s.DT, s.Diag.MaxPressure, s.Diag.WallPressure,
+			fmt.Printf("step %6d  t=%.6e  dt=%.3e  wall=%6.1fms  max_p=%.4e  wall_p=%.4e  ke=%.4e  R=%.4e\n",
+				s.Step, s.Time, s.DT, s.WallMS, s.Diag.MaxPressure, s.Diag.WallPressure,
 				s.Diag.KineticEnergy, s.Diag.EquivRadius)
 		}
 		for q, rate := range s.DumpRates {
-			fmt.Fprintf(os.Stderr, "step %d: %s compressed %.1f:1\n", s.Step, q, rate)
+			fmt.Fprintf(os.Stderr, "step %d: %s compressed %.1f:1 (%.1f MB/s)\n",
+				s.Step, q, rate, s.DumpMBps)
 		}
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if traceFile != nil {
+		if err := tel.Tracer.Write(traceFile); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		if err := traceFile.Close(); err != nil {
+			log.Fatalf("trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "telemetry: wrote %d spans to %s (open in chrome://tracing or https://ui.perfetto.dev)\n",
+			tel.Tracer.Len(), *tracePath)
 	}
 	fmt.Fprintf(os.Stderr, "\n%d steps, t=%.3e, wall %v, %.2f Mpoints/s\n%s",
 		summary.Steps, summary.SimTime, summary.WallTime.Round(1e6),

@@ -32,6 +32,8 @@
 package cubism
 
 import (
+	"io"
+
 	"cubism/internal/cloud"
 	"cubism/internal/cluster"
 	"cubism/internal/compress"
@@ -39,6 +41,7 @@ import (
 	"cubism/internal/grid"
 	"cubism/internal/physics"
 	"cubism/internal/sim"
+	"cubism/internal/telemetry"
 )
 
 // State is a primitive flow state: density, velocity, pressure and the two
@@ -158,6 +161,33 @@ type Config struct {
 	// Wall marks a face as the solid wall for wall-pressure diagnostics.
 	Wall    Face
 	HasWall bool
+
+	// Telemetry (optional) attaches the observability sinks — span tracer,
+	// metrics registry and structured step log (see docs/observability.md).
+	// Nil disables all instrumentation beyond a pointer check per phase.
+	Telemetry *Telemetry
+}
+
+// Telemetry bundles the observability sinks threaded through the solver
+// stack: a Chrome trace_event span tracer, a Prometheus/expvar metrics
+// registry, and a JSONL step logger.
+type Telemetry = telemetry.Set
+
+// NewTracer returns an enabled solver-phase span tracer; export it with
+// WriteFile after the run and open the JSON in chrome://tracing or Perfetto.
+func NewTracer() *telemetry.Tracer { return telemetry.NewTracer() }
+
+// NewMetricsRegistry returns an empty metrics registry, servable via
+// ServeTelemetry and renderable in the Prometheus text format.
+func NewMetricsRegistry() *telemetry.Registry { return telemetry.NewRegistry() }
+
+// NewStepLogger returns a JSONL step logger writing to w.
+func NewStepLogger(w io.Writer) *telemetry.StepLogger { return telemetry.NewStepLogger(w) }
+
+// ServeTelemetry starts the opt-in HTTP listener with /metrics,
+// /debug/vars and /debug/pprof (addr ":0" picks a free port).
+func ServeTelemetry(addr string, reg *telemetry.Registry) (*telemetry.Server, error) {
+	return telemetry.Serve(addr, reg)
 }
 
 // StepInfo is delivered after every step.
@@ -205,6 +235,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		CheckpointPath:  cfg.CheckpointPath,
 		Wall:            cfg.Wall,
 		HasWall:         cfg.HasWall,
+		Telemetry:       cfg.Telemetry,
 	}, onStep)
 }
 

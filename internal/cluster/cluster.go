@@ -18,6 +18,7 @@ import (
 	"cubism/internal/node"
 	"cubism/internal/perf"
 	"cubism/internal/physics"
+	"cubism/internal/telemetry"
 )
 
 // Config describes one production-style run.
@@ -43,6 +44,9 @@ type Config struct {
 	// the paper's low-storage 2N scheme) or "ssprk3" (classic three-register
 	// Shu-Osher scheme, the memory-footprint ablation).
 	TimeStepper string
+	// Tracer (optional) records solver-phase spans for this rank; nil
+	// disables tracing at the cost of a pointer check per phase.
+	Tracer *telemetry.Tracer
 	// Init fills the initial condition from global physical coordinates.
 	Init func(x, y, z float64) physics.Prim
 }
@@ -57,6 +61,9 @@ type Rank struct {
 
 	Step int
 	Time float64
+
+	tr     *telemetry.Tracer
+	rankID int
 
 	reg                  [][]float32 // low-storage Runge-Kutta registers, one per block
 	rhs                  [][]float32 // RHS evaluation buffers, one per block
@@ -92,7 +99,10 @@ func NewRank(comm *mpi.Comm, cfg Config) *Rank {
 		G:      g,
 		Engine: node.New(g, rankBC(cart, cfg.BC), cfg.Workers, cfg.Vector),
 		Mon:    perf.NewMonitor(),
+		tr:     cfg.Tracer,
+		rankID: comm.Rank(),
 	}
+	r.Engine.SetTrace(cfg.Tracer, r.rankID)
 	per := n * n * n * physics.NQ
 	r.reg = make([][]float32, len(g.Blocks))
 	r.rhs = make([][]float32, len(g.Blocks))
@@ -193,6 +203,8 @@ func opposite(f grid.Face) grid.Face { return f ^ 1 }
 // for the messages, the rank dispatches the interior blocks to the node
 // layer" (§6).
 func (r *Rank) ExchangeGhosts(stage int) [6]*mpi.Request {
+	sp := r.tr.StartSpan("ghost_exchange", r.rankID, 0)
+	defer sp.End()
 	var recvs [6]*mpi.Request
 	r.G.ClearHalos()
 	for f := grid.XLo; f <= grid.ZHi; f++ {
@@ -215,6 +227,8 @@ func (r *Rank) ExchangeGhosts(stage int) [6]*mpi.Request {
 
 // InstallHalos waits for the ghost messages and installs them.
 func (r *Rank) InstallHalos(recvs [6]*mpi.Request) {
+	sp := r.tr.StartSpan("halo_wait", r.rankID, 0)
+	defer sp.End()
 	for f := grid.XLo; f <= grid.ZHi; f++ {
 		if recvs[f] == nil {
 			continue
@@ -233,6 +247,8 @@ func haloFromPack(g *grid.Grid, f grid.Face, data []float32) []float32 { return 
 // MaxDT computes the global CFL time step (the DT kernel + its global
 // scalar reduction).
 func (r *Rank) MaxDT() float64 {
+	sp := r.tr.StartSpan("DT", r.rankID, 0)
+	defer sp.End()
 	t0 := time.Now()
 	local := r.Engine.MaxCharVel()
 	global := r.Cart.Allreduce(local, mpi.MaxOp)
@@ -259,13 +275,16 @@ func (r *Rank) RKStep(dt float64) {
 	for s := 0; s < 3; s++ {
 		recvs := r.ExchangeGhosts(s)
 		t0 := time.Now()
+		rhsSpan := r.tr.StartSpan("RHS", r.rankID, 0)
 		r.Engine.ComputeRHS(r.interior, r.interiorRHS)
 		r.InstallHalos(recvs)
 		r.Engine.ComputeRHS(r.haloBlocks, r.haloRHS)
+		rhsSpan.End()
 		r.Mon.Kernel("RHS").RecordSince(t0,
 			cells*core.RHSFlopsPerCell(r.G.N), cells*core.RHSBytesPerCell(r.G.N))
 
 		t0 = time.Now()
+		upSpan := r.tr.StartSpan("UP", r.rankID, 0)
 		if ssp {
 			for i, b := range r.G.Blocks {
 				core.UpdateSSP(b.Data, r.u0[i], r.rhs[i], s, dt)
@@ -273,6 +292,7 @@ func (r *Rank) RKStep(dt float64) {
 		} else {
 			r.Engine.Update(r.G.Blocks, r.reg, r.rhs, core.RK3A[s], core.RK3B[s], dt)
 		}
+		upSpan.End()
 		r.Mon.Kernel("UP").RecordSince(t0,
 			values*core.UpdateFlopsPerValue, values*core.UpdateBytesPerValue)
 	}
@@ -289,9 +309,12 @@ func (r *Rank) Advance() float64 {
 
 // Dump writes one quantity's compressed snapshot collectively.
 func (r *Rank) Dump(path string, q compress.Quantity, eps float64, encoder string) (compress.Stats, error) {
+	sp := r.tr.StartSpan("dump", r.rankID, 0)
+	defer sp.End()
 	t0 := time.Now()
 	c, stats, err := compress.Compress(r.G, q, compress.Options{
 		Epsilon: eps, Encoder: encoder, Workers: r.Engine.Workers(),
+		Tracer: r.tr, Rank: r.rankID,
 	})
 	if err != nil {
 		return stats, err
@@ -335,6 +358,8 @@ type Diagnostics struct {
 
 // Diagnose computes the global diagnostics via reductions.
 func (r *Rank) Diagnose(wall grid.Face, hasWall bool) Diagnostics {
+	sp := r.tr.StartSpan("diagnose", r.rankID, 0)
+	defer sp.End()
 	g := r.G
 	n := g.N
 	h3 := g.H * g.H * g.H
@@ -421,6 +446,8 @@ func (r *Rank) ComputeRHSOnly() {
 // SaveCheckpoint writes the full conserved state collectively (lossless;
 // see internal/checkpoint). All ranks must call it.
 func (r *Rank) SaveCheckpoint(path string) error {
+	sp := r.tr.StartSpan("checkpoint", r.rankID, 0)
+	defer sp.End()
 	return checkpoint.Write(r.Cart.Comm, path, r.G, r.Cfg.RankDims, r.Step, r.Time)
 }
 

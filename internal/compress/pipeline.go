@@ -9,6 +9,7 @@ import (
 
 	"cubism/internal/grid"
 	"cubism/internal/physics"
+	"cubism/internal/telemetry"
 	"cubism/internal/wavelet"
 )
 
@@ -63,6 +64,11 @@ type Options struct {
 	// Workers is the number of concurrent compression goroutines (the
 	// paper's per-thread buffers); 0 means one.
 	Workers int
+	// Tracer (optional) records per-worker fwt_decimate/encode spans on
+	// Rank's trace tracks.
+	Tracer *telemetry.Tracer
+	// Rank is the trace process id used with Tracer.
+	Rank int
 }
 
 // Stats reports the outcome and per-stage work distribution of a pass.
@@ -166,6 +172,7 @@ func Compress(g *grid.Grid, q Quantity, opt Options) (*Compressed, Stats, error)
 			var rec [4]byte
 			lo, hi := chunk(nb, workers, w)
 			t0 := time.Now()
+			sp := opt.Tracer.StartSpan("fwt_decimate", opt.Rank, w+1)
 			for bi := lo; bi < hi; bi++ {
 				q.Extract(g.Blocks[bi], field)
 				fwt.Forward(field)
@@ -174,9 +181,12 @@ func Compress(g *grid.Grid, q Quantity, opt Options) (*Compressed, Stats, error)
 				raw = append(raw, rec[:]...)
 				raw = appendFloats(raw, field)
 			}
+			sp.End()
 			stats.DecTimes[w] = time.Since(t0)
 			t0 = time.Now()
+			sp = opt.Tracer.StartSpan("encode", opt.Rank, w+1)
 			out.Streams[w], encodeErr[w] = enc.Encode(nil, raw)
+			sp.End()
 			stats.EncTimes[w] = time.Since(t0)
 		}(w)
 	}

@@ -1,0 +1,190 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+
+	"cubism/internal/cluster"
+	"cubism/internal/grid"
+	"cubism/internal/sim"
+	"cubism/internal/telemetry"
+)
+
+// BenchSimKernel is one kernel's row in BENCH_sim.json.
+type BenchSimKernel struct {
+	Calls       int     `json:"calls"`
+	Seconds     float64 `json:"seconds"`
+	GFLOPS      float64 `json:"gflops"`
+	FlopPerByte float64 `json:"flop_per_byte"`
+	Share       float64 `json:"share"`
+	Imbalance   float64 `json:"imbalance"`
+}
+
+// BenchSimLatency summarizes the step-latency distribution.
+type BenchSimLatency struct {
+	MeanMS float64 `json:"mean_ms"`
+	P50MS  float64 `json:"p50_ms"`
+	P90MS  float64 `json:"p90_ms"`
+	P99MS  float64 `json:"p99_ms"`
+	MaxMS  float64 `json:"max_ms"`
+}
+
+// BenchSimResult is the machine-readable benchmark record emitted next to
+// the human-readable report, so the perf trajectory across PRs is diffable
+// (compare two files with `diff` or a JSON tool).
+type BenchSimResult struct {
+	BlockSize     int                       `json:"block_size"`
+	RankDims      [3]int                    `json:"rank_dims"`
+	BlockDims     [3]int                    `json:"block_dims"`
+	Steps         int                       `json:"steps"`
+	Workers       int                       `json:"workers_per_rank"`
+	GlobalCells   int64                     `json:"global_cells"`
+	WallSeconds   float64                   `json:"wall_seconds"`
+	PointsPerSec  float64                   `json:"points_per_second"`
+	StepLatency   BenchSimLatency           `json:"step_latency"`
+	StepImbalance float64                   `json:"step_imbalance"`
+	Kernels       map[string]BenchSimKernel `json:"kernels"`
+}
+
+// percentile returns the p-quantile (0..1) of sorted xs by nearest-rank.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(p*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// RunBenchSim executes the instrumented multi-rank benchmark campaign and
+// returns the machine-readable record.
+func RunBenchSim(n, steps int) (BenchSimResult, error) {
+	workers := max(runtime.NumCPU()/2, 1)
+	cfg := sim.Config{
+		Cluster: cluster.Config{
+			RankDims:  [3]int{2, 1, 1},
+			BlockDims: [3]int{2, 2, 2},
+			BlockSize: n,
+			Extent:    1,
+			BC:        grid.PeriodicBC(),
+			Workers:   workers,
+			CFL:       0.3,
+			Init:      testField,
+		},
+		Steps:     steps,
+		DiagEvery: 1 << 30,
+		// A non-nil telemetry set switches on the cross-rank step-time
+		// reductions that feed the imbalance statistic.
+		Telemetry: &telemetry.Set{},
+	}
+	var lats, imbs []float64
+	summary, err := sim.Run(cfg, func(s sim.StepInfo) {
+		lats = append(lats, s.WallMS)
+		imbs = append(imbs, s.Imbalance)
+	})
+	if err != nil {
+		return BenchSimResult{}, err
+	}
+	res := BenchSimResult{
+		BlockSize:    n,
+		RankDims:     cfg.Cluster.RankDims,
+		BlockDims:    cfg.Cluster.BlockDims,
+		Steps:        summary.Steps,
+		Workers:      workers,
+		GlobalCells:  summary.GlobalCells,
+		WallSeconds:  summary.WallTime.Seconds(),
+		PointsPerSec: summary.PointsPerSec,
+		Kernels:      map[string]BenchSimKernel{},
+	}
+	sort.Float64s(lats)
+	var sum float64
+	for _, v := range lats {
+		sum += v
+	}
+	if len(lats) > 0 {
+		res.StepLatency = BenchSimLatency{
+			MeanMS: sum / float64(len(lats)),
+			P50MS:  percentile(lats, 0.50),
+			P90MS:  percentile(lats, 0.90),
+			P99MS:  percentile(lats, 0.99),
+			MaxMS:  lats[len(lats)-1],
+		}
+	}
+	for _, v := range imbs {
+		res.StepImbalance += v
+	}
+	if len(imbs) > 0 {
+		res.StepImbalance /= float64(len(imbs))
+	}
+	totalSec := 0.0
+	for _, st := range summary.Kernels {
+		totalSec += st.Total.Seconds()
+	}
+	for name, st := range summary.Kernels {
+		share := 0.0
+		if totalSec > 0 {
+			share = st.Total.Seconds() / totalSec
+		}
+		res.Kernels[name] = BenchSimKernel{
+			Calls:       st.N,
+			Seconds:     st.Total.Seconds(),
+			GFLOPS:      st.GFLOPS(),
+			FlopPerByte: st.Intensity(),
+			Share:       share,
+			Imbalance:   st.Imbalance(),
+		}
+	}
+	return res, nil
+}
+
+// BenchSim runs the instrumented simulation benchmark, prints the human
+// summary to w and writes BENCH_sim.json-style output to jsonPath (skipped
+// when jsonPath is empty).
+func BenchSim(w io.Writer, n, steps int, jsonPath string) {
+	header(w, "Instrumented simulation benchmark")
+	res, err := RunBenchSim(n, steps)
+	if err != nil {
+		panic(err)
+	}
+	line(w, "%d ranks x %v blocks, N=%d, %d workers/rank, %d steps",
+		res.RankDims[0]*res.RankDims[1]*res.RankDims[2], res.BlockDims, n, res.Workers, res.Steps)
+	line(w, "throughput:      %10.2f Mpoints/s", res.PointsPerSec/1e6)
+	line(w, "step latency ms: mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f",
+		res.StepLatency.MeanMS, res.StepLatency.P50MS, res.StepLatency.P90MS,
+		res.StepLatency.P99MS, res.StepLatency.MaxMS)
+	line(w, "step imbalance:  %10.3f (cross-rank (tmax-tmin)/tavg, mean over steps)", res.StepImbalance)
+	line(w, "%-12s %8s %12s %10s %8s", "kernel", "calls", "GFLOP/s", "FLOP/B", "share")
+	names := make([]string, 0, len(res.Kernels))
+	for name := range res.Kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		k := res.Kernels[name]
+		line(w, "%-12s %8d %12.3f %10.2f %7.1f%%", name, k.Calls, k.GFLOPS, k.FlopPerByte, 100*k.Share)
+	}
+	if jsonPath == "" {
+		return
+	}
+	if err := WriteBenchSimJSON(jsonPath, res); err != nil {
+		panic(err)
+	}
+	line(w, "wrote %s", jsonPath)
+}
+
+// WriteBenchSimJSON writes the record as indented JSON.
+func WriteBenchSimJSON(path string, res BenchSimResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

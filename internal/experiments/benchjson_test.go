@@ -1,0 +1,57 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		p    float64
+		want float64
+	}{{0.5, 5}, {0.9, 9}, {0.99, 10}, {1, 10}} {
+		if got := percentile(xs, tc.p); got != tc.want {
+			t.Errorf("percentile(%.2f) = %v, want %v", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile of empty = %v, want 0", got)
+	}
+}
+
+func TestBenchSimJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
+	var buf bytes.Buffer
+	BenchSim(&buf, 8, 3, path)
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res BenchSimResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("BENCH_sim.json is not valid JSON: %v", err)
+	}
+	if res.Steps != 3 || res.BlockSize != 8 {
+		t.Errorf("steps=%d block=%d, want 3/8", res.Steps, res.BlockSize)
+	}
+	if res.StepLatency.P50MS <= 0 || res.StepLatency.MaxMS < res.StepLatency.P50MS {
+		t.Errorf("step latency percentiles malformed: %+v", res.StepLatency)
+	}
+	for _, k := range []string{"RHS", "UP", "DT"} {
+		st, ok := res.Kernels[k]
+		if !ok || st.Calls == 0 || st.GFLOPS <= 0 {
+			t.Errorf("kernel %s missing or empty: %+v", k, st)
+		}
+	}
+	if res.PointsPerSec <= 0 || res.GlobalCells == 0 {
+		t.Errorf("throughput fields empty: %+v", res)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("step latency ms")) {
+		t.Error("human report missing latency line")
+	}
+}

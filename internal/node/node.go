@@ -16,6 +16,7 @@ import (
 	"cubism/internal/core"
 	"cubism/internal/grid"
 	"cubism/internal/physics"
+	"cubism/internal/telemetry"
 )
 
 // Engine executes the compute kernels over the blocks of one rank-local
@@ -30,6 +31,9 @@ type Engine struct {
 
 	workers int
 	scratch []*workspace
+
+	tracer *telemetry.Tracer
+	rank   int
 }
 
 // workspace is the per-worker dedicated buffer set.
@@ -62,9 +66,18 @@ func New(g *grid.Grid, bc grid.BC, workers int, vector bool) *Engine {
 // Workers returns the worker count.
 func (e *Engine) Workers() int { return e.workers }
 
+// SetTrace attaches a span tracer (may be nil) and this engine's rank id;
+// each parallel region then records one span per participating worker on
+// the worker's own track.
+func (e *Engine) SetTrace(t *telemetry.Tracer, rank int) {
+	e.tracer = t
+	e.rank = rank
+}
+
 // parallel runs body(worker, blockOrdinal) for every ordinal in [0, n),
-// distributing ordinals dynamically across the workers.
-func (e *Engine) parallel(n int, body func(w, i int)) {
+// distributing ordinals dynamically across the workers. region names the
+// spans recorded on each worker's trace track.
+func (e *Engine) parallel(region string, n int, body func(w, i int)) {
 	if n == 0 {
 		return
 	}
@@ -78,6 +91,8 @@ func (e *Engine) parallel(n int, body func(w, i int)) {
 	for w := 0; w < workers; w++ {
 		go func(w int) {
 			defer wg.Done()
+			sp := e.tracer.StartSpan(region, e.rank, w+1)
+			defer sp.End()
 			for {
 				i := int(cursor.Add(1)) - 1
 				if i >= n {
@@ -94,7 +109,7 @@ func (e *Engine) parallel(n int, body func(w, i int)) {
 // matching out buffers (block AoS layout). Each worker loads block data and
 // ghosts into its dedicated lab before invoking the core kernel.
 func (e *Engine) ComputeRHS(blocks []*grid.Block, out [][]float32) {
-	e.parallel(len(blocks), func(w, i int) {
+	e.parallel("RHS.worker", len(blocks), func(w, i int) {
 		ws := e.scratch[w]
 		ws.lab.Load(e.G, e.BC, blocks[i])
 		if e.Vector {
@@ -111,7 +126,7 @@ func (e *Engine) ComputeRHS(blocks []*grid.Block, out [][]float32) {
 // u ← u + b·reg.
 func (e *Engine) Update(blocks []*grid.Block, reg, rhs [][]float32, a, b, dt float64) {
 	vector := e.Vector
-	e.parallel(len(blocks), func(w, i int) {
+	e.parallel("UP.worker", len(blocks), func(w, i int) {
 		if vector {
 			core.UpdateQPX(blocks[i].Data, reg[i], rhs[i], a, b, dt)
 		} else {
@@ -127,7 +142,7 @@ func (e *Engine) MaxCharVel() float64 {
 	blocks := e.G.Blocks
 	partial := make([]float64, len(blocks))
 	vector := e.Vector
-	e.parallel(len(blocks), func(w, i int) {
+	e.parallel("SOS.worker", len(blocks), func(w, i int) {
 		if vector {
 			partial[i] = core.MaxCharVelQPX(blocks[i].Data)
 		} else {

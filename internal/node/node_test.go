@@ -74,7 +74,7 @@ func TestDynamicSchedulingCoversAllBlocks(t *testing.T) {
 	g := testGrid(8, 2)
 	e := New(g, grid.PeriodicBC(), 4, false)
 	var count atomic.Int64
-	e.parallel(len(g.Blocks), func(w, i int) {
+	e.parallel("test.worker", len(g.Blocks), func(w, i int) {
 		count.Add(1)
 	})
 	if int(count.Load()) != len(g.Blocks) {

@@ -1,0 +1,40 @@
+package perf
+
+import "cubism/internal/telemetry"
+
+// Export publishes the monitor's per-kernel statistics into the metrics
+// registry as gauges — the live counterpart of the Table 3 columns: GFLOP/s,
+// operational intensity (FLOP/B), total time, call count, share of kernel
+// time, the (tmax-tmin)/tavg imbalance, and (when peakGFLOPS > 0) the
+// fraction of nominal machine peak. Call it again to refresh the values;
+// gauges are created on first use. A nil registry makes this a no-op.
+func (m *Monitor) Export(reg *telemetry.Registry, peakGFLOPS float64) {
+	if reg == nil {
+		return
+	}
+	total := m.TotalDuration()
+	for _, name := range m.Names() {
+		st := m.Kernel(name).Stats()
+		ls := telemetry.Labels{"kernel": name}
+		reg.Gauge("mpcf_kernel_gflops",
+			"kernel throughput in GFLOP/s", ls).Set(st.GFLOPS())
+		reg.Gauge("mpcf_kernel_flop_per_byte",
+			"kernel operational intensity", ls).Set(st.Intensity())
+		reg.Gauge("mpcf_kernel_seconds_total",
+			"accumulated kernel wall-clock seconds", ls).Set(st.Total.Seconds())
+		reg.Gauge("mpcf_kernel_calls_total",
+			"accumulated kernel invocations", ls).Set(float64(st.N))
+		reg.Gauge("mpcf_kernel_imbalance",
+			"(tmax-tmin)/tavg across kernel samples", ls).Set(st.Imbalance())
+		share := 0.0
+		if total > 0 {
+			share = st.Total.Seconds() / total.Seconds()
+		}
+		reg.Gauge("mpcf_kernel_share",
+			"kernel share of total kernel time", ls).Set(share)
+		if peakGFLOPS > 0 {
+			reg.Gauge("mpcf_kernel_peak_fraction",
+				"kernel GFLOP/s over nominal machine peak", ls).Set(st.GFLOPS() / peakGFLOPS)
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package perf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"cubism/internal/telemetry"
+)
+
+// TestStatsZeroSamples pins the zero-sample contract: every derived
+// quantity is zero, never garbage, before the first Record.
+func TestStatsZeroSamples(t *testing.T) {
+	m := NewMonitor()
+	st := m.Kernel("RHS").Stats()
+	if st.N != 0 || st.Min != 0 || st.Max != 0 || st.Total != 0 {
+		t.Fatalf("zero-sample stats not zero: %+v", st)
+	}
+	if st.GFLOPS() != 0 || st.Intensity() != 0 || st.Imbalance() != 0 {
+		t.Fatalf("zero-sample derived stats not zero: GFLOPS=%v OI=%v imb=%v",
+			st.GFLOPS(), st.Intensity(), st.Imbalance())
+	}
+	if m.Share("RHS") != 0 {
+		t.Fatalf("zero-sample share = %v", m.Share("RHS"))
+	}
+	// One sample: Min == Max == the sample, imbalance still zero (needs 2).
+	m.Kernel("RHS").Record(Sample{Duration: time.Millisecond, FLOPs: 1e6, Bytes: 1e3})
+	st = m.Kernel("RHS").Stats()
+	if st.Min != time.Millisecond || st.Max != time.Millisecond {
+		t.Fatalf("single-sample min/max wrong: %+v", st)
+	}
+	if st.Imbalance() != 0 {
+		t.Fatalf("single-sample imbalance = %v, want 0", st.Imbalance())
+	}
+	// After Reset the zero-sample contract holds again.
+	m.Kernel("RHS").Reset()
+	st = m.Kernel("RHS").Stats()
+	if st.N != 0 || st.Min != 0 || st.Max != 0 {
+		t.Fatalf("post-reset stats not zero: %+v", st)
+	}
+}
+
+// TestMonitorExport checks the perf -> telemetry bridge renders the
+// Table 3 quantities as labelled gauges.
+func TestMonitorExport(t *testing.T) {
+	m := NewMonitor()
+	m.Kernel("RHS").Record(Sample{Duration: 100 * time.Millisecond, FLOPs: 5e9, Bytes: 1e9})
+	m.Kernel("UP").Record(Sample{Duration: 50 * time.Millisecond, FLOPs: 1e9, Bytes: 2e9})
+
+	reg := telemetry.NewRegistry()
+	m.Export(reg, 204.8)
+
+	var buf bytes.Buffer
+	reg.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		`mpcf_kernel_gflops{kernel="RHS"} 50`,
+		`mpcf_kernel_gflops{kernel="UP"} 20`,
+		`mpcf_kernel_flop_per_byte{kernel="RHS"} 5`,
+		`mpcf_kernel_flop_per_byte{kernel="UP"} 0.5`,
+		`mpcf_kernel_calls_total{kernel="RHS"} 1`,
+		`mpcf_kernel_peak_fraction{kernel="RHS"}`,
+		`mpcf_kernel_share{kernel="RHS"}`,
+		`mpcf_kernel_imbalance{kernel="RHS"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+
+	// Refreshing after more samples must update, not duplicate, the gauges.
+	m.Kernel("RHS").Record(Sample{Duration: 100 * time.Millisecond, FLOPs: 15e9, Bytes: 1e9})
+	m.Export(reg, 0)
+	buf.Reset()
+	reg.WritePrometheus(&buf)
+	out = buf.String()
+	if !strings.Contains(out, `mpcf_kernel_gflops{kernel="RHS"} 100`) {
+		t.Errorf("refresh did not update gauge:\n%s", out)
+	}
+	if strings.Count(out, `mpcf_kernel_gflops{kernel="RHS"}`) != 1 {
+		t.Errorf("refresh duplicated gauge:\n%s", out)
+	}
+	// Export into a nil registry is a no-op.
+	m.Export(nil, 0)
+}

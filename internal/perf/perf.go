@@ -81,11 +81,15 @@ func (s Stats) Imbalance() float64 {
 	return (s.Max.Seconds() - s.Min.Seconds()) / avg
 }
 
-// Stats computes the summary of all recorded samples.
+// Stats computes the summary of all recorded samples. With zero samples
+// every field is zero — Min and Max in particular never carry garbage.
 func (k *Kernel) Stats() Stats {
 	k.mu.Lock()
 	defer k.mu.Unlock()
 	st := Stats{Name: k.name, N: len(k.samples)}
+	if len(k.samples) == 0 {
+		return st
+	}
 	for i, s := range k.samples {
 		st.Total += s.Duration
 		st.TotalFLOP += s.FLOPs

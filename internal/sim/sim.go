@@ -13,7 +13,9 @@ import (
 	"cubism/internal/compress"
 	"cubism/internal/grid"
 	"cubism/internal/mpi"
+	"cubism/internal/perf"
 	"cubism/internal/physics"
+	"cubism/internal/telemetry"
 )
 
 // Config describes one simulation campaign.
@@ -45,6 +47,12 @@ type Config struct {
 	// Wall marks a reflecting wall face for wall-pressure diagnostics.
 	Wall    grid.Face
 	HasWall bool
+
+	// Telemetry (optional) attaches the tracer, metrics registry and
+	// structured step log. Nil disables all instrumentation beyond a
+	// per-phase pointer check; when set, the tracer is also threaded into
+	// the cluster and node layers (unless Cluster.Tracer is already set).
+	Telemetry *telemetry.Set
 }
 
 // StepInfo is delivered to the per-step callback on rank 0.
@@ -52,11 +60,19 @@ type StepInfo struct {
 	Step int
 	Time float64
 	DT   float64
+	// WallMS is rank 0's wall-clock time for this step in milliseconds
+	// (advance + diagnostics + dumps + checkpoints).
+	WallMS float64
+	// Imbalance is the cross-rank step-time statistic (tmax-tmin)/tavg,
+	// computed only when Config.Telemetry is set (it costs reductions).
+	Imbalance float64
 	// Diag is valid when HasDiag is set (DiagEvery cadence).
 	Diag    cluster.Diagnostics
 	HasDiag bool
 	// DumpRates lists quantity:rate pairs when this step dumped.
 	DumpRates map[string]float64
+	// DumpMBps is the encoded dump bitrate in MB/s when this step dumped.
+	DumpMBps float64
 }
 
 // Summary reports campaign-level results gathered on rank 0.
@@ -69,6 +85,9 @@ type Summary struct {
 	// KernelShare maps kernel name to its fraction of the total kernel
 	// wall-clock time on rank 0 (Figure 7 left).
 	KernelShare map[string]float64
+	// Kernels holds rank 0's full per-kernel statistics, keyed by kernel
+	// name (machine-readable counterpart of Report).
+	Kernels map[string]perf.Stats
 	// Report is rank 0's full perf table.
 	Report string
 }
@@ -90,10 +109,47 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		return Summary{}, fmt.Errorf("sim: invalid rank dims %v", cfg.Cluster.RankDims)
 	}
 	world := mpi.NewWorld(nRanks)
+
+	tel := cfg.Telemetry
+	if tel != nil && cfg.Cluster.Tracer == nil {
+		cfg.Cluster.Tracer = tel.Tracer
+	}
+	tracer := cfg.Cluster.Tracer
+	reg := tel.GetMetrics()
+	stepLog := tel.GetStepLog()
+
+	// Rank-0 metric instruments, registered up front so the step loop only
+	// stores values.
+	var (
+		stepHist                *telemetry.Histogram
+		stepsTotal              *telemetry.Counter
+		simTimeG, dtG           *telemetry.Gauge
+		imbalanceG, dumpMBpsG   *telemetry.Gauge
+		pointsRateG, cellsGauge *telemetry.Gauge
+	)
+	if reg != nil {
+		stepHist = reg.Histogram("mpcf_step_latency_seconds",
+			"wall-clock simulation step latency", telemetry.StepLatencyBuckets, nil)
+		stepsTotal = reg.Counter("mpcf_steps_total", "completed simulation steps", nil)
+		simTimeG = reg.Gauge("mpcf_sim_time", "simulated time", nil)
+		dtG = reg.Gauge("mpcf_dt_seconds", "current CFL time step", nil)
+		imbalanceG = reg.Gauge("mpcf_step_imbalance",
+			"cross-rank step-time (tmax-tmin)/tavg", nil)
+		dumpMBpsG = reg.Gauge("mpcf_dump_mbps", "encoded dump bitrate, MB/s", nil)
+		pointsRateG = reg.Gauge("mpcf_points_per_second",
+			"sustained grid points per second", nil)
+		cellsGauge = reg.Gauge("mpcf_global_cells", "global cell count", nil)
+	}
+
 	var summary Summary
 	var runErr error
 	world.Run(func(comm *mpi.Comm) {
 		r := cluster.NewRank(comm, cfg.Cluster)
+		root := comm.Rank() == 0
+		prevKernel := map[string]time.Duration{}
+		if root {
+			cellsGauge.Set(float64(int64(r.G.Cells()) * int64(nRanks)))
+		}
 		start := time.Now()
 		for {
 			if cfg.Steps > 0 && r.Step >= cfg.Steps {
@@ -105,6 +161,8 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			if cfg.Steps == 0 && cfg.TEnd == 0 {
 				break
 			}
+			stepStart := time.Now()
+			stepSpan := tracer.StartSpan("step", comm.Rank(), 0)
 			dt := r.Advance()
 			info := StepInfo{Step: r.Step, Time: r.Time, DT: dt}
 
@@ -114,6 +172,8 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			}
 			if cfg.DumpEvery > 0 && r.Step%cfg.DumpEvery == 0 {
 				rates := map[string]float64{}
+				dumpStart := time.Now()
+				var encoded int64
 				for _, dq := range []struct {
 					q   compress.Quantity
 					eps float64
@@ -126,8 +186,12 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 						return
 					}
 					rates[dq.q.String()] = st.Rate()
+					encoded += st.Encoded
 				}
 				info.DumpRates = rates
+				if d := time.Since(dumpStart).Seconds(); d > 0 {
+					info.DumpMBps = float64(encoded) / 1e6 / d
+				}
 			}
 			if cfg.CheckpointEvery > 0 && r.Step%cfg.CheckpointEvery == 0 {
 				if err := r.SaveCheckpoint(cfg.CheckpointPath); err != nil {
@@ -135,11 +199,68 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 					return
 				}
 			}
-			if comm.Rank() == 0 && onStep != nil {
-				onStep(info)
+			stepSpan.End()
+			stepSec := time.Since(stepStart).Seconds()
+			info.WallMS = stepSec * 1e3
+			if tel != nil {
+				// Cross-rank imbalance of this step's wall time, the
+				// (tmax-tmin)/tavg statistic of Table 4. Costs three
+				// reductions, so it runs only with telemetry attached.
+				tmax := r.Cart.Allreduce(stepSec, mpi.MaxOp)
+				tmin := r.Cart.Allreduce(stepSec, mpi.MinOp)
+				tsum := r.Cart.Allreduce(stepSec, mpi.SumOp)
+				if avg := tsum / float64(nRanks); avg > 0 {
+					info.Imbalance = (tmax - tmin) / avg
+				}
+			}
+			if root {
+				if reg != nil {
+					stepHist.Observe(stepSec)
+					stepsTotal.Inc()
+					simTimeG.Set(r.Time)
+					dtG.Set(dt)
+					imbalanceG.Set(info.Imbalance)
+					if info.DumpMBps > 0 {
+						dumpMBpsG.Set(info.DumpMBps)
+					}
+					if el := time.Since(start).Seconds(); el > 0 {
+						pointsRateG.Set(float64(r.G.Cells()) * float64(nRanks) *
+							float64(r.Step) / el)
+					}
+					r.Mon.Export(reg, tel.PeakGFLOPS)
+				}
+				if stepLog != nil {
+					rec := telemetry.StepRecord{
+						Step: info.Step, Time: info.Time, DT: info.DT,
+						WallMS: info.WallMS, Imbalance: info.Imbalance,
+						DumpRates: info.DumpRates, DumpMBps: info.DumpMBps,
+						KernelMS: map[string]float64{},
+					}
+					for _, name := range r.Mon.Names() {
+						cur := r.Mon.Kernel(name).Stats().Total
+						if d := cur - prevKernel[name]; d > 0 {
+							rec.KernelMS[name] = float64(d.Nanoseconds()) / 1e6
+						}
+						prevKernel[name] = cur
+					}
+					if info.HasDiag {
+						rec.HasDiag = true
+						rec.MaxPressure = info.Diag.MaxPressure
+						rec.WallPressure = info.Diag.WallPressure
+						rec.KineticEnergy = info.Diag.KineticEnergy
+						rec.EquivRadius = info.Diag.EquivRadius
+					}
+					if err := stepLog.Log(rec); err != nil {
+						runErr = err
+						return
+					}
+				}
+				if onStep != nil {
+					onStep(info)
+				}
 			}
 		}
-		if comm.Rank() == 0 {
+		if root {
 			wall := time.Since(start)
 			cells := int64(r.G.Cells()) * int64(nRanks)
 			summary = Summary{
@@ -148,6 +269,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 				WallTime:    wall,
 				GlobalCells: cells,
 				KernelShare: map[string]float64{},
+				Kernels:     map[string]perf.Stats{},
 				Report:      r.Mon.Report(),
 			}
 			if wall > 0 && r.Step > 0 {
@@ -155,6 +277,9 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			}
 			for _, k := range []string{"RHS", "UP", "DT", "IO_WAVELET"} {
 				summary.KernelShare[k] = r.Mon.Share(k)
+			}
+			for _, name := range r.Mon.Names() {
+				summary.Kernels[name] = r.Mon.Kernel(name).Stats()
 			}
 		}
 	})

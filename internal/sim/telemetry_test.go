@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cubism/internal/cluster"
+	"cubism/internal/grid"
+	"cubism/internal/telemetry"
+)
+
+// TestRunWithTelemetry drives a small multi-rank campaign with every sink
+// attached and checks the full contract: solver-phase spans on every rank's
+// trace track, one JSONL record per step, and the Prometheus exposition
+// carrying the step-latency histogram and per-kernel gauges.
+func TestRunWithTelemetry(t *testing.T) {
+	const steps, nRanks = 4, 2
+	tel := &telemetry.Set{
+		Tracer:  telemetry.NewTracer(),
+		Metrics: telemetry.NewRegistry(),
+	}
+	var logBuf bytes.Buffer
+	tel.StepLog = telemetry.NewStepLogger(&logBuf)
+
+	cfg := Config{
+		Cluster: cluster.Config{
+			RankDims:  [3]int{nRanks, 1, 1},
+			BlockDims: [3]int{2, 1, 1},
+			BlockSize: 8,
+			Extent:    1,
+			BC:        grid.PeriodicBC(),
+			Workers:   2,
+			CFL:       0.3,
+			Init:      SodInit,
+		},
+		Steps:     steps,
+		DumpEvery: 2,
+		DumpDir:   t.TempDir(),
+		DiagEvery: 2,
+		Telemetry: tel,
+	}
+	summary, err := Run(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Steps != steps {
+		t.Fatalf("ran %d steps, want %d", summary.Steps, steps)
+	}
+
+	// Trace: RHS, DT, UP, ghost-exchange and step spans on every rank.
+	trace := tel.Tracer.Export()
+	type key struct {
+		pid  int
+		name string
+	}
+	have := map[key]int{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "X" {
+			have[key{ev.PID, ev.Name}]++
+		}
+	}
+	for rank := 0; rank < nRanks; rank++ {
+		for name, min := range map[string]int{
+			"step":           steps,
+			"DT":             steps,
+			"RHS":            3 * steps, // three RK stages
+			"UP":             3 * steps,
+			"ghost_exchange": 3 * steps,
+			"halo_wait":      3 * steps,
+			"dump":           2 * 2, // two quantities, every other step
+			"diagnose":       steps / 2,
+			"RHS.worker":     1,
+			"fwt_decimate":   1,
+		} {
+			if have[key{rank, name}] < min {
+				t.Errorf("rank %d: %d %q spans, want >= %d", rank, have[key{rank, name}], name, min)
+			}
+		}
+	}
+
+	// Step log: one valid record per step with kernel timings.
+	sc := bufio.NewScanner(&logBuf)
+	var recs []telemetry.StepRecord
+	for sc.Scan() {
+		var r telemetry.StepRecord
+		if err := json.Unmarshal(sc.Bytes(), &r); err != nil {
+			t.Fatalf("bad step-log line: %v", err)
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) != steps {
+		t.Fatalf("step log has %d records, want %d", len(recs), steps)
+	}
+	for i, r := range recs {
+		if r.Step != i+1 || r.DT <= 0 || r.WallMS <= 0 {
+			t.Errorf("record %d malformed: %+v", i, r)
+		}
+		if r.KernelMS["RHS"] <= 0 {
+			t.Errorf("record %d missing RHS kernel time: %v", i, r.KernelMS)
+		}
+	}
+	if recs[1].DumpRates["p"] <= 0 || recs[1].DumpMBps <= 0 {
+		t.Errorf("dump step record missing rates/bitrate: %+v", recs[1])
+	}
+
+	// Metrics: step-latency histogram and per-kernel gauges on /metrics.
+	var expo bytes.Buffer
+	tel.Metrics.WritePrometheus(&expo)
+	out := expo.String()
+	for _, want := range []string{
+		"# TYPE mpcf_step_latency_seconds histogram",
+		`mpcf_step_latency_seconds_bucket{le="+Inf"} 4`,
+		"mpcf_step_latency_seconds_count 4",
+		"mpcf_steps_total 4",
+		`mpcf_kernel_gflops{kernel="RHS"}`,
+		`mpcf_kernel_gflops{kernel="UP"}`,
+		`mpcf_kernel_gflops{kernel="DT"}`,
+		`mpcf_kernel_flop_per_byte{kernel="RHS"}`,
+		"mpcf_step_imbalance",
+		"mpcf_dump_mbps",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("/metrics exposition missing %q", want)
+		}
+	}
+
+	// Summary carries machine-readable per-kernel stats.
+	if summary.Kernels["RHS"].N != 3*steps {
+		t.Errorf("summary RHS calls = %d, want %d", summary.Kernels["RHS"].N, 3*steps)
+	}
+}
+
+// TestRunWithoutTelemetry pins the disabled path: no telemetry config, no
+// imbalance reductions, zero-value instrumentation fields.
+func TestRunWithoutTelemetry(t *testing.T) {
+	cfg := Config{
+		Cluster: cluster.Config{
+			RankDims:  [3]int{1, 1, 1},
+			BlockDims: [3]int{2, 2, 2},
+			BlockSize: 8,
+			Extent:    1,
+			Workers:   2,
+			CFL:       0.3,
+			Init:      SodInit,
+		},
+		Steps:     2,
+		DiagEvery: 1 << 30,
+	}
+	var last StepInfo
+	if _, err := Run(cfg, func(s StepInfo) { last = s }); err != nil {
+		t.Fatal(err)
+	}
+	if last.WallMS <= 0 {
+		t.Error("WallMS should be measured even without telemetry")
+	}
+	if last.Imbalance != 0 {
+		t.Error("imbalance must stay zero without telemetry")
+	}
+}

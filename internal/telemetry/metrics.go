@@ -1,0 +1,364 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Labels attaches dimension values to a metric (e.g. kernel="RHS"). Label
+// sets are rendered sorted by key so metric identity is deterministic.
+type Labels map[string]string
+
+// Registry holds counters, gauges and histograms and renders them in the
+// Prometheus text exposition format and as an expvar snapshot. A nil
+// *Registry is a valid disabled registry: every constructor returns a nil
+// metric whose methods are no-ops.
+type Registry struct {
+	mu      sync.Mutex
+	metrics map[string]*metricEntry
+}
+
+type metricKind int
+
+const (
+	counterKind metricKind = iota
+	gaugeKind
+	histogramKind
+)
+
+func (k metricKind) String() string {
+	return [...]string{"counter", "gauge", "histogram"}[k]
+}
+
+type metricEntry struct {
+	name   string // base metric name, no labels
+	help   string
+	labels string // rendered {k="v",...} or ""
+	kind   metricKind
+
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metricEntry)}
+}
+
+// renderLabels serializes a label set sorted by key: {a="x",b="y"}.
+func renderLabels(ls Labels) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(ls))
+	for k := range ls {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, k := range keys {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", k, ls[k])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the entry for (name, labels), creating it with mk on first
+// use. Re-registering the same identity with a different kind panics — that
+// is a programming error, not a runtime condition.
+func (r *Registry) lookup(name, help string, labels Labels, kind metricKind, mk func(*metricEntry)) *metricEntry {
+	ls := renderLabels(labels)
+	id := name + ls
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e, ok := r.metrics[id]
+	if ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered as %s (was %s)", id, kind, e.kind))
+		}
+		return e
+	}
+	e = &metricEntry{name: name, help: help, labels: ls, kind: kind}
+	mk(e)
+	r.metrics[id] = e
+	return e
+}
+
+// --- Counter ---------------------------------------------------------------
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct{ v atomic.Int64 }
+
+// Counter returns the counter for (name, labels), creating it if needed.
+func (r *Registry) Counter(name, help string, labels Labels) *Counter {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, labels, counterKind, func(e *metricEntry) {
+		e.counter = &Counter{}
+	}).counter
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add increments the counter by n (n must not be negative).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// --- Gauge -----------------------------------------------------------------
+
+// Gauge is a settable float metric.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Gauge returns the gauge for (name, labels), creating it if needed.
+func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, labels, gaugeKind, func(e *metricEntry) {
+		e.gauge = &Gauge{}
+	}).gauge
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add increments the gauge by d.
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// --- Histogram -------------------------------------------------------------
+
+// Histogram counts observations into explicit buckets (upper bounds,
+// strictly increasing; an implicit +Inf bucket is always present).
+type Histogram struct {
+	upper  []float64
+	counts []atomic.Int64 // len(upper)+1, last is +Inf
+	sum    atomic.Uint64  // float64 bits
+	count  atomic.Int64
+}
+
+// StepLatencyBuckets are the default step-latency buckets (seconds),
+// spanning interactive laptop runs through production-scale steps.
+var StepLatencyBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+// Histogram returns the histogram for (name, labels), creating it with the
+// given bucket upper bounds if needed.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return r.lookup(name, help, labels, histogramKind, func(e *metricEntry) {
+		for i := 1; i < len(buckets); i++ {
+			if buckets[i] <= buckets[i-1] {
+				panic(fmt.Sprintf("telemetry: histogram %s buckets not strictly increasing", name))
+			}
+		}
+		h := &Histogram{upper: append([]float64(nil), buckets...)}
+		h.counts = make([]atomic.Int64, len(buckets)+1)
+		e.hist = h
+	}).hist
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := sort.SearchFloat64s(h.upper, v) // first bucket with upper >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Buckets returns the upper bounds and the per-bucket (non-cumulative)
+// counts, the +Inf bucket last.
+func (h *Histogram) Buckets() (upper []float64, counts []int64) {
+	if h == nil {
+		return nil, nil
+	}
+	upper = append([]float64(nil), h.upper...)
+	counts = make([]int64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return upper, counts
+}
+
+// --- Exposition ------------------------------------------------------------
+
+func formatFloat(v float64) string {
+	if math.IsInf(v, 1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// mergeLabels splices an extra label (le=...) into a rendered label set.
+func mergeLabels(rendered, extra string) string {
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// WritePrometheus renders every metric in the Prometheus text exposition
+// format (version 0.0.4), grouped by metric name with HELP/TYPE headers.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	entries := make([]*metricEntry, 0, len(r.metrics))
+	for _, e := range r.metrics {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].name != entries[j].name {
+			return entries[i].name < entries[j].name
+		}
+		return entries[i].labels < entries[j].labels
+	})
+	lastName := ""
+	for _, e := range entries {
+		if e.name != lastName {
+			lastName = e.name
+			if e.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", e.name, e.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s %s\n", e.name, e.kind)
+		}
+		switch e.kind {
+		case counterKind:
+			fmt.Fprintf(w, "%s%s %d\n", e.name, e.labels, e.counter.Value())
+		case gaugeKind:
+			fmt.Fprintf(w, "%s%s %s\n", e.name, e.labels, formatFloat(e.gauge.Value()))
+		case histogramKind:
+			upper, counts := e.hist.Buckets()
+			var cum int64
+			for i := range counts {
+				cum += counts[i]
+				bound := math.Inf(1)
+				if i < len(upper) {
+					bound = upper[i]
+				}
+				le := `le="` + formatFloat(bound) + `"`
+				fmt.Fprintf(w, "%s_bucket%s %d\n", e.name, mergeLabels(e.labels, le), cum)
+			}
+			fmt.Fprintf(w, "%s_sum%s %s\n", e.name, e.labels, formatFloat(e.hist.Sum()))
+			fmt.Fprintf(w, "%s_count%s %d\n", e.name, e.labels, e.hist.Count())
+		}
+	}
+}
+
+// Snapshot returns a plain map of every metric's current value, suitable
+// for expvar publication (histograms expose sum/count/buckets).
+func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	entries := make([]*metricEntry, 0, len(r.metrics))
+	for _, e := range r.metrics {
+		entries = append(entries, e)
+	}
+	r.mu.Unlock()
+	out := make(map[string]any, len(entries))
+	for _, e := range entries {
+		id := e.name + e.labels
+		switch e.kind {
+		case counterKind:
+			out[id] = e.counter.Value()
+		case gaugeKind:
+			out[id] = e.gauge.Value()
+		case histogramKind:
+			upper, counts := e.hist.Buckets()
+			out[id] = map[string]any{
+				"sum": e.hist.Sum(), "count": e.hist.Count(),
+				"upper": upper, "counts": counts,
+			}
+		}
+	}
+	return out
+}
+
+// PublishExpvar exposes the registry under the given expvar name (visible
+// at /debug/vars). Publishing the same name twice is a no-op, so tests and
+// repeated runs inside one process are safe.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil || expvar.Get(name) != nil {
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return r.Snapshot() }))
+}

@@ -1,0 +1,160 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistry(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c", "", nil)
+	c.Inc()
+	g := r.Gauge("g", "", nil)
+	g.Set(1)
+	h := r.Histogram("h", "", []float64{1}, nil)
+	h.Observe(2)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if buf.Len() != 0 {
+		t.Fatal("nil registry must render nothing")
+	}
+	if r.Snapshot() != nil {
+		t.Fatal("nil registry snapshot must be nil")
+	}
+}
+
+func TestCounterGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mpcf_steps_total", "steps", nil)
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	if again := r.Counter("mpcf_steps_total", "steps", nil); again != c {
+		t.Fatal("re-registration must return the same counter")
+	}
+	g := r.Gauge("mpcf_dt_seconds", "dt", nil)
+	g.Set(2.5)
+	g.Add(0.5)
+	if g.Value() != 3.0 {
+		t.Fatalf("gauge = %v, want 3.0", g.Value())
+	}
+}
+
+// TestHistogramBuckets pins the bucket boundary semantics: Prometheus
+// buckets are cumulative with inclusive upper bounds (le).
+func TestHistogramBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.1, 1, 10}, nil)
+	for _, v := range []float64{0.05, 0.1, 0.5, 1.0, 5, 100} {
+		h.Observe(v)
+	}
+	upper, counts := h.Buckets()
+	if len(upper) != 3 || len(counts) != 4 {
+		t.Fatalf("unexpected shapes: %v %v", upper, counts)
+	}
+	// 0.05 and 0.1 land in le=0.1 (inclusive); 0.5 and 1.0 in le=1;
+	// 5 in le=10; 100 in +Inf.
+	want := []int64{2, 2, 1, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, counts[i], want[i], counts)
+		}
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got, want := h.Sum(), 0.05+0.1+0.5+1+5+100; got != want {
+		t.Fatalf("sum = %v, want %v", got, want)
+	}
+}
+
+func TestPrometheusExposition(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("mpcf_steps_total", "total steps", nil).Add(7)
+	r.Gauge("mpcf_kernel_gflops", "kernel throughput", Labels{"kernel": "RHS"}).Set(12.5)
+	r.Gauge("mpcf_kernel_gflops", "kernel throughput", Labels{"kernel": "UP"}).Set(3)
+	h := r.Histogram("mpcf_step_latency_seconds", "step latency", []float64{0.5, 2}, nil)
+	h.Observe(0.25)
+	h.Observe(3)
+
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE mpcf_steps_total counter\n",
+		"mpcf_steps_total 7\n",
+		"# TYPE mpcf_kernel_gflops gauge\n",
+		`mpcf_kernel_gflops{kernel="RHS"} 12.5` + "\n",
+		`mpcf_kernel_gflops{kernel="UP"} 3` + "\n",
+		"# TYPE mpcf_step_latency_seconds histogram\n",
+		`mpcf_step_latency_seconds_bucket{le="0.5"} 1` + "\n",
+		`mpcf_step_latency_seconds_bucket{le="2"} 1` + "\n",
+		`mpcf_step_latency_seconds_bucket{le="+Inf"} 2` + "\n",
+		"mpcf_step_latency_seconds_sum 3.25\n",
+		"mpcf_step_latency_seconds_count 2\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q\n---\n%s", want, out)
+		}
+	}
+	// The TYPE header must appear exactly once per metric name even with
+	// several label sets.
+	if n := strings.Count(out, "# TYPE mpcf_kernel_gflops gauge"); n != 1 {
+		t.Errorf("TYPE header repeated %d times", n)
+	}
+}
+
+func TestHistogramLabelsExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("k_seconds", "", []float64{1}, Labels{"kernel": "RHS"})
+	h.Observe(0.5)
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	if !strings.Contains(buf.String(), `k_seconds_bucket{kernel="RHS",le="1"} 1`) {
+		t.Fatalf("labelled histogram bucket malformed:\n%s", buf.String())
+	}
+}
+
+func TestRegistryConcurrent(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Counter("c", "", nil).Inc()
+				r.Gauge("g", "", Labels{"w": string(rune('a' + w))}).Add(1)
+				r.Histogram("h", "", []float64{1, 2, 4}, nil).Observe(float64(i % 5))
+			}
+		}(w)
+	}
+	var buf bytes.Buffer
+	for i := 0; i < 10; i++ {
+		r.WritePrometheus(&buf)
+		_ = r.Snapshot()
+	}
+	wg.Wait()
+	if r.Counter("c", "", nil).Value() != 8*500 {
+		t.Fatal("lost counter increments")
+	}
+	if r.Histogram("h", "", []float64{1, 2, 4}, nil).Count() != 8*500 {
+		t.Fatal("lost histogram observations")
+	}
+}
+
+func TestSnapshotAndExpvar(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c", "", nil).Add(3)
+	r.Gauge("g", "", nil).Set(1.5)
+	snap := r.Snapshot()
+	if snap["c"] != int64(3) || snap["g"] != 1.5 {
+		t.Fatalf("bad snapshot: %v", snap)
+	}
+	r.PublishExpvar("mpcf_test_reg")
+	r.PublishExpvar("mpcf_test_reg") // idempotent, must not panic
+}

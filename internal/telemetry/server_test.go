@@ -1,0 +1,53 @@
+package telemetry
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestServeEndpoints(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("mpcf_steps_total", "steps", nil).Add(3)
+	reg.Gauge("mpcf_kernel_gflops", "", Labels{"kernel": "RHS"}).Set(9)
+
+	s, err := Serve("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics status %d", code)
+	}
+	for _, want := range []string{
+		"mpcf_steps_total 3",
+		`mpcf_kernel_gflops{kernel="RHS"} 9`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q:\n%s", want, body)
+		}
+	}
+
+	code, body = get("/debug/vars")
+	if code != 200 || !strings.Contains(body, "mpcf") {
+		t.Errorf("/debug/vars status %d, body %q", code, body)
+	}
+
+	code, _ = get("/debug/pprof/")
+	if code != 200 {
+		t.Errorf("/debug/pprof/ status %d", code)
+	}
+}

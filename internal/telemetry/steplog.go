@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// StepRecord is one structured step-log entry: the quantities the paper
+// tracks per step (t, dt, per-kernel time, imbalance, dump bitrate) plus
+// the Figure 5 diagnostics when they were computed that step.
+type StepRecord struct {
+	Step   int     `json:"step"`
+	Time   float64 `json:"t"`
+	DT     float64 `json:"dt"`
+	WallMS float64 `json:"wall_ms"`
+	// KernelMS is the wall-clock time each kernel spent during this step
+	// (rank 0), in milliseconds.
+	KernelMS map[string]float64 `json:"kernel_ms,omitempty"`
+	// Imbalance is the cross-rank step-time statistic (tmax-tmin)/tavg.
+	Imbalance float64 `json:"imbalance,omitempty"`
+	// DumpRates maps dumped quantity to its compression rate (raw:encoded).
+	DumpRates map[string]float64 `json:"dump_rates,omitempty"`
+	// DumpMBps is the encoded dump bitrate in MB/s when this step dumped.
+	DumpMBps float64 `json:"dump_mbps,omitempty"`
+
+	// Figure 5 diagnostics, present on DiagEvery steps.
+	HasDiag       bool    `json:"has_diag,omitempty"`
+	MaxPressure   float64 `json:"max_p,omitempty"`
+	WallPressure  float64 `json:"wall_p,omitempty"`
+	KineticEnergy float64 `json:"kinetic_energy,omitempty"`
+	EquivRadius   float64 `json:"equiv_radius,omitempty"`
+}
+
+// StepLogger writes StepRecords as JSON Lines. A nil *StepLogger discards
+// records. The logger is safe for concurrent use.
+type StepLogger struct {
+	mu  sync.Mutex
+	enc *json.Encoder
+	c   io.Closer
+}
+
+// NewStepLogger logs to w; if w is also an io.Closer, Close closes it.
+func NewStepLogger(w io.Writer) *StepLogger {
+	l := &StepLogger{enc: json.NewEncoder(w)}
+	if c, ok := w.(io.Closer); ok {
+		l.c = c
+	}
+	return l
+}
+
+// Log appends one record as a JSON line.
+func (l *StepLogger) Log(rec StepRecord) error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.enc.Encode(rec)
+}
+
+// Close closes the underlying writer when it is closable.
+func (l *StepLogger) Close() error {
+	if l == nil || l.c == nil {
+		return nil
+	}
+	return l.c.Close()
+}

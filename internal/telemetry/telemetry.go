@@ -1,0 +1,53 @@
+// Package telemetry is the solver's observability layer: a low-overhead
+// span tracer exporting Chrome trace_event JSON (loadable in
+// chrome://tracing or Perfetto), a metrics registry with Prometheus text
+// exposition and expvar publication, a structured JSONL step log, and an
+// opt-in HTTP server that mounts /metrics, /debug/vars and /debug/pprof.
+//
+// The paper's evaluation (Tables 3-4, Figure 5) rests on per-kernel timing
+// and imbalance measurements collected with IBM's Hardware Performance
+// Monitor; this package is the reproduction's live counterpart. Every sink
+// is nil-safe: a nil *Tracer, *Registry or *StepLogger turns the
+// instrumentation call sites into a pointer check, so the hot loop pays
+// nothing when telemetry is disabled.
+package telemetry
+
+// Set bundles the telemetry sinks threaded through the solver stack. A nil
+// *Set (or any nil field) disables the corresponding instrumentation.
+type Set struct {
+	// Tracer records solver-phase spans (RHS, DT, UP, ghost exchange,
+	// dump, checkpoint) for a Chrome trace_event timeline.
+	Tracer *Tracer
+	// Metrics receives counters, gauges and histograms (step latency,
+	// per-kernel GFLOP/s) for /metrics and expvar.
+	Metrics *Registry
+	// StepLog receives one structured JSONL record per simulation step.
+	StepLog *StepLogger
+	// PeakGFLOPS, when positive, enables per-kernel peak-fraction gauges
+	// (kernel GFLOP/s over this nominal machine peak).
+	PeakGFLOPS float64
+}
+
+// GetTracer returns the tracer, tolerating a nil receiver.
+func (s *Set) GetTracer() *Tracer {
+	if s == nil {
+		return nil
+	}
+	return s.Tracer
+}
+
+// GetMetrics returns the registry, tolerating a nil receiver.
+func (s *Set) GetMetrics() *Registry {
+	if s == nil {
+		return nil
+	}
+	return s.Metrics
+}
+
+// GetStepLog returns the step logger, tolerating a nil receiver.
+func (s *Set) GetStepLog() *StepLogger {
+	if s == nil {
+		return nil
+	}
+	return s.StepLog
+}

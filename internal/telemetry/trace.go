@@ -1,0 +1,206 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Tracer records named spans on (rank, worker) tracks and exports them in
+// the Chrome trace_event JSON format: ranks map to trace processes (pid),
+// workers to threads (tid, 0 being the rank's main goroutine). A nil
+// *Tracer is a valid disabled tracer: StartSpan returns a zero Span whose
+// End is a no-op, so instrumentation costs one pointer check when off.
+type Tracer struct {
+	epoch time.Time
+
+	mu      sync.Mutex
+	events  []spanEvent
+	limit   int
+	dropped int64
+}
+
+// spanEvent is one completed span, stored relative to the tracer epoch.
+type spanEvent struct {
+	name         string
+	rank, worker int32
+	start, dur   time.Duration
+}
+
+// defaultSpanLimit bounds the in-memory event buffer; beyond it spans are
+// counted as dropped rather than growing without bound.
+const defaultSpanLimit = 1 << 21
+
+// NewTracer returns an enabled tracer whose timeline starts now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now(), limit: defaultSpanLimit}
+}
+
+// SetLimit caps the number of buffered spans (0 restores the default).
+func (t *Tracer) SetLimit(n int) {
+	if t == nil {
+		return
+	}
+	if n <= 0 {
+		n = defaultSpanLimit
+	}
+	t.mu.Lock()
+	t.limit = n
+	t.mu.Unlock()
+}
+
+// Span is an in-flight span; End records it. The zero Span is inert.
+type Span struct {
+	t            *Tracer
+	name         string
+	rank, worker int32
+	start        time.Time
+}
+
+// StartSpan opens a span named name on the (rank, worker) track. Worker 0
+// is the rank's main goroutine; worker pools use 1..W.
+func (t *Tracer) StartSpan(name string, rank, worker int) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, name: name, rank: int32(rank), worker: int32(worker), start: time.Now()}
+}
+
+// End completes the span and buffers it for export.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	dur := time.Since(s.start)
+	t := s.t
+	ev := spanEvent{name: s.name, rank: s.rank, worker: s.worker,
+		start: s.start.Sub(t.epoch), dur: dur}
+	t.mu.Lock()
+	if len(t.events) >= t.limit {
+		t.dropped++
+	} else {
+		t.events = append(t.events, ev)
+	}
+	t.mu.Unlock()
+}
+
+// Dropped reports how many spans were discarded after the buffer filled.
+func (t *Tracer) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Len reports the number of buffered spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// TraceEvent is one entry of the exported trace_event array. Complete
+// spans use ph "X" with microsecond ts/dur; track names use ph "M".
+type TraceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// TraceFile is the exported JSON object, loadable by chrome://tracing and
+// Perfetto.
+type TraceFile struct {
+	TraceEvents     []TraceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit,omitempty"`
+}
+
+// Export snapshots the buffered spans as a TraceFile. Events are sorted by
+// (pid, tid, ts) so timestamps are monotonic within each track, and each
+// track carries process/thread-name metadata.
+func (t *Tracer) Export() TraceFile {
+	if t == nil {
+		return TraceFile{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
+	}
+	t.mu.Lock()
+	events := make([]spanEvent, len(t.events))
+	copy(events, t.events)
+	t.mu.Unlock()
+
+	sort.SliceStable(events, func(i, j int) bool {
+		a, b := events[i], events[j]
+		if a.rank != b.rank {
+			return a.rank < b.rank
+		}
+		if a.worker != b.worker {
+			return a.worker < b.worker
+		}
+		return a.start < b.start
+	})
+
+	type track struct{ pid, tid int32 }
+	seen := map[track]bool{}
+	out := TraceFile{DisplayTimeUnit: "ms"}
+	var meta []TraceEvent
+	for _, ev := range events {
+		tr := track{ev.rank, ev.worker}
+		if !seen[tr] {
+			seen[tr] = true
+			if ev.worker == 0 {
+				meta = append(meta, TraceEvent{
+					Name: "process_name", Ph: "M", PID: int(ev.rank), TID: 0,
+					Args: map[string]any{"name": fmt.Sprintf("rank %d", ev.rank)},
+				})
+				meta = append(meta, TraceEvent{
+					Name: "thread_name", Ph: "M", PID: int(ev.rank), TID: 0,
+					Args: map[string]any{"name": "main"},
+				})
+			} else {
+				meta = append(meta, TraceEvent{
+					Name: "thread_name", Ph: "M", PID: int(ev.rank), TID: int(ev.worker),
+					Args: map[string]any{"name": fmt.Sprintf("worker %d", ev.worker)},
+				})
+			}
+		}
+		out.TraceEvents = append(out.TraceEvents, TraceEvent{
+			Name: ev.name, Cat: "solver", Ph: "X",
+			TS:  float64(ev.start.Nanoseconds()) / 1e3,
+			Dur: float64(ev.dur.Nanoseconds()) / 1e3,
+			PID: int(ev.rank), TID: int(ev.worker),
+		})
+	}
+	out.TraceEvents = append(meta, out.TraceEvents...)
+	return out
+}
+
+// Write writes the trace JSON to w.
+func (t *Tracer) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(t.Export())
+}
+
+// WriteFile writes the trace JSON to path.
+func (t *Tracer) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

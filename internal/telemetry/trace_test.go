@@ -1,0 +1,123 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTracerNilSafe(t *testing.T) {
+	var tr *Tracer
+	sp := tr.StartSpan("RHS", 0, 0)
+	sp.End() // must not panic
+	if tr.Len() != 0 || tr.Dropped() != 0 {
+		t.Fatal("nil tracer should report zero state")
+	}
+	out := tr.Export()
+	if len(out.TraceEvents) != 0 {
+		t.Fatal("nil tracer should export no events")
+	}
+	var zero Span
+	zero.End() // zero span is inert
+}
+
+// TestTraceRoundTrip marshals a trace and checks the trace_event contract:
+// valid ph/pid/tid/name fields and monotonic timestamps per track.
+func TestTraceRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	for step := 0; step < 3; step++ {
+		for rank := 0; rank < 2; rank++ {
+			sp := tr.StartSpan("RHS", rank, 0)
+			time.Sleep(time.Microsecond)
+			sp.End()
+			wsp := tr.StartSpan("RHS.worker", rank, 1)
+			wsp.End()
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out TraceFile
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(out.TraceEvents) == 0 {
+		t.Fatal("no events exported")
+	}
+	lastTS := map[[2]int]float64{}
+	spans, meta := 0, 0
+	for _, ev := range out.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			meta++
+			if ev.Name != "process_name" && ev.Name != "thread_name" {
+				t.Errorf("unexpected metadata event %q", ev.Name)
+			}
+		case "X":
+			spans++
+			if ev.Name == "" {
+				t.Error("span with empty name")
+			}
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Errorf("negative ts/dur: %+v", ev)
+			}
+			key := [2]int{ev.PID, ev.TID}
+			if ev.TS < lastTS[key] {
+				t.Errorf("non-monotonic ts on track %v: %v after %v", key, ev.TS, lastTS[key])
+			}
+			lastTS[key] = ev.TS
+		default:
+			t.Errorf("unexpected phase %q", ev.Ph)
+		}
+	}
+	if spans != 12 {
+		t.Errorf("expected 12 spans, got %d", spans)
+	}
+	// 2 ranks x (process_name + main thread_name + worker thread_name).
+	if meta != 6 {
+		t.Errorf("expected 6 metadata events, got %d", meta)
+	}
+}
+
+// TestTracerConcurrent hammers the tracer from many goroutines; run under
+// -race it proves concurrent worker spans do not corrupt the buffer.
+func TestTracerConcurrent(t *testing.T) {
+	tr := NewTracer()
+	const workers, perWorker = 16, 200
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				sp := tr.StartSpan("RHS.worker", 0, w)
+				sp.End()
+			}
+		}(w)
+	}
+	// Concurrent export while spans are being recorded.
+	for i := 0; i < 10; i++ {
+		_ = tr.Export()
+	}
+	wg.Wait()
+	if got := tr.Len(); got != workers*perWorker {
+		t.Fatalf("expected %d spans, got %d", workers*perWorker, got)
+	}
+}
+
+func TestTracerLimit(t *testing.T) {
+	tr := NewTracer()
+	tr.SetLimit(4)
+	for i := 0; i < 10; i++ {
+		tr.StartSpan("s", 0, 0).End()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("expected buffer capped at 4, got %d", tr.Len())
+	}
+	if tr.Dropped() != 6 {
+		t.Fatalf("expected 6 dropped, got %d", tr.Dropped())
+	}
+}
