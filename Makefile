@@ -1,9 +1,11 @@
 # Verification targets; `make check` is the tier-1 gate plus vet and the
-# race-enabled telemetry/sim tests.
+# race-enabled telemetry/sim/cluster tests. `make verify` runs the full
+# exact-solution verification ladder and writes VERIFY.json
+# (docs/verification.md).
 
 GO ?= go
 
-.PHONY: check vet build test race bench sim-json
+.PHONY: check vet build test race bench sim-json verify verify-short fuzz-seed
 
 check: vet build test race
 
@@ -17,7 +19,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/telemetry ./internal/sim
+	$(GO) test -race ./internal/telemetry ./internal/sim ./internal/cluster
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -25,3 +27,17 @@ bench:
 # Machine-readable perf record for cross-PR diffing (docs/observability.md).
 sim-json:
 	$(GO) run ./cmd/mpcf-bench -exp sim -steps 50 -json BENCH_sim.json
+
+# Full-ladder verification: convergence orders, conservation audit and the
+# Rayleigh-collapse comparison, gated on testdata/tolerances.json. Exits
+# non-zero when any tolerance band fails.
+verify:
+	$(GO) run ./cmd/mpcf-verify -mode full -o VERIFY.json
+
+# The coarse ladder (same one `go test ./internal/verify` runs).
+verify-short:
+	$(GO) run ./cmd/mpcf-verify -mode short -o VERIFY.json
+
+# Replay the checked-in fuzz seed corpora without fuzzing new inputs.
+fuzz-seed:
+	$(GO) test -run 'Fuzz' ./internal/compress

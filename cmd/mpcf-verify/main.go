@@ -1,0 +1,97 @@
+// mpcf-verify runs the solver verification suite: exact-solution
+// convergence ladders, conservation audits and the Rayleigh-collapse
+// comparison (see docs/verification.md). Results are written as a
+// machine-readable VERIFY.json and checked against the tolerance bands in
+// internal/verify/testdata/tolerances.json; the process exits non-zero when
+// any band fails.
+//
+// Usage examples:
+//
+//	mpcf-verify                       # full ladder, writes VERIFY.json
+//	mpcf-verify -mode short           # the tier-1 (go test) ladder
+//	mpcf-verify -only sod,iface       # subset of scenarios
+//	mpcf-verify -tolerances bands.json -o out/VERIFY.json
+//	mpcf-verify -step-log steps.jsonl # per-step records via telemetry
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"cubism/internal/telemetry"
+	"cubism/internal/verify"
+)
+
+func main() {
+	mode := flag.String("mode", "full", "resolution ladder: short or full")
+	out := flag.String("o", "VERIFY.json", "output report path")
+	only := flag.String("only", "", "comma-separated scenario subset (default: all)")
+	workers := flag.Int("workers", 0, "workers per rank (0: NumCPU)")
+	tolPath := flag.String("tolerances", "", "external tolerance-band JSON (default: built-in)")
+	stepLogPath := flag.String("step-log", "", "write a JSONL structured step log of every scenario run (- for stdout)")
+	quiet := flag.Bool("quiet", false, "suppress the result table (exit code and VERIFY.json only)")
+	flag.Parse()
+
+	var m verify.Mode
+	switch *mode {
+	case "short":
+		m = verify.Short
+	case "full":
+		m = verify.Full
+	default:
+		log.Fatalf("unknown mode %q (want short or full)", *mode)
+	}
+
+	bands, err := verify.DefaultBands()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *tolPath != "" {
+		data, err := os.ReadFile(*tolPath)
+		if err != nil {
+			log.Fatalf("tolerances: %v", err)
+		}
+		if bands, err = verify.LoadBands(data); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	opt := verify.Options{Workers: *workers}
+	if *stepLogPath != "" {
+		w := os.Stdout
+		if *stepLogPath != "-" {
+			f, err := os.Create(*stepLogPath)
+			if err != nil {
+				log.Fatalf("step log: %v", err)
+			}
+			w = f
+		}
+		opt.StepLog = telemetry.NewStepLogger(w)
+		defer opt.StepLog.Close()
+	}
+
+	var names []string
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			names = append(names, strings.TrimSpace(n))
+		}
+	}
+
+	rep, err := verify.RunAll(m, opt, bands, names...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := rep.WriteJSON(*out); err != nil {
+		log.Fatal(err)
+	}
+	if !*quiet {
+		fmt.Print(rep.Table())
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	if !rep.Pass {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,104 @@
+package cluster
+
+import (
+	"math"
+	"testing"
+
+	"cubism/internal/mpi"
+	"cubism/internal/physics"
+)
+
+// serialTotals recomputes the conserved integrals of one rank's grid the
+// straightforward way, as an independent reference for ConservedTotals.
+func serialTotals(r *Rank) (mass, momX, energy float64) {
+	n := r.G.N
+	vol := r.G.H * r.G.H * r.G.H
+	for _, b := range r.G.Blocks {
+		for iz := 0; iz < n; iz++ {
+			for iy := 0; iy < n; iy++ {
+				for ix := 0; ix < n; ix++ {
+					c := b.At(ix, iy, iz)
+					mass += float64(c[physics.QR]) * vol
+					momX += float64(c[physics.QU]) * vol
+					energy += float64(c[physics.QE]) * vol
+				}
+			}
+		}
+	}
+	return
+}
+
+func TestConservedTotalsSingleRank(t *testing.T) {
+	cfg := sodConfig([3]int{1, 1, 1}, [3]int{4, 2, 2})
+	world := mpi.NewWorld(1)
+	world.Run(func(comm *mpi.Comm) {
+		r := NewRank(comm, cfg)
+		for s := 0; s < 3; s++ {
+			r.Advance()
+		}
+		got := r.ConservedTotals()
+		mass, momX, energy := serialTotals(r)
+		if rel := math.Abs(got.Mass-mass) / mass; rel > 1e-13 {
+			t.Errorf("mass %v vs serial %v (rel %g)", got.Mass, mass, rel)
+		}
+		if d := math.Abs(got.MomX - momX); d > 1e-13*got.AbsMomSum {
+			t.Errorf("momX %v vs serial %v", got.MomX, momX)
+		}
+		if rel := math.Abs(got.Energy-energy) / energy; rel > 1e-13 {
+			t.Errorf("energy %v vs serial %v (rel %g)", got.Energy, energy, rel)
+		}
+		if got.GlobalCells != int64(r.G.Cells()) {
+			t.Errorf("global cells %d, want %d", got.GlobalCells, r.G.Cells())
+		}
+		if got.NonFinite != 0 {
+			t.Errorf("non-finite cells %d in a healthy run", got.NonFinite)
+		}
+		// Sod with Γ=2.5, Π=0 everywhere: the advected ranges are points.
+		if got.GammaMin != got.GammaMax || math.Abs(got.GammaMin-2.5) > 1e-7 {
+			t.Errorf("Γ range [%v,%v], want [2.5,2.5]", got.GammaMin, got.GammaMax)
+		}
+		if got.PiMin != 0 || got.PiMax != 0 {
+			t.Errorf("Π range [%v,%v], want [0,0]", got.PiMin, got.PiMax)
+		}
+		if got.Step != r.Step || got.Time != r.Time {
+			t.Errorf("stamp (%d,%v), want (%d,%v)", got.Step, got.Time, r.Step, r.Time)
+		}
+	})
+}
+
+// TestConservedTotalsMultiRank: the collective totals of a decomposed run
+// must match the single-rank totals of the same global problem.
+func TestConservedTotalsMultiRank(t *testing.T) {
+	steps := 3
+	totals := func(rankDims, blockDims [3]int) Totals {
+		cfg := sodConfig(rankDims, blockDims)
+		world := mpi.NewWorld(rankDims[0] * rankDims[1] * rankDims[2])
+		out := make(chan Totals, 1)
+		world.Run(func(comm *mpi.Comm) {
+			r := NewRank(comm, cfg)
+			for s := 0; s < steps; s++ {
+				r.Advance()
+			}
+			tot := r.ConservedTotals() // collective: all ranks call
+			if comm.Rank() == 0 {
+				out <- tot
+			}
+		})
+		return <-out
+	}
+	single := totals([3]int{1, 1, 1}, [3]int{4, 2, 2})
+	multi := totals([3]int{2, 2, 2}, [3]int{2, 1, 1})
+	if single.GlobalCells != multi.GlobalCells {
+		t.Fatalf("cells %d vs %d", single.GlobalCells, multi.GlobalCells)
+	}
+	if rel := math.Abs(single.Mass-multi.Mass) / single.Mass; rel > 1e-12 {
+		t.Errorf("mass differs across decompositions by %g", rel)
+	}
+	if rel := math.Abs(single.Energy-multi.Energy) / single.Energy; rel > 1e-12 {
+		t.Errorf("energy differs across decompositions by %g", rel)
+	}
+	if single.GammaMin != multi.GammaMin || single.GammaMax != multi.GammaMax {
+		t.Errorf("Γ range (%v,%v) vs (%v,%v)",
+			single.GammaMin, single.GammaMax, multi.GammaMin, multi.GammaMax)
+	}
+}

@@ -117,6 +117,11 @@ func (RLE) Encode(dst, src []byte) ([]byte, error) {
 	return dst, nil
 }
 
+// maxRLERun bounds a single decoded run. A corrupt varint could otherwise
+// demand an arbitrarily large allocation (zero runs) or overflow the int
+// conversion guarding the literal copy.
+const maxRLERun = 1 << 30
+
 // Decode implements Encoder.
 func (RLE) Decode(dst, src []byte) ([]byte, error) {
 	i := 0
@@ -126,6 +131,9 @@ func (RLE) Decode(dst, src []byte) ([]byte, error) {
 		runLen, n := binary.Uvarint(src[i:])
 		if n <= 0 {
 			return nil, fmt.Errorf("compress: corrupt RLE varint at %d", i)
+		}
+		if runLen > maxRLERun {
+			return nil, fmt.Errorf("compress: RLE run length %d exceeds limit at %d", runLen, i)
 		}
 		i += n
 		switch tag {
@@ -181,8 +189,14 @@ func (Sig) Decode(dst, src []byte) ([]byte, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("compress: corrupt sig header")
 	}
-	words := int(words64)
 	src = src[n:]
+	// A valid stream carries one bitmap bit per word, so the word count can
+	// never exceed 8x the remaining bytes; this also keeps the int
+	// conversion below from overflowing into a negative slice bound.
+	if words64 > uint64(len(src))*8 {
+		return nil, fmt.Errorf("compress: sig word count %d exceeds stream capacity", words64)
+	}
+	words := int(words64)
 	bitmapLen := (words + 7) / 8
 	if len(src) < bitmapLen {
 		return nil, fmt.Errorf("compress: truncated sig bitmap")

@@ -279,11 +279,20 @@ func decimate(field []float32, n int, eps, scale float64) int64 {
 // Decompress inverts the pipeline, returning the reconstructed scalar field
 // of every block (indexed like g.Blocks at compression time).
 func (c *Compressed) Decompress() ([][]float32, error) {
+	// A Compressed typically arrives deserialized from a dump file, so the
+	// header fields are untrusted: validate them before they size
+	// allocations or reach wavelet.NewFWT3 (which panics on bad edges).
+	n := c.N
+	if n < wavelet.MinLen || n > 1<<10 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("compress: invalid block edge %d", n)
+	}
+	if c.Blocks < 0 {
+		return nil, fmt.Errorf("compress: invalid block count %d", c.Blocks)
+	}
 	enc, err := NewEncoder(c.Encoder)
 	if err != nil {
 		return nil, err
 	}
-	n := c.N
 	cells := n * n * n
 	recSize := 4 + cells*4
 	fields := make([][]float32, c.Blocks)

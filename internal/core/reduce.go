@@ -1,0 +1,34 @@
+package core
+
+// Compensated (Kahan-Neumaier) summation. The verification subsystem audits
+// conservation of mass, momentum and energy across a run; the drift it is
+// after sits many orders of magnitude below the total, so a naive float64
+// accumulation over millions of float32 cells would bury the signal under
+// its own rounding. Neumaier's variant also handles the case where the
+// addend exceeds the running sum, which happens on the first few cells.
+
+// KahanSum accumulates a sum with a running compensation term.
+type KahanSum struct {
+	sum, c float64
+}
+
+// Add folds v into the sum.
+func (k *KahanSum) Add(v float64) {
+	t := k.sum + v
+	if abs64(k.sum) >= abs64(v) {
+		k.c += (k.sum - t) + v
+	} else {
+		k.c += (v - t) + k.sum
+	}
+	k.sum = t
+}
+
+// Value returns the compensated total.
+func (k *KahanSum) Value() float64 { return k.sum + k.c }
+
+func abs64(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,48 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestKahanSumCompensates(t *testing.T) {
+	// 1 + n·ε with ε chosen so naive accumulation loses every addend:
+	// ε = 1e-17 < ulp(1)/2, so naive sum stays exactly 1.
+	var k KahanSum
+	k.Add(1)
+	const n = 1_000_000
+	for i := 0; i < n; i++ {
+		k.Add(1e-17)
+	}
+	want := 1 + n*1e-17
+	if got := k.Value(); math.Abs(got-want) > 1e-18 {
+		t.Errorf("compensated sum = %.20f, want %.20f", got, want)
+	}
+	naive := 1.0
+	for i := 0; i < n; i++ {
+		naive += 1e-17
+	}
+	if naive != 1 {
+		t.Fatalf("test premise broken: naive sum %v moved", naive)
+	}
+}
+
+func TestKahanSumCancellation(t *testing.T) {
+	// Large/small alternation (Neumaier's case where classic Kahan fails).
+	var k KahanSum
+	for i := 0; i < 10; i++ {
+		k.Add(1e100)
+		k.Add(1)
+		k.Add(-1e100)
+	}
+	if got := k.Value(); got != 10 {
+		t.Errorf("sum = %v, want 10", got)
+	}
+}
+
+func TestKahanSumEmpty(t *testing.T) {
+	var k KahanSum
+	if got := k.Value(); got != 0 {
+		t.Errorf("zero-value sum = %v", got)
+	}
+}

@@ -20,6 +20,18 @@ type RiemannExact struct {
 // errRiemannVacuum reports that a vacuum forms between the states.
 var errRiemannVacuum = errors.New("physics: vacuum in Riemann problem")
 
+// Star returns the cached star-region pressure and velocity, solving first
+// when needed. The verification harness records these alongside the error
+// norms so a failing tolerance band can be traced to the reference itself.
+func (r *RiemannExact) Star() (pstar, ustar float64, err error) {
+	if !r.solved {
+		if _, _, err := r.Solve(); err != nil {
+			return 0, 0, err
+		}
+	}
+	return r.pstar, r.ustar, nil
+}
+
 func gammaPc(s Prim) (gamma, pc float64) {
 	gamma = s.Gamma()
 	pc = s.PcEff()

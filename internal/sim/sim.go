@@ -48,6 +48,17 @@ type Config struct {
 	Wall    grid.Face
 	HasWall bool
 
+	// AuditEvery computes the global conserved-quantity totals every so
+	// many steps (0: never) and delivers them in StepInfo.Totals and the
+	// structured step log — the verification subsystem's conservation
+	// audit. It costs one grid sweep plus reductions per audited step.
+	AuditEvery int
+
+	// OnFinish (optional) is invoked on every rank after the last step with
+	// the rank state still live; the verification harness samples the final
+	// fields here. It runs before the summary is assembled.
+	OnFinish func(r *cluster.Rank)
+
 	// Telemetry (optional) attaches the tracer, metrics registry and
 	// structured step log. Nil disables all instrumentation beyond a
 	// per-phase pointer check; when set, the tracer is also threaded into
@@ -69,6 +80,9 @@ type StepInfo struct {
 	// Diag is valid when HasDiag is set (DiagEvery cadence).
 	Diag    cluster.Diagnostics
 	HasDiag bool
+	// Totals is valid when HasTotals is set (AuditEvery cadence).
+	Totals    cluster.Totals
+	HasTotals bool
 	// DumpRates lists quantity:rate pairs when this step dumped.
 	DumpRates map[string]float64
 	// DumpMBps is the encoded dump bitrate in MB/s when this step dumped.
@@ -170,6 +184,10 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 				info.Diag = r.Diagnose(cfg.Wall, cfg.HasWall)
 				info.HasDiag = true
 			}
+			if cfg.AuditEvery > 0 && r.Step%cfg.AuditEvery == 0 {
+				info.Totals = r.ConservedTotals()
+				info.HasTotals = true
+			}
 			if cfg.DumpEvery > 0 && r.Step%cfg.DumpEvery == 0 {
 				rates := map[string]float64{}
 				dumpStart := time.Now()
@@ -250,6 +268,15 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 						rec.KineticEnergy = info.Diag.KineticEnergy
 						rec.EquivRadius = info.Diag.EquivRadius
 					}
+					if info.HasTotals {
+						rec.HasTotals = true
+						rec.TotalMass = info.Totals.Mass
+						rec.TotalMom = [3]float64{info.Totals.MomX, info.Totals.MomY, info.Totals.MomZ}
+						rec.TotalEnergy = info.Totals.Energy
+						rec.GammaRange = [2]float64{info.Totals.GammaMin, info.Totals.GammaMax}
+						rec.PiRange = [2]float64{info.Totals.PiMin, info.Totals.PiMax}
+						rec.NonFinite = info.Totals.NonFinite
+					}
 					if err := stepLog.Log(rec); err != nil {
 						runErr = err
 						return
@@ -259,6 +286,9 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 					onStep(info)
 				}
 			}
+		}
+		if cfg.OnFinish != nil {
+			cfg.OnFinish(r)
 		}
 		if root {
 			wall := time.Since(start)

@@ -30,6 +30,16 @@ type StepRecord struct {
 	WallPressure  float64 `json:"wall_p,omitempty"`
 	KineticEnergy float64 `json:"kinetic_energy,omitempty"`
 	EquivRadius   float64 `json:"equiv_radius,omitempty"`
+
+	// Conservation-audit totals (∫dV of the conserved quantities), present
+	// on AuditEvery steps; the verification subsystem tracks their drift.
+	HasTotals   bool       `json:"has_totals,omitempty"`
+	TotalMass   float64    `json:"total_mass,omitempty"`
+	TotalMom    [3]float64 `json:"total_momentum,omitempty"`
+	TotalEnergy float64    `json:"total_energy,omitempty"`
+	GammaRange  [2]float64 `json:"gamma_range,omitempty"`
+	PiRange     [2]float64 `json:"pi_range,omitempty"`
+	NonFinite   int        `json:"non_finite,omitempty"`
 }
 
 // StepLogger writes StepRecords as JSON Lines. A nil *StepLogger discards

@@ -1,0 +1,83 @@
+package verify
+
+import (
+	"math"
+
+	"cubism/internal/cluster"
+)
+
+// driftTracker watches the per-step conserved totals of a run and records
+// the worst relative drift of each integral against the first audited step.
+// Momentum is normalized by the absolute-momentum integral (the natural
+// scale when the net momentum is zero), and the advected material functions
+// are checked for range violations (over/undershoot beyond the initial
+// bounds — the Γ/Π interface-jump preservation property).
+type driftTracker struct {
+	base      cluster.Totals
+	have      bool
+	mass      float64 // max relative mass drift
+	momentum  float64 // max momentum drift over the |momentum| scale
+	energy    float64 // max relative energy drift
+	gammaOut  float64 // worst Γ excursion beyond the initial [min,max]
+	piOut     float64 // worst Π excursion beyond the initial [min,max]
+	nonFinite int     // max non-finite cell count seen
+	steps     int
+}
+
+// observe folds one audited step into the tracker.
+func (d *driftTracker) observe(t cluster.Totals) {
+	if !d.have {
+		d.base = t
+		d.have = true
+	}
+	d.steps++
+	if v := relDrift(t.Mass, d.base.Mass, 0); v > d.mass {
+		d.mass = v
+	}
+	momScale := d.base.AbsMomSum
+	for _, pair := range [][2]float64{
+		{t.MomX, d.base.MomX}, {t.MomY, d.base.MomY}, {t.MomZ, d.base.MomZ},
+	} {
+		if v := relDrift(pair[0], pair[1], momScale); v > d.momentum {
+			d.momentum = v
+		}
+	}
+	if v := relDrift(t.Energy, d.base.Energy, 0); v > d.energy {
+		d.energy = v
+	}
+	gSpan := d.base.GammaMax - d.base.GammaMin
+	if gSpan == 0 {
+		gSpan = math.Abs(d.base.GammaMax)
+	}
+	if gSpan > 0 {
+		if v := (d.base.GammaMin - t.GammaMin) / gSpan; v > d.gammaOut {
+			d.gammaOut = v
+		}
+		if v := (t.GammaMax - d.base.GammaMax) / gSpan; v > d.gammaOut {
+			d.gammaOut = v
+		}
+	}
+	piSpan := d.base.PiMax - d.base.PiMin
+	if piSpan > 0 {
+		if v := (d.base.PiMin - t.PiMin) / piSpan; v > d.piOut {
+			d.piOut = v
+		}
+		if v := (t.PiMax - d.base.PiMax) / piSpan; v > d.piOut {
+			d.piOut = v
+		}
+	}
+	if t.NonFinite > d.nonFinite {
+		d.nonFinite = t.NonFinite
+	}
+}
+
+// metrics flattens the tracker into the band namespace.
+func (d *driftTracker) metrics(into map[string]float64) {
+	into["mass_drift"] = d.mass
+	into["momentum_drift"] = d.momentum
+	into["energy_drift"] = d.energy
+	into["gamma_overshoot"] = d.gammaOut
+	into["pi_overshoot"] = d.piOut
+	into["non_finite"] = float64(d.nonFinite)
+	into["audited_steps"] = float64(d.steps)
+}

@@ -1,0 +1,89 @@
+package verify
+
+import (
+	_ "embed"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+)
+
+//go:embed testdata/tolerances.json
+var defaultBandsJSON []byte
+
+// Band is one tolerance constraint on a metric.
+type Band struct {
+	Op    string  `json:"op"` // "le" or "ge"
+	Bound float64 `json:"bound"`
+}
+
+// Bands maps mode -> "scenario.metric" -> constraint. The checked-in bands
+// under testdata/tolerances.json were set from measured baselines with
+// headroom; the headline constraints of the verification issue (Sod L1
+// order ≥ 0.8, iface u/p drift ≤ 1e-6, iface mass drift ≤ 1e-12) are kept
+// at least as tight as specified.
+type Bands map[string]map[string]Band
+
+// DefaultBands parses the embedded tolerance table.
+func DefaultBands() (Bands, error) {
+	var b Bands
+	if err := json.Unmarshal(defaultBandsJSON, &b); err != nil {
+		return nil, fmt.Errorf("verify: embedded tolerances: %w", err)
+	}
+	return b, nil
+}
+
+// LoadBands reads a tolerance table from JSON bytes (external override).
+func LoadBands(data []byte) (Bands, error) {
+	var b Bands
+	if err := json.Unmarshal(data, &b); err != nil {
+		return nil, fmt.Errorf("verify: tolerances: %w", err)
+	}
+	return b, nil
+}
+
+// Check evaluates every band of the mode against the scenario metrics. A
+// banded metric that the run did not produce fails explicitly (NaN value)
+// rather than passing silently.
+func (b Bands) Check(mode Mode, scenarios map[string]*Result) []Check {
+	table := b[string(mode)]
+	names := make([]string, 0, len(table))
+	for n := range table {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var checks []Check
+	for _, name := range names {
+		band := table[name]
+		var scen, metric string
+		if i := indexByte(name, '.'); i >= 0 {
+			scen, metric = name[:i], name[i+1:]
+		}
+		c := Check{Name: name, Op: band.Op, Bound: band.Bound, Value: math.NaN()}
+		if res, ok := scenarios[scen]; ok {
+			if v, ok := res.Metrics[metric]; ok {
+				c.Value = v
+				switch band.Op {
+				case "le":
+					c.Pass = v <= band.Bound
+				case "ge":
+					c.Pass = v >= band.Bound
+				}
+			}
+		} else {
+			// Scenario not selected in this run: skip its bands.
+			continue
+		}
+		checks = append(checks, c)
+	}
+	return checks
+}
+
+func indexByte(s string, c byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == c {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,104 @@
+package verify
+
+import (
+	"math"
+	"sync"
+
+	"cubism/internal/core"
+)
+
+// normAccum accumulates cell-wise errors into L1/L2/L∞ norms. Ranks add
+// their local cells concurrently from the sim OnFinish hook, so the
+// accumulator is mutex-protected; sums are compensated so the fine-ladder
+// norms are not polluted by accumulation rounding.
+type normAccum struct {
+	mu    sync.Mutex
+	sum1  core.KahanSum
+	sum2  core.KahanSum
+	maxE  float64
+	cells int64
+}
+
+// addCells folds a batch of absolute errors into the norms.
+func (a *normAccum) addCells(errs []float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for _, e := range errs {
+		e = math.Abs(e)
+		a.sum1.Add(e)
+		a.sum2.Add(e * e)
+		if e > a.maxE {
+			a.maxE = e
+		}
+		a.cells++
+	}
+}
+
+// norms returns the cell-averaged L1, L2 and the L∞ norm.
+func (a *normAccum) norms() (l1, l2, linf float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.cells == 0 {
+		return 0, 0, 0
+	}
+	n := float64(a.cells)
+	return a.sum1.Value() / n, math.Sqrt(a.sum2.Value() / n), a.maxE
+}
+
+// observedOrders returns the convergence order between successive ladder
+// points, p = log(E_coarse/E_fine)/log(h_coarse/h_fine), for the selected
+// norm of each pair.
+func observedOrders(ladder []LadderPoint, norm func(LadderPoint) float64) []float64 {
+	var orders []float64
+	for i := 1; i < len(ladder); i++ {
+		ec, ef := norm(ladder[i-1]), norm(ladder[i])
+		hc, hf := ladder[i-1].H, ladder[i].H
+		if ec <= 0 || ef <= 0 || hc <= hf {
+			orders = append(orders, math.NaN())
+			continue
+		}
+		orders = append(orders, math.Log(ec/ef)/math.Log(hc/hf))
+	}
+	return orders
+}
+
+// fittedOrder is the least-squares slope of log E against log h over the
+// whole ladder — more robust than a single pair on short ladders.
+func fittedOrder(ladder []LadderPoint, norm func(LadderPoint) float64) float64 {
+	var sx, sy, sxx, sxy float64
+	n := 0
+	for _, lp := range ladder {
+		e := norm(lp)
+		if e <= 0 || lp.H <= 0 {
+			continue
+		}
+		x, y := math.Log(lp.H), math.Log(e)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+		n++
+	}
+	if n < 2 {
+		return math.NaN()
+	}
+	fn := float64(n)
+	den := fn*sxx - sx*sx
+	if den == 0 {
+		return math.NaN()
+	}
+	return (fn*sxy - sx*sy) / den
+}
+
+// relDrift returns |v-base| relative to scale (or to |base| when scale is
+// zero); a zero base and scale yields the absolute deviation.
+func relDrift(v, base, scale float64) float64 {
+	d := math.Abs(v - base)
+	if scale == 0 {
+		scale = math.Abs(base)
+	}
+	if scale == 0 {
+		return d
+	}
+	return d / scale
+}
