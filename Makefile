@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench sim-json verify verify-short fuzz-seed
+.PHONY: check vet build test race bench bench-smoke sim-json verify verify-short fuzz-seed
 
 check: vet build test race
 
@@ -19,10 +19,15 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/telemetry ./internal/sim ./internal/cluster
+	$(GO) test -race ./internal/telemetry ./internal/sim ./internal/cluster ./internal/node
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+
+# One tiny fused-vs-staged step pair through the real driver; fails on any
+# panic in either execution model.
+bench-smoke:
+	$(GO) run ./cmd/mpcf-bench -exp sim -n 8 -steps 2 -json ""
 
 # Machine-readable perf record for cross-PR diffing (docs/observability.md).
 sim-json:

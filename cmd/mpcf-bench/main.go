@@ -31,6 +31,7 @@ func main() {
 	dur := flag.Duration("dur", 500*time.Millisecond, "minimum timing window per kernel measurement")
 	steps := flag.Int("steps", 100, "time steps for the simulation-driven experiments")
 	jsonPath := flag.String("json", "BENCH_sim.json", "machine-readable output path of the sim experiment (empty: skip)")
+	pipeline := flag.Bool("pipeline", true, "primary sim-experiment mode: dependency-driven fused RHS+UP pipeline (false: bulk-synchronous staged baseline); both modes are always measured")
 	flag.Parse()
 
 	w := os.Stdout
@@ -49,7 +50,7 @@ func main() {
 		"compression": func() { experiments.Compression(w, *n) },
 		"throughput":  func() { experiments.Throughput(w, *steps) },
 		"io":          func() { experiments.IO(w, *n) },
-		"sim":         func() { experiments.BenchSim(w, *n, *steps, *jsonPath) },
+		"sim":         func() { experiments.BenchSim(w, *n, *steps, *jsonPath, *pipeline) },
 	}
 	order := []string{
 		"table3", "table4", "table5", "table6", "table7", "table8",

@@ -54,6 +54,7 @@ func main() {
 	steps := flag.Int("steps", 100, "number of time steps")
 	workers := flag.Int("workers", 0, "workers per rank (0: NumCPU)")
 	vector := flag.Bool("vector", false, "use the QPX-model vector kernels")
+	pipeline := flag.Bool("pipeline", true, "dependency-driven fused RHS+UP pipeline (false: bulk-synchronous staged baseline)")
 	bubbles := flag.Int("bubbles", 12, "bubbles in the cloud case")
 	seed := flag.Int64("seed", 42, "cloud random seed")
 	wall := flag.Bool("wall", false, "reflecting wall at z=0 with wall-pressure diagnostics")
@@ -116,6 +117,7 @@ func main() {
 		Extent:          1.0,
 		Workers:         *workers,
 		Vector:          *vector,
+		Pipeline:        *pipeline,
 		Steps:           *steps,
 		DumpEvery:       *dumpEvery,
 		DumpDir:         *dumpDir,

@@ -136,6 +136,12 @@ type Config struct {
 	// TimeStepper selects the Runge-Kutta formulation: "lsrk3" (default,
 	// the paper's low-storage scheme) or "ssprk3" (three-register ablation).
 	TimeStepper string
+	// Pipeline selects the dependency-driven execution model for lsrk3
+	// steps: fused per-block RHS+UP tasks on the persistent worker pool,
+	// released per installed halo face. False (the default) keeps the
+	// bulk-synchronous staged baseline; both are bitwise identical. The CLI
+	// drivers default this on via their -pipeline flag.
+	Pipeline bool
 	// Init provides the initial condition in global coordinates.
 	Init func(x, y, z float64) State
 
@@ -221,6 +227,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			Vector:      cfg.Vector,
 			CFL:         cfl,
 			TimeStepper: cfg.TimeStepper,
+			Pipeline:    cfg.Pipeline,
 			Init:        cfg.Init,
 		},
 		Steps:           cfg.Steps,

@@ -44,6 +44,12 @@ type Config struct {
 	// the paper's low-storage 2N scheme) or "ssprk3" (classic three-register
 	// Shu-Osher scheme, the memory-footprint ablation).
 	TimeStepper string
+	// Pipeline selects the dependency-driven execution model for lsrk3
+	// steps: per-block fused RHS+UP tasks on the persistent worker pool,
+	// with halo blocks released per installed face. False (the zero value)
+	// keeps the bulk-synchronous staged path, the ablation baseline.
+	// ssprk3 always runs staged. Both paths are bitwise identical.
+	Pipeline bool
 	// Tracer (optional) records solver-phase spans for this rank; nil
 	// disables tracing at the cost of a pointer check per phase.
 	Tracer *telemetry.Tracer
@@ -70,6 +76,29 @@ type Rank struct {
 	u0                   [][]float32 // step-initial copies, allocated only for ssprk3
 	interior, haloBlocks []*grid.Block
 	interiorRHS, haloRHS [][]float32
+
+	deps *stageDeps
+	// packBufs reuses the PackFace payload buffers per face and RK stage.
+	// One buffer per (face, stage) is safe: the receiver has finished
+	// reading the stage-s slab of step k before this rank can reach stage
+	// s of step k+1 (it cannot complete its own stages s+1 and s+2 without
+	// this rank's later-stage messages, and each of those stages starts by
+	// clearing the previously installed halos).
+	packBufs [6][3][]float32
+}
+
+// stageDeps is the precomputed task-dependency structure of one fused
+// RHS+UP stage (identical for all stages and steps).
+type stageDeps struct {
+	// start[i] counts the inter-rank halo faces block i's lab reads; the
+	// task may start only after those faces are installed.
+	start []int32
+	// faceBlocks[f] lists the block ordinals gated on halo face f.
+	faceBlocks [6][]int32
+	// labDeps[i] lists the ordinals of the in-rank blocks whose data block
+	// i's lab assembly reads (face adjacency, which is symmetric — the
+	// same list enumerates the readers of block i).
+	labDeps [][]int32
 }
 
 // NewRank builds the rank-local grid and engine for comm.
@@ -117,17 +146,80 @@ func NewRank(comm *mpi.Comm, cfg Config) *Rank {
 		}
 	}
 	r.splitHaloInterior()
+	r.buildStageDeps()
 	if cfg.Init != nil {
 		r.Initialize(cfg.Init)
 	}
 	return r
 }
 
-// rankBC keeps the physical BC only on faces that are actual domain
-// boundaries of this rank; interior faces get halos from neighbors, so
-// their BC entry is irrelevant (halo data wins in the grid's ghost
-// resolution).
-func rankBC(cart *mpi.Cart, bc grid.BC) grid.BC { return bc }
+// Close retires the rank's engine pool workers. Optional — unclosed
+// engines are reclaimed by a finalizer — but long-lived processes that
+// build many ranks should close them promptly.
+func (r *Rank) Close() { r.Engine.Close() }
+
+// rankBC masks the physical BC to the faces that are actual domain
+// boundaries of this rank. Faces with a neighboring rank receive their
+// ghost data from the halo exchange (installed halos win in the grid's
+// ghost resolution); masking them to Absorbing guarantees a missing halo
+// can never be misread as a wall mirror or a rank-local periodic wrap, and
+// it lets the stage dependency builder assume rank faces carry no
+// grid-level BC coupling.
+func rankBC(cart *mpi.Cart, bc grid.BC) grid.BC {
+	out := bc
+	for f := grid.XLo; f <= grid.ZHi; f++ {
+		dir := -1
+		if f.IsHigh() {
+			dir = 1
+		}
+		if cart.Neighbor(f.Axis(), dir) >= 0 {
+			out[f] = grid.Absorbing
+		}
+	}
+	return out
+}
+
+// buildStageDeps derives, once, the per-block readiness structure the
+// pipelined stages replay: which halo faces gate a block's start and which
+// in-rank neighbors its lab assembly reads.
+func (r *Rank) buildStageDeps() {
+	g := r.G
+	d := &stageDeps{
+		start:   make([]int32, len(g.Blocks)),
+		labDeps: make([][]int32, len(g.Blocks)),
+	}
+	ord := make(map[*grid.Block]int32, len(g.Blocks))
+	for i, b := range g.Blocks {
+		ord[b] = int32(i)
+	}
+	lim := [3]int{g.NBX, g.NBY, g.NBZ}
+	for i, b := range g.Blocks {
+		for f := grid.XLo; f <= grid.ZHi; f++ {
+			a := f.Axis()
+			dir := -1
+			if f.IsHigh() {
+				dir = 1
+			}
+			nc := [3]int{b.X, b.Y, b.Z}
+			nc[a] += dir
+			if nc[a] >= 0 && nc[a] < lim[a] {
+				// In-rank neighbor: the lab copies its data directly.
+				d.labDeps[i] = append(d.labDeps[i], ord[g.BlockAt(nc[0], nc[1], nc[2])])
+				continue
+			}
+			if r.Cart.Neighbor(a, dir) >= 0 {
+				// Rank boundary: the lab reads the halo slab of face f.
+				d.start[i]++
+				d.faceBlocks[f] = append(d.faceBlocks[f], int32(i))
+			}
+			// Otherwise a physical boundary: absorbing/reflecting ghosts
+			// mirror cells of this same block, adding no dependency (and
+			// rankBC guarantees rank faces never fall through to a
+			// grid-level periodic wrap).
+		}
+	}
+	r.deps = d
+}
 
 // splitHaloInterior partitions the blocks into those whose ghosts depend on
 // a neighboring rank (halo) and the rest (interior), the overlap unit of
@@ -217,9 +309,14 @@ func (r *Rank) ExchangeGhosts(stage int) [6]*mpi.Request {
 			continue
 		}
 		recvs[f] = r.Cart.Irecv(nb, faceTag(f, stage))
-		payload := r.G.PackFace(f, nil)
+		// Reuse the per-(face, stage) payload buffer; see packBufs for why
+		// the receiver is guaranteed done with the previous round's slab.
+		payload := r.G.PackFace(f, r.packBufs[f][stage][:0])
+		r.packBufs[f][stage] = payload
 		// The neighbor installs this as its opposite-face halo; tag with
-		// the receiver's face index.
+		// the receiver's face index. PackFace emits depth d=0 as the layer
+		// closest to the shared face, exactly the d=0 "adjacent to the
+		// domain" layer SetHalo expects, so the payload installs as is.
 		r.Cart.Isend(nb, faceTag(opposite(f), stage), payload)
 	}
 	return recvs
@@ -233,16 +330,9 @@ func (r *Rank) InstallHalos(recvs [6]*mpi.Request) {
 		if recvs[f] == nil {
 			continue
 		}
-		data := recvs[f].Wait()
-		r.G.SetHalo(f, haloFromPack(r.G, f, data))
+		r.G.SetHalo(f, recvs[f].Wait())
 	}
 }
-
-// haloFromPack converts a neighbor's PackFace payload into this rank's
-// SetHalo layout. PackFace emits depth d=0 as the layer closest to the
-// shared face, which is exactly the d=0 "adjacent to the domain" layer the
-// halo expects, so the payload is used as is.
-func haloFromPack(g *grid.Grid, f grid.Face, data []float32) []float32 { return data }
 
 // MaxDT computes the global CFL time step (the DT kernel + its global
 // scalar reduction).
@@ -264,6 +354,10 @@ func (r *Rank) MaxDT() float64 {
 // ghost exchange, RHS evaluation (interior overlapped with communication)
 // and UP update.
 func (r *Rank) RKStep(dt float64) {
+	if r.Cfg.Pipeline && r.u0 == nil {
+		r.rkStepPipelined(dt)
+		return
+	}
 	cells := int64(r.G.Cells())
 	values := cells * physics.NQ
 	ssp := r.u0 != nil
@@ -295,6 +389,53 @@ func (r *Rank) RKStep(dt float64) {
 		upSpan.End()
 		r.Mon.Kernel("UP").RecordSince(t0,
 			values*core.UpdateFlopsPerValue, values*core.UpdateBytesPerValue)
+	}
+	r.Step++
+	r.Time += dt
+}
+
+// faceInstallSpan names the per-face halo installation spans of the
+// pipelined step.
+var faceInstallSpan = [6]string{
+	"halo_install.x-", "halo_install.x+",
+	"halo_install.y-", "halo_install.y+",
+	"halo_install.z-", "halo_install.z+",
+}
+
+// rkStepPipelined advances one lsrk3 step with the dependency-driven
+// execution model: each stage submits every block as one fused RHS+UP task
+// to the persistent pool. Interior blocks (StartDeps zero) start
+// immediately and overlap the halo exchange; each arriving face releases
+// exactly the blocks whose labs read it. The fused tasks round the RHS
+// through float32 and apply the identical update arithmetic, so the result
+// is bitwise equal to the staged path regardless of execution order.
+func (r *Rank) rkStepPipelined(dt float64) {
+	cells := int64(r.G.Cells())
+	for s := 0; s < 3; s++ {
+		recvs := r.ExchangeGhosts(s)
+		t0 := time.Now()
+		stageSpan := r.tr.StartSpan("RHSUP", r.rankID, 0)
+		run := r.Engine.BeginFused("RHSUP.worker", &node.FusedStage{
+			Blocks: r.G.Blocks,
+			RHS:    r.rhs,
+			Reg:    r.reg,
+			A:      core.RK3A[s], B: core.RK3B[s], Dt: dt,
+			StartDeps: r.deps.start,
+			LabDeps:   r.deps.labDeps,
+		})
+		for f := grid.XLo; f <= grid.ZHi; f++ {
+			if recvs[f] == nil {
+				continue
+			}
+			sp := r.tr.StartSpan(faceInstallSpan[f], r.rankID, 0)
+			r.G.SetHalo(f, recvs[f].Wait())
+			run.Release(r.deps.faceBlocks[f])
+			sp.End()
+		}
+		run.Wait()
+		stageSpan.End()
+		r.Mon.Kernel("RHSUP").RecordSince(t0,
+			cells*core.FusedStageFlopsPerCell(r.G.N), cells*core.FusedStageBytesPerCell(r.G.N))
 	}
 	r.Step++
 	r.Time += dt
@@ -441,6 +582,9 @@ func (r *Rank) ComputeRHSOnly() {
 	r.Engine.ComputeRHS(r.interior, r.interiorRHS)
 	r.InstallHalos(recvs)
 	r.Engine.ComputeRHS(r.haloBlocks, r.haloRHS)
+	// Every call reuses the stage-0 pack buffers; unlike RKStep there are no
+	// later-stage messages to order successive calls, so align them here.
+	r.Cart.Barrier()
 }
 
 // SaveCheckpoint writes the full conserved state collectively (lossless;

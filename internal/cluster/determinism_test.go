@@ -41,12 +41,11 @@ func collectBlockData(t *testing.T, cfg Config, steps int) map[[2]int][]float32 
 	return data
 }
 
-// TestMultiRankDeterminism: two identical multi-rank, multi-worker runs must
-// produce byte-identical block data — the halo exchange, worker scheduling
-// and reduction order must not leak nondeterminism into the state. Run under
-// -race via `make race`.
-func TestMultiRankDeterminism(t *testing.T) {
-	cfg := Config{
+// determinismConfig is the shared multi-rank, multi-worker configuration of
+// the determinism and pipeline-equivalence tests: uneven worker-to-block
+// ratio, periodic exchange on every face, a fully 3D field.
+func determinismConfig() Config {
+	return Config{
 		RankDims:  [3]int{2, 2, 1},
 		BlockDims: [3]int{2, 1, 2},
 		BlockSize: 8,
@@ -67,9 +66,33 @@ func TestMultiRankDeterminism(t *testing.T) {
 			}
 		},
 	}
-	const steps = 5
-	a := collectBlockData(t, cfg, steps)
-	b := collectBlockData(t, cfg, steps)
+}
+
+// TestMultiRankDeterminism: two identical multi-rank, multi-worker runs must
+// produce byte-identical block data — the halo exchange, worker scheduling
+// and reduction order must not leak nondeterminism into the state, in
+// either execution model. Run under -race via `make race`.
+func TestMultiRankDeterminism(t *testing.T) {
+	for _, pipeline := range []bool{false, true} {
+		name := "Staged"
+		if pipeline {
+			name = "Pipeline"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := determinismConfig()
+			cfg.Pipeline = pipeline
+			const steps = 5
+			a := collectBlockData(t, cfg, steps)
+			b := collectBlockData(t, cfg, steps)
+			compareBlockData(t, a, b, "runs are not bitwise deterministic")
+		})
+	}
+}
+
+// compareBlockData asserts two collected states are bitwise identical
+// (NaNs of any payload compare equal).
+func compareBlockData(t *testing.T, a, b map[[2]int][]float32, msg string) {
+	t.Helper()
 	if len(a) != len(b) {
 		t.Fatalf("block counts differ: %d vs %d", len(a), len(b))
 	}
@@ -80,8 +103,8 @@ func TestMultiRankDeterminism(t *testing.T) {
 		}
 		for i := range blkA {
 			if blkA[i] != blkB[i] && !(isNaN32(blkA[i]) && isNaN32(blkB[i])) {
-				t.Fatalf("rank %d block %d word %d: %v != %v — runs are not bitwise deterministic",
-					key[0], key[1], i, blkA[i], blkB[i])
+				t.Fatalf("rank %d block %d word %d: %v != %v — %s",
+					key[0], key[1], i, blkA[i], blkB[i], msg)
 			}
 		}
 	}

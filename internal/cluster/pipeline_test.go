@@ -1,0 +1,185 @@
+package cluster
+
+import (
+	"runtime"
+	"testing"
+
+	"cubism/internal/grid"
+	"cubism/internal/mpi"
+)
+
+// TestPipelineMatchesStagedBitwise: the dependency-driven fused RHS+UP
+// pipeline must produce bitwise identical state to the bulk-synchronous
+// staged path on a multi-rank grid, for both kernel variants.
+func TestPipelineMatchesStagedBitwise(t *testing.T) {
+	for _, vector := range []bool{false, true} {
+		name := "Scalar"
+		if vector {
+			name = "Vector"
+		}
+		t.Run(name, func(t *testing.T) {
+			const steps = 5
+			staged := determinismConfig()
+			staged.Vector = vector
+			a := collectBlockData(t, staged, steps)
+			piped := determinismConfig()
+			piped.Vector = vector
+			piped.Pipeline = true
+			b := collectBlockData(t, piped, steps)
+			compareBlockData(t, a, b, "pipeline diverges from staged baseline")
+		})
+	}
+}
+
+// TestRankBCMasksNeighborFaces: faces with a neighboring rank must be
+// masked to Absorbing (the halo always wins there), while true domain
+// boundaries keep the physical condition.
+func TestRankBCMasksNeighborFaces(t *testing.T) {
+	cfg := Config{
+		RankDims:  [3]int{2, 1, 1},
+		BlockDims: [3]int{2, 1, 1},
+		BlockSize: 8,
+		Extent:    1,
+		Workers:   1,
+		CFL:       0.3,
+	}
+	cfg.BC[grid.XLo] = grid.Reflecting
+	cfg.BC[grid.XHi] = grid.Reflecting
+	world := mpi.NewWorld(2)
+	type bcAt struct {
+		rank int
+		bc   grid.BC
+	}
+	out := make(chan bcAt, 2)
+	world.Run(func(comm *mpi.Comm) {
+		r := NewRank(comm, cfg)
+		defer r.Close()
+		out <- bcAt{rank: comm.Rank(), bc: r.Engine.BC}
+	})
+	close(out)
+	for got := range out {
+		// The two ranks split the x axis: each keeps the reflecting wall on
+		// its outer x face and gets Absorbing on the shared inner face.
+		wantLo, wantHi := grid.Reflecting, grid.Absorbing
+		if got.rank == 1 {
+			wantLo, wantHi = grid.Absorbing, grid.Reflecting
+		}
+		if got.bc[grid.XLo] != wantLo || got.bc[grid.XHi] != wantHi {
+			t.Errorf("rank %d x faces: got (%v, %v), want (%v, %v)",
+				got.rank, got.bc[grid.XLo], got.bc[grid.XHi], wantLo, wantHi)
+		}
+		for f := grid.YLo; f <= grid.ZHi; f++ {
+			if got.bc[f] != grid.Absorbing {
+				t.Errorf("rank %d face %d: got %v, want Absorbing (no neighbor, default BC)",
+					got.rank, f, got.bc[f])
+			}
+		}
+	}
+}
+
+// TestOppositeFaceEncoding pins the face encoding the halo exchange relies
+// on: the opposite of face f is f with the low bit flipped.
+func TestOppositeFaceEncoding(t *testing.T) {
+	pairs := [][2]grid.Face{
+		{grid.XLo, grid.XHi},
+		{grid.YLo, grid.YHi},
+		{grid.ZLo, grid.ZHi},
+	}
+	for _, p := range pairs {
+		lo, hi := p[0], p[1]
+		if opposite(lo) != hi || opposite(hi) != lo {
+			t.Errorf("opposite(%d)=%d, opposite(%d)=%d; want the pair swapped",
+				lo, opposite(lo), hi, opposite(hi))
+		}
+		if opposite(lo) != lo^1 {
+			t.Errorf("opposite(%d) != %d^1", lo, lo)
+		}
+		if lo.Axis() != hi.Axis() {
+			t.Errorf("faces %d/%d axes differ", lo, hi)
+		}
+		if lo.IsHigh() || !hi.IsHigh() {
+			t.Errorf("faces %d/%d high bits wrong", lo, hi)
+		}
+	}
+}
+
+// steadyStateConfig is a single-rank periodic setup where every face
+// exchanges with itself — the worst case for pack-buffer churn.
+func steadyStateConfig(pipeline bool) Config {
+	cfg := determinismConfig()
+	cfg.RankDims = [3]int{1, 1, 1}
+	cfg.BlockDims = [3]int{2, 2, 2}
+	cfg.Workers = 2
+	cfg.Pipeline = pipeline
+	return cfg
+}
+
+// TestSteadyStateAllocs: after warmup, a step must not allocate fresh ghost
+// payload or reduction buffers; only small bookkeeping (lazy receive
+// requests, stage-run headers, collective slots) remains.
+func TestSteadyStateAllocs(t *testing.T) {
+	for _, pipeline := range []bool{false, true} {
+		name := "Staged"
+		if pipeline {
+			name = "Pipeline"
+		}
+		t.Run(name, func(t *testing.T) {
+			if raceEnabled {
+				t.Skip("race-detector shadow allocations break the budget")
+			}
+			cfg := steadyStateConfig(pipeline)
+			world := mpi.NewWorld(1)
+			world.Run(func(comm *mpi.Comm) {
+				r := NewRank(comm, cfg)
+				defer r.Close()
+				for s := 0; s < 3; s++ {
+					r.Advance() // warmup: buffers reach steady-state capacity
+				}
+				const steps = 16
+				var before, after runtime.MemStats
+				runtime.ReadMemStats(&before)
+				for s := 0; s < steps; s++ {
+					r.Advance()
+				}
+				runtime.ReadMemStats(&after)
+				mallocs := float64(after.Mallocs-before.Mallocs) / steps
+				bytes := float64(after.TotalAlloc-before.TotalAlloc) / steps
+				// The pre-reuse ExchangeGhosts alone allocated ~390 KB/step
+				// here (18 PackFace payloads); observed steady state is
+				// ~45 mallocs and ~4 KB per step — the budget leaves room
+				// for runtime noise but catches any payload churn.
+				if mallocs > 150 {
+					t.Errorf("%.1f mallocs/step, want <= 150", mallocs)
+				}
+				if bytes > 32<<10 {
+					t.Errorf("%.0f bytes/step allocated, want <= 32KiB", bytes)
+				}
+			})
+		})
+	}
+}
+
+// TestPoolSpawnConstantAcrossSteps: the engine pool must spawn its workers
+// exactly once, no matter how many steps run.
+func TestPoolSpawnConstantAcrossSteps(t *testing.T) {
+	cfg := steadyStateConfig(true)
+	world := mpi.NewWorld(1)
+	world.Run(func(comm *mpi.Comm) {
+		r := NewRank(comm, cfg)
+		defer r.Close()
+		for s := 0; s < 100; s++ {
+			r.Advance()
+		}
+		ps := r.Engine.PoolStats()
+		if ps.Spawned != int64(cfg.Workers) {
+			t.Errorf("spawned %d worker goroutines over 100 steps, want %d",
+				ps.Spawned, cfg.Workers)
+		}
+		if ps.QueueDepth != 0 {
+			t.Errorf("queue depth %d after quiescence, want 0", ps.QueueDepth)
+		}
+		if ps.TasksRun == 0 {
+			t.Error("pool ran no tasks")
+		}
+	})
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package cluster
+
+// raceEnabled reports whether the race detector instruments this build; its
+// shadow-state allocations would drown the steady-state allocation budget.
+const raceEnabled = true

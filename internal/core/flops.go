@@ -100,3 +100,30 @@ func OperationalIntensityDTNaive() float64 {
 func OperationalIntensityUP() float64 {
 	return float64(UpdateFlopsPerValue) / float64(UpdateBytesPerValue)
 }
+
+// FusedUpdateBytesPerValue is the compulsory traffic of one UP element when
+// the update is fused into the RHS BACK stage: u and reg are each read and
+// written once; the rhs value is consumed in-register out of the
+// accumulator and never round-trips through memory (vs. a write in BACK
+// plus a read in UP for the staged path).
+const FusedUpdateBytesPerValue = 4 * 4
+
+// FusedStageFlopsPerCell returns the arithmetic per cell of one fused
+// RHS+UP stage: the flop count is unchanged by fusion.
+func FusedStageFlopsPerCell(n int) int64 {
+	return RHSFlopsPerCell(n) + nq*UpdateFlopsPerValue
+}
+
+// FusedStageBytesPerCell returns the compulsory traffic per cell of one
+// fused RHS+UP stage: the RHS traffic minus the rhs write-back, plus the
+// fused update traffic. Compared with the staged RHSBytesPerCell +
+// nq·UpdateBytesPerValue, fusion saves 2·nq·4 bytes per cell (the rhs
+// write and its re-read).
+func FusedStageBytesPerCell(n int) int64 {
+	return RHSBytesPerCell(n) - nq*4 + nq*FusedUpdateBytesPerValue
+}
+
+// OperationalIntensityFused returns FLOP/B of the fused RHS+UP stage.
+func OperationalIntensityFused(n int) float64 {
+	return float64(FusedStageFlopsPerCell(n)) / float64(FusedStageBytesPerCell(n))
+}

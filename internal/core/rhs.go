@@ -82,6 +82,29 @@ func (r *RHS) Compute(lab *grid.Lab, h float64, out []float32) {
 	if len(out) != n*n*n*nq {
 		panic("core: rhs output size mismatch")
 	}
+	r.sweep(lab)
+	r.back(h, out)
+}
+
+// ComputeFused evaluates the RHS and immediately applies the low-storage RK
+// update stage (reg ← a·reg + dt·rhs, u ← u + b·reg) while the accumulators
+// are cache-resident: the rhs value is consumed in-register instead of
+// round-tripping through the block's temporary area. It rounds the rhs
+// through float32 exactly like the BACK stage, so the result is bitwise
+// identical to Compute followed by UpdateScalar.
+func (r *RHS) ComputeFused(lab *grid.Lab, h float64, u, reg []float32, a, b, dt float64) {
+	n := r.N
+	if len(u) != n*n*n*nq || len(reg) != len(u) {
+		panic("core: fused rhs+up buffer size mismatch")
+	}
+	r.sweep(lab)
+	r.backFused(h, u, reg, a, b, dt)
+}
+
+// sweep runs the directional flux sweeps over the lab, filling the SoA
+// accumulators with the summed flux differences (everything up to BACK).
+func (r *RHS) sweep(lab *grid.Lab) {
+	n := r.N
 	for q := 0; q < nq; q++ {
 		clear(r.acc[q])
 	}
@@ -101,8 +124,6 @@ func (r *RHS) Compute(lab *grid.Lab, h float64, out []float32) {
 		r.accumulateZ(z)
 		r.zPrev, r.zCur = r.zCur, r.zPrev
 	}
-
-	r.back(h, out)
 }
 
 // back is the BACK stage: scale the SoA accumulators by 1/h and write the
@@ -114,6 +135,24 @@ func (r *RHS) back(h float64, out []float32) {
 		a := r.acc[q]
 		for i := 0; i < ncells; i++ {
 			out[i*nq+q] = float32(a[i] * invH)
+		}
+	}
+}
+
+// backFused is the fused BACK+UP stage: the scaled accumulator value is
+// narrowed to float32 (the same rounding point back applies on its way to
+// memory) and fed straight into the RK update arithmetic of UpdateScalar.
+func (r *RHS) backFused(h float64, u, reg []float32, ca, cb, dt float64) {
+	invH := 1 / h
+	ncells := r.N * r.N * r.N
+	for q := 0; q < nq; q++ {
+		a := r.acc[q]
+		for i := 0; i < ncells; i++ {
+			idx := i*nq + q
+			rhs := float32(a[i] * invH)
+			rr := ca*float64(reg[idx]) + dt*float64(rhs)
+			reg[idx] = float32(rr)
+			u[idx] = float32(float64(u[idx]) + cb*rr)
 		}
 	}
 }

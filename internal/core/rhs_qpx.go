@@ -43,6 +43,27 @@ func (r *RHSVec) Compute(lab *grid.Lab, h float64, out []float32) {
 	if len(out) != n*n*n*nq {
 		panic("core: rhs output size mismatch")
 	}
+	r.sweepVec(lab)
+	r.back(h, out)
+}
+
+// ComputeFused evaluates the RHS and immediately applies the low-storage RK
+// update (the vector counterpart of RHS.ComputeFused): the BACK narrowing
+// and the UpdateQPX op sequence run back to back on in-register values, so
+// the result is bitwise identical to Compute followed by UpdateQPX.
+func (r *RHSVec) ComputeFused(lab *grid.Lab, h float64, u, reg []float32, a, b, dt float64) {
+	n := r.N
+	if len(u) != n*n*n*nq || len(reg) != len(u) {
+		panic("core: fused rhs+up buffer size mismatch")
+	}
+	r.sweepVec(lab)
+	r.backFusedVec(h, u, reg, a, b, dt)
+}
+
+// sweepVec runs the vectorized directional sweeps, filling the SoA
+// accumulators (everything up to BACK).
+func (r *RHSVec) sweepVec(lab *grid.Lab) {
+	n := r.N
 	for q := 0; q < nq; q++ {
 		clear(r.acc[q])
 	}
@@ -58,7 +79,30 @@ func (r *RHSVec) Compute(lab *grid.Lab, h float64, out []float32) {
 		r.accumulateZVec(z)
 		r.zPrev, r.zCur = r.zCur, r.zPrev
 	}
-	r.back(h, out)
+}
+
+// backFusedVec is the fused BACK+UP stage of the vector path: four
+// accumulator lanes are scaled by 1/h, narrowed to float32 in-register (the
+// rounding point of the staged BACK store), and consumed by the exact
+// multiply-add sequence of UpdateQPX on the strided AoS slots of quantity q.
+func (r *RHSVec) backFusedVec(h float64, u, reg []float32, a, b, dt float64) {
+	invH := qpx.Splat(1 / h)
+	va, vb, vdt := qpx.Splat(a), qpx.Splat(b), qpx.Splat(dt)
+	ncells := r.N * r.N * r.N
+	var rhs4 [qpx.Width]float32
+	for q := 0; q < nq; q++ {
+		acc := r.acc[q]
+		for i := 0; i < ncells; i += qpx.Width {
+			invH.Mul(qpx.Load4(acc[i:])).Store4f(rhs4[:])
+			i0, i1 := i*nq+q, (i+1)*nq+q
+			i2, i3 := (i+2)*nq+q, (i+3)*nq+q
+			rr := va.Mul(qpx.New(float64(reg[i0]), float64(reg[i1]), float64(reg[i2]), float64(reg[i3])))
+			rr = vdt.MAdd(qpx.Load4f(rhs4[:]), rr)
+			reg[i0], reg[i1], reg[i2], reg[i3] = float32(rr.A), float32(rr.B), float32(rr.C), float32(rr.D)
+			uu := vb.MAdd(rr, qpx.New(float64(u[i0]), float64(u[i1]), float64(u[i2]), float64(u[i3])))
+			u[i0], u[i1], u[i2], u[i3] = float32(uu.A), float32(uu.B), float32(uu.C), float32(uu.D)
+		}
+	}
 }
 
 // reconstructX reconstructs the minus/plus states of the four faces

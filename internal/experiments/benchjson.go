@@ -8,7 +8,10 @@ import (
 	"sort"
 
 	"cubism/internal/cluster"
+	"cubism/internal/core"
 	"cubism/internal/grid"
+	"cubism/internal/node"
+	"cubism/internal/physics"
 	"cubism/internal/sim"
 	"cubism/internal/telemetry"
 )
@@ -32,21 +35,38 @@ type BenchSimLatency struct {
 	MaxMS  float64 `json:"max_ms"`
 }
 
+// BenchSimMode is the fused-vs-staged ablation row: one execution model's
+// throughput, latency and analytic UP traffic, plus the pool evidence that
+// workers are spawned once (WorkerSpawns stays equal to PoolWorkers across
+// the whole run).
+type BenchSimMode struct {
+	Pipeline          bool            `json:"pipeline"`
+	PointsPerSec      float64         `json:"points_per_second"`
+	StepLatency       BenchSimLatency `json:"step_latency"`
+	UPBytesPerValue   int64           `json:"up_bytes_per_value"`
+	StageBytesPerCell int64           `json:"stage_bytes_per_cell"`
+	PoolWorkers       int             `json:"pool_workers"`
+	WorkerSpawns      int64           `json:"worker_goroutine_spawns"`
+}
+
 // BenchSimResult is the machine-readable benchmark record emitted next to
 // the human-readable report, so the perf trajectory across PRs is diffable
-// (compare two files with `diff` or a JSON tool).
+// (compare two files with `diff` or a JSON tool). The top-level fields
+// describe the primary run; Modes holds the fused-vs-staged pair.
 type BenchSimResult struct {
 	BlockSize     int                       `json:"block_size"`
 	RankDims      [3]int                    `json:"rank_dims"`
 	BlockDims     [3]int                    `json:"block_dims"`
 	Steps         int                       `json:"steps"`
 	Workers       int                       `json:"workers_per_rank"`
+	Pipeline      bool                      `json:"pipeline"`
 	GlobalCells   int64                     `json:"global_cells"`
 	WallSeconds   float64                   `json:"wall_seconds"`
 	PointsPerSec  float64                   `json:"points_per_second"`
 	StepLatency   BenchSimLatency           `json:"step_latency"`
 	StepImbalance float64                   `json:"step_imbalance"`
 	Kernels       map[string]BenchSimKernel `json:"kernels"`
+	Modes         []BenchSimMode            `json:"modes"`
 }
 
 // percentile returns the p-quantile (0..1) of sorted xs by nearest-rank.
@@ -64,10 +84,38 @@ func percentile(sorted []float64, p float64) float64 {
 	return sorted[i]
 }
 
-// RunBenchSim executes the instrumented multi-rank benchmark campaign and
-// returns the machine-readable record.
-func RunBenchSim(n, steps int) (BenchSimResult, error) {
-	workers := max(runtime.NumCPU()/2, 1)
+// benchSimRun is the outcome of one execution-model measurement.
+type benchSimRun struct {
+	summary sim.Summary
+	lats    []float64
+	imbs    []float64
+	pool    node.PoolStats
+	mode    BenchSimMode
+}
+
+// stepLatency summarizes sorted step latencies.
+func stepLatency(lats []float64) BenchSimLatency {
+	if len(lats) == 0 {
+		return BenchSimLatency{}
+	}
+	sort.Float64s(lats)
+	var sum float64
+	for _, v := range lats {
+		sum += v
+	}
+	return BenchSimLatency{
+		MeanMS: sum / float64(len(lats)),
+		P50MS:  percentile(lats, 0.50),
+		P90MS:  percentile(lats, 0.90),
+		P99MS:  percentile(lats, 0.99),
+		MaxMS:  lats[len(lats)-1],
+	}
+}
+
+// runBenchSimMode measures one execution model (pipelined fused RHS+UP vs
+// bulk-synchronous staged) on the standard benchmark decomposition.
+func runBenchSimMode(n, steps, workers int, pipeline bool) (benchSimRun, error) {
+	var run benchSimRun
 	cfg := sim.Config{
 		Cluster: cluster.Config{
 			RankDims:  [3]int{2, 1, 1},
@@ -77,58 +125,91 @@ func RunBenchSim(n, steps int) (BenchSimResult, error) {
 			BC:        grid.PeriodicBC(),
 			Workers:   workers,
 			CFL:       0.3,
+			Pipeline:  pipeline,
 			Init:      testField,
 		},
 		Steps:     steps,
 		DiagEvery: 1 << 30,
+		OnFinish: func(r *cluster.Rank) {
+			if r.Cart.Rank() == 0 {
+				run.pool = r.Engine.PoolStats()
+			}
+		},
 		// A non-nil telemetry set switches on the cross-rank step-time
 		// reductions that feed the imbalance statistic.
 		Telemetry: &telemetry.Set{},
 	}
-	var lats, imbs []float64
 	summary, err := sim.Run(cfg, func(s sim.StepInfo) {
-		lats = append(lats, s.WallMS)
-		imbs = append(imbs, s.Imbalance)
+		run.lats = append(run.lats, s.WallMS)
+		run.imbs = append(run.imbs, s.Imbalance)
 	})
+	if err != nil {
+		return run, err
+	}
+	run.summary = summary
+	// Analytic per-stage traffic of the two models: fusion keeps the rhs
+	// value in registers, dropping its write-back and re-read.
+	upBytes := int64(core.UpdateBytesPerValue)
+	stageBytes := core.RHSBytesPerCell(n) + int64(physics.NQ)*core.UpdateBytesPerValue
+	if pipeline {
+		upBytes = core.FusedUpdateBytesPerValue
+		stageBytes = core.FusedStageBytesPerCell(n)
+	}
+	run.mode = BenchSimMode{
+		Pipeline:          pipeline,
+		PointsPerSec:      summary.PointsPerSec,
+		StepLatency:       stepLatency(run.lats),
+		UPBytesPerValue:   upBytes,
+		StageBytesPerCell: stageBytes,
+		PoolWorkers:       run.pool.Workers,
+		WorkerSpawns:      run.pool.Spawned,
+	}
+	return run, nil
+}
+
+// RunBenchSim executes the instrumented multi-rank benchmark campaign in
+// both execution models (fused pipeline and staged baseline) and returns
+// the machine-readable record; primary selects which mode fills the
+// top-level fields.
+func RunBenchSim(n, steps int, primary bool) (BenchSimResult, error) {
+	workers := max(runtime.NumCPU()/2, 1)
+	staged, err := runBenchSimMode(n, steps, workers, false)
 	if err != nil {
 		return BenchSimResult{}, err
 	}
+	fused, err := runBenchSimMode(n, steps, workers, true)
+	if err != nil {
+		return BenchSimResult{}, err
+	}
+	main := fused
+	if !primary {
+		main = staged
+	}
 	res := BenchSimResult{
 		BlockSize:    n,
-		RankDims:     cfg.Cluster.RankDims,
-		BlockDims:    cfg.Cluster.BlockDims,
-		Steps:        summary.Steps,
+		RankDims:     [3]int{2, 1, 1},
+		BlockDims:    [3]int{2, 2, 2},
+		Steps:        main.summary.Steps,
 		Workers:      workers,
-		GlobalCells:  summary.GlobalCells,
-		WallSeconds:  summary.WallTime.Seconds(),
-		PointsPerSec: summary.PointsPerSec,
+		Pipeline:     primary,
+		GlobalCells:  main.summary.GlobalCells,
+		WallSeconds:  main.summary.WallTime.Seconds(),
+		PointsPerSec: main.summary.PointsPerSec,
+		StepLatency:  main.mode.StepLatency,
 		Kernels:      map[string]BenchSimKernel{},
+		Modes:        []BenchSimMode{staged.mode, fused.mode},
 	}
-	sort.Float64s(lats)
-	var sum float64
-	for _, v := range lats {
-		sum += v
-	}
-	if len(lats) > 0 {
-		res.StepLatency = BenchSimLatency{
-			MeanMS: sum / float64(len(lats)),
-			P50MS:  percentile(lats, 0.50),
-			P90MS:  percentile(lats, 0.90),
-			P99MS:  percentile(lats, 0.99),
-			MaxMS:  lats[len(lats)-1],
-		}
-	}
-	for _, v := range imbs {
+	for _, v := range main.imbs {
 		res.StepImbalance += v
 	}
-	if len(imbs) > 0 {
-		res.StepImbalance /= float64(len(imbs))
+	if len(main.imbs) > 0 {
+		res.StepImbalance /= float64(len(main.imbs))
 	}
 	totalSec := 0.0
-	for _, st := range summary.Kernels {
+	for _, st := range main.summary.Kernels {
 		totalSec += st.Total.Seconds()
 	}
-	for name, st := range summary.Kernels {
+	for name, st := range main.summary.Kernels {
 		share := 0.0
 		if totalSec > 0 {
 			share = st.Total.Seconds() / totalSec
@@ -145,17 +226,27 @@ func RunBenchSim(n, steps int) (BenchSimResult, error) {
 	return res, nil
 }
 
-// BenchSim runs the instrumented simulation benchmark, prints the human
-// summary to w and writes BENCH_sim.json-style output to jsonPath (skipped
-// when jsonPath is empty).
-func BenchSim(w io.Writer, n, steps int, jsonPath string) {
+// BenchSim runs the instrumented simulation benchmark in both execution
+// models, prints the human summary to w and writes BENCH_sim.json-style
+// output to jsonPath (skipped when jsonPath is empty). pipeline selects the
+// primary mode of the top-level record.
+func BenchSim(w io.Writer, n, steps int, jsonPath string, pipeline bool) {
 	header(w, "Instrumented simulation benchmark")
-	res, err := RunBenchSim(n, steps)
+	res, err := RunBenchSim(n, steps, pipeline)
 	if err != nil {
 		panic(err)
 	}
 	line(w, "%d ranks x %v blocks, N=%d, %d workers/rank, %d steps",
 		res.RankDims[0]*res.RankDims[1]*res.RankDims[2], res.BlockDims, n, res.Workers, res.Steps)
+	for _, m := range res.Modes {
+		name := "staged"
+		if m.Pipeline {
+			name = "fused"
+		}
+		line(w, "%-7s step ms: mean %.2f p90 %.2f | %8.2f Mpoints/s | UP %dB/value, stage %dB/cell | pool %d workers, %d spawns",
+			name, m.StepLatency.MeanMS, m.StepLatency.P90MS, m.PointsPerSec/1e6,
+			m.UPBytesPerValue, m.StageBytesPerCell, m.PoolWorkers, m.WorkerSpawns)
+	}
 	line(w, "throughput:      %10.2f Mpoints/s", res.PointsPerSec/1e6)
 	line(w, "step latency ms: mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f",
 		res.StepLatency.MeanMS, res.StepLatency.P50MS, res.StepLatency.P90MS,

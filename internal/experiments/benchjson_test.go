@@ -26,7 +26,7 @@ func TestPercentile(t *testing.T) {
 func TestBenchSimJSON(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_sim.json")
 	var buf bytes.Buffer
-	BenchSim(&buf, 8, 3, path)
+	BenchSim(&buf, 8, 3, path, true)
 
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -39,10 +39,14 @@ func TestBenchSimJSON(t *testing.T) {
 	if res.Steps != 3 || res.BlockSize != 8 {
 		t.Errorf("steps=%d block=%d, want 3/8", res.Steps, res.BlockSize)
 	}
+	if !res.Pipeline {
+		t.Error("primary run should be the pipeline mode")
+	}
 	if res.StepLatency.P50MS <= 0 || res.StepLatency.MaxMS < res.StepLatency.P50MS {
 		t.Errorf("step latency percentiles malformed: %+v", res.StepLatency)
 	}
-	for _, k := range []string{"RHS", "UP", "DT"} {
+	// The pipelined primary run records the fused RHSUP kernel plus DT.
+	for _, k := range []string{"RHSUP", "DT"} {
 		st, ok := res.Kernels[k]
 		if !ok || st.Calls == 0 || st.GFLOPS <= 0 {
 			t.Errorf("kernel %s missing or empty: %+v", k, st)
@@ -51,7 +55,33 @@ func TestBenchSimJSON(t *testing.T) {
 	if res.PointsPerSec <= 0 || res.GlobalCells == 0 {
 		t.Errorf("throughput fields empty: %+v", res)
 	}
+	if len(res.Modes) != 2 {
+		t.Fatalf("want staged+fused mode rows, got %d", len(res.Modes))
+	}
+	staged, fused := res.Modes[0], res.Modes[1]
+	if staged.Pipeline || !fused.Pipeline {
+		t.Errorf("mode order wrong: %+v", res.Modes)
+	}
+	if fused.StageBytesPerCell >= staged.StageBytesPerCell {
+		t.Errorf("fusion should reduce stage traffic: fused %d >= staged %d",
+			fused.StageBytesPerCell, staged.StageBytesPerCell)
+	}
+	if fused.UPBytesPerValue >= staged.UPBytesPerValue {
+		t.Errorf("fusion should reduce UP traffic: fused %d >= staged %d",
+			fused.UPBytesPerValue, staged.UPBytesPerValue)
+	}
+	for _, m := range res.Modes {
+		if m.PoolWorkers <= 0 || m.WorkerSpawns != int64(m.PoolWorkers) {
+			t.Errorf("pool workers should be spawned exactly once: %+v", m)
+		}
+		if m.StepLatency.MeanMS <= 0 {
+			t.Errorf("mode latency empty: %+v", m)
+		}
+	}
 	if !bytes.Contains(buf.Bytes(), []byte("step latency ms")) {
 		t.Error("human report missing latency line")
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("fused")) || !bytes.Contains(buf.Bytes(), []byte("staged")) {
+		t.Error("human report missing fused-vs-staged rows")
 	}
 }

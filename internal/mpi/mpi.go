@@ -119,16 +119,33 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.world.size }
 
-// Request represents an in-flight non-blocking operation.
+// Request represents an in-flight non-blocking operation. Receive requests
+// are lazy: the mailbox is matched on Wait rather than at post time. This
+// is indistinguishable from an eager receive in this substrate — sends
+// complete by depositing into the receiver's mailbox immediately, so
+// progress never depends on a posted receive — and it avoids spawning one
+// goroutine plus channel per receive.
 type Request struct {
-	done chan struct{}
-	data []float32
+	recv     *Comm // non-nil for receives
+	src, tag int
+	received bool
+	data     []float32
 }
 
+// sentRequest is the shared, already-complete request every Isend returns:
+// sends in this substrate finish at post time, so there is nothing to wait
+// for and nothing worth allocating.
+var sentRequest = &Request{received: true}
+
 // Wait blocks until the operation completes and returns the received data
-// (nil for sends).
+// (nil for sends). Wait may be called multiple times; later calls return
+// the same payload.
 func (r *Request) Wait() []float32 {
-	<-r.done
+	if !r.received {
+		msg := r.recv.world.boxes[r.recv.rank].take(r.src, r.tag)
+		r.data = msg.data
+		r.received = true
+	}
 	return r.data
 }
 
@@ -149,20 +166,13 @@ func (c *Comm) Isend(dst, tag int, data []float32) *Request {
 		panic(fmt.Sprintf("mpi: Isend to invalid rank %d", dst))
 	}
 	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data})
-	done := make(chan struct{})
-	close(done)
-	return &Request{done: done}
+	return sentRequest
 }
 
-// Irecv posts a non-blocking receive matching (src, tag).
+// Irecv posts a non-blocking receive matching (src, tag). The request must
+// be completed with Wait by the posting goroutine.
 func (c *Comm) Irecv(src, tag int) *Request {
-	req := &Request{done: make(chan struct{})}
-	go func() {
-		msg := c.world.boxes[c.rank].take(src, tag)
-		req.data = msg.data
-		close(req.done)
-	}()
-	return req
+	return &Request{recv: c, src: src, tag: tag}
 }
 
 // Send is a blocking send.

@@ -3,15 +3,15 @@
 // at one-block granularity and providing each worker with dedicated scratch
 // buffers (Lab, ring slices, RHS workspace).
 //
-// Threads are goroutines pinned 1:1 to workers; the work-stealing-free
-// dynamic queue is an atomic cursor over the block list, the direct analog
-// of OpenMP dynamic scheduling with chunk size one.
+// Threads are goroutines pinned 1:1 to workers in a persistent pool created
+// once per engine; per-block tasks are drained from a channel, the direct
+// analog of OpenMP dynamic scheduling with chunk size one but without the
+// per-region fork/join. Stages may run bulk-synchronous (ComputeRHS +
+// Update) or as a dependency-driven fused RHS+UP pipeline (BeginFused).
 package node
 
 import (
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"cubism/internal/core"
 	"cubism/internal/grid"
@@ -31,9 +31,10 @@ type Engine struct {
 
 	workers int
 	scratch []*workspace
-
-	tracer *telemetry.Tracer
-	rank   int
+	pool    *pool
+	// partial holds the per-block maxima of MaxCharVel, reused across
+	// steps so the DT kernel allocates nothing in steady state.
+	partial []float64
 }
 
 // workspace is the per-worker dedicated buffer set.
@@ -44,7 +45,9 @@ type workspace struct {
 }
 
 // New creates an engine with the given number of workers (0 means
-// runtime.NumCPU()).
+// runtime.NumCPU()). The worker goroutines are spawned here, once, and live
+// for the engine's lifetime; Close (or garbage collection of the engine)
+// retires them.
 func New(g *grid.Grid, bc grid.BC, workers int, vector bool) *Engine {
 	if workers <= 0 {
 		workers = runtime.NumCPU()
@@ -60,49 +63,43 @@ func New(g *grid.Grid, bc grid.BC, workers int, vector bool) *Engine {
 		}
 		e.scratch[i] = ws
 	}
+	e.partial = make([]float64, len(g.Blocks))
+	// Queue capacity covers a full grid of tasks so a stage submission
+	// rarely blocks; correctness does not depend on it (workers drain).
+	e.pool = newPool(workers, len(g.Blocks)+workers+1)
+	// The workers reference only the pool, so an engine dropped without an
+	// explicit Close becomes collectable and the finalizer retires them.
+	runtime.SetFinalizer(e, func(e *Engine) { e.pool.close() })
 	return e
 }
 
 // Workers returns the worker count.
 func (e *Engine) Workers() int { return e.workers }
 
+// Close retires the pool workers. The engine must not be used afterwards.
+// Optional: unclosed engines are cleaned up by a GC finalizer.
+func (e *Engine) Close() { e.pool.close() }
+
 // SetTrace attaches a span tracer (may be nil) and this engine's rank id;
-// each parallel region then records one span per participating worker on
-// the worker's own track.
+// each task then records one span on the executing worker's track, plus
+// pool.idle spans covering the time workers spend waiting for work.
 func (e *Engine) SetTrace(t *telemetry.Tracer, rank int) {
-	e.tracer = t
-	e.rank = rank
+	e.pool.tracer.Store(t)
+	e.pool.rank.Store(int64(rank))
 }
 
 // parallel runs body(worker, blockOrdinal) for every ordinal in [0, n),
-// distributing ordinals dynamically across the workers. region names the
-// spans recorded on each worker's trace track.
+// distributing ordinals dynamically across the pool workers. region names
+// the spans recorded on each worker's trace track.
 func (e *Engine) parallel(region string, n int, body func(w, i int)) {
 	if n == 0 {
 		return
 	}
-	workers := e.workers
-	if workers > n {
-		workers = n
+	run := &StageRun{e: e, name: region, n: int32(n), body: body, done: make(chan struct{})}
+	for i := int32(0); i < int32(n); i++ {
+		e.pool.submit(poolTask{run: run, i: i})
 	}
-	var cursor atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func(w int) {
-			defer wg.Done()
-			sp := e.tracer.StartSpan(region, e.rank, w+1)
-			defer sp.End()
-			for {
-				i := int(cursor.Add(1)) - 1
-				if i >= n {
-					return
-				}
-				body(w, i)
-			}
-		}(w)
-	}
-	wg.Wait()
+	<-run.done
 }
 
 // ComputeRHS evaluates the right-hand side of the listed blocks into the
@@ -140,7 +137,7 @@ func (e *Engine) Update(blocks []*grid.Block, reg, rhs [][]float32, a, b, dt flo
 // order so the result is deterministic.
 func (e *Engine) MaxCharVel() float64 {
 	blocks := e.G.Blocks
-	partial := make([]float64, len(blocks))
+	partial := e.partial
 	vector := e.Vector
 	e.parallel("SOS.worker", len(blocks), func(w, i int) {
 		if vector {

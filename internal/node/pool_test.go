@@ -1,0 +1,184 @@
+package node
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"cubism/internal/core"
+	"cubism/internal/grid"
+	"cubism/internal/physics"
+)
+
+// TestPoolWorkerCountStable: the pool spawns its workers once at engine
+// creation; a hundred stages later the goroutine count is unchanged, and
+// Close retires the workers.
+func TestPoolWorkerCountStable(t *testing.T) {
+	base := runtime.NumGoroutine()
+	const workers = 4
+	g := testGrid(8, 2)
+	e := New(g, grid.PeriodicBC(), workers, false)
+	for s := 0; s < 100; s++ {
+		e.MaxCharVel()
+	}
+	ps := e.PoolStats()
+	if ps.Spawned != workers {
+		t.Errorf("spawned %d worker goroutines, want %d (pool must not respawn)", ps.Spawned, workers)
+	}
+	if ps.QueueDepth != 0 {
+		t.Errorf("queue depth %d after quiescence, want 0", ps.QueueDepth)
+	}
+	if ps.TasksRun != 100*int64(len(g.Blocks)) {
+		t.Errorf("tasks run %d, want %d", ps.TasksRun, 100*len(g.Blocks))
+	}
+	// Some slack for runtime-internal goroutines, but nothing proportional
+	// to the number of stages.
+	if got := runtime.NumGoroutine(); got > base+workers+2 {
+		t.Errorf("goroutine count grew to %d (baseline %d + %d workers)", got, base, workers)
+	}
+	e.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("workers did not exit after Close: %d goroutines, baseline %d",
+				runtime.NumGoroutine(), base)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// labDepsOf derives the in-grid face-adjacency dependency lists for a
+// single-rank grid with non-periodic BC (out-of-range ghosts come from the
+// boundary condition, adding no dependency).
+func labDepsOf(g *grid.Grid) (start []int32, deps [][]int32) {
+	ord := make(map[*grid.Block]int32, len(g.Blocks))
+	for i, b := range g.Blocks {
+		ord[b] = int32(i)
+	}
+	start = make([]int32, len(g.Blocks))
+	deps = make([][]int32, len(g.Blocks))
+	lim := [3]int{g.NBX, g.NBY, g.NBZ}
+	for i, b := range g.Blocks {
+		for f := grid.XLo; f <= grid.ZHi; f++ {
+			a := f.Axis()
+			dir := -1
+			if f.IsHigh() {
+				dir = 1
+			}
+			nc := [3]int{b.X, b.Y, b.Z}
+			nc[a] += dir
+			if nc[a] >= 0 && nc[a] < lim[a] {
+				deps[i] = append(deps[i], ord[g.BlockAt(nc[0], nc[1], nc[2])])
+			}
+		}
+	}
+	return start, deps
+}
+
+// TestFusedMatchesStaged: the fused RHS+UP stage must be bitwise identical
+// to the staged ComputeRHS + Update pair, for both kernel variants, across
+// RK stages with non-zero register coefficients.
+func TestFusedMatchesStaged(t *testing.T) {
+	for _, vector := range []bool{false, true} {
+		name := "Scalar"
+		if vector {
+			name = "Vector"
+		}
+		t.Run(name, func(t *testing.T) {
+			n := 8
+			bc := grid.DefaultBC()
+			g1 := testGrid(n, 2)
+			g2 := testGrid(n, 2)
+			e1 := New(g1, bc, 3, vector)
+			e2 := New(g2, bc, 3, vector)
+			defer e1.Close()
+			defer e2.Close()
+			per := n * n * n * physics.NQ
+			mk := func(k int) [][]float32 {
+				out := make([][]float32, k)
+				for i := range out {
+					out[i] = make([]float32, per)
+				}
+				return out
+			}
+			reg1, rhs1 := mk(len(g1.Blocks)), mk(len(g1.Blocks))
+			reg2, rhs2 := mk(len(g2.Blocks)), mk(len(g2.Blocks))
+			start, deps := labDepsOf(g2)
+			dt := 1e-4
+			for s := 0; s < 3; s++ {
+				e1.ComputeRHS(g1.Blocks, rhs1)
+				e1.Update(g1.Blocks, reg1, rhs1, core.RK3A[s], core.RK3B[s], dt)
+				run := e2.BeginFused("RHSUP.worker", &FusedStage{
+					Blocks: g2.Blocks, RHS: rhs2, Reg: reg2,
+					A: core.RK3A[s], B: core.RK3B[s], Dt: dt,
+					StartDeps: start, LabDeps: deps,
+				})
+				run.Wait()
+				if got := run.Completed(); got != len(g2.Blocks) {
+					t.Fatalf("stage %d completed %d of %d tasks", s, got, len(g2.Blocks))
+				}
+			}
+			for bi := range g1.Blocks {
+				for i := range g1.Blocks[bi].Data {
+					a, b := g1.Blocks[bi].Data[i], g2.Blocks[bi].Data[i]
+					if a != b {
+						t.Fatalf("block %d word %d: staged %v != fused %v (bitwise)", bi, i, a, b)
+					}
+				}
+				for i := range reg1[bi] {
+					if reg1[bi][i] != reg2[bi][i] {
+						t.Fatalf("block %d reg word %d: staged %v != fused %v", bi, i, reg1[bi][i], reg2[bi][i])
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPerFaceReadiness: a task gated on a halo face must not run before
+// Release delivers that face, and its neighbors' deferred updates must wait
+// for its lab load.
+func TestPerFaceReadiness(t *testing.T) {
+	n := 8
+	g := grid.New(grid.Desc{N: n, NBX: 4, NBY: 1, NBZ: 1, H: 1.0 / float64(4*n)})
+	for _, b := range g.Blocks {
+		for i := range b.Data {
+			b.Data[i] = 1 // uniform valid state: Rho=1, E=1, G=1, Pi=1
+		}
+	}
+	e := New(g, grid.DefaultBC(), 2, false)
+	defer e.Close()
+	per := n * n * n * physics.NQ
+	reg := make([][]float32, 4)
+	rhs := make([][]float32, 4)
+	for i := range reg {
+		reg[i] = make([]float32, per)
+		rhs[i] = make([]float32, per)
+	}
+	// Chain 0-1-2-3 along x; block 3 is artificially gated on one halo face.
+	start := []int32{0, 0, 0, 1}
+	deps := [][]int32{{1}, {0, 2}, {1, 3}, {2}}
+	run := e.BeginFused("RHSUP.worker", &FusedStage{
+		Blocks: g.Blocks, RHS: rhs, Reg: reg,
+		A: 0, B: 1.0 / 3.0, Dt: 1e-4,
+		StartDeps: start, LabDeps: deps,
+	})
+	// Blocks 0 and 1 can fully complete; block 2's update is deferred on
+	// block 3's lab load; block 3 is not released. Poll to 2 completions.
+	deadline := time.Now().Add(5 * time.Second)
+	for run.Completed() < 2 {
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d tasks completed before release", run.Completed())
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if got := run.Completed(); got != 2 {
+		t.Fatalf("completed %d tasks while face held, want exactly 2", got)
+	}
+	run.Release([]int32{3})
+	run.Wait()
+	if got := run.Completed(); got != 4 {
+		t.Fatalf("completed %d tasks after release, want 4", got)
+	}
+}

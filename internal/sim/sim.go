@@ -135,11 +135,13 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 	// Rank-0 metric instruments, registered up front so the step loop only
 	// stores values.
 	var (
-		stepHist                *telemetry.Histogram
-		stepsTotal              *telemetry.Counter
-		simTimeG, dtG           *telemetry.Gauge
-		imbalanceG, dumpMBpsG   *telemetry.Gauge
-		pointsRateG, cellsGauge *telemetry.Gauge
+		stepHist                 *telemetry.Histogram
+		stepsTotal               *telemetry.Counter
+		simTimeG, dtG            *telemetry.Gauge
+		imbalanceG, dumpMBpsG    *telemetry.Gauge
+		pointsRateG, cellsGauge  *telemetry.Gauge
+		poolWorkersG, poolQueueG *telemetry.Gauge
+		poolBusyG                *telemetry.Gauge
 	)
 	if reg != nil {
 		stepHist = reg.Histogram("mpcf_step_latency_seconds",
@@ -153,12 +155,19 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		pointsRateG = reg.Gauge("mpcf_points_per_second",
 			"sustained grid points per second", nil)
 		cellsGauge = reg.Gauge("mpcf_global_cells", "global cell count", nil)
+		poolWorkersG = reg.Gauge("mpcf_pool_workers",
+			"worker goroutines spawned by the rank-0 engine pool", nil)
+		poolQueueG = reg.Gauge("mpcf_pool_queue_depth",
+			"tasks waiting in the rank-0 pool queue", nil)
+		poolBusyG = reg.Gauge("mpcf_pool_busy_ratio",
+			"rank-0 pool busy time over busy+idle time", nil)
 	}
 
 	var summary Summary
 	var runErr error
 	world.Run(func(comm *mpi.Comm) {
 		r := cluster.NewRank(comm, cfg.Cluster)
+		defer r.Close()
 		root := comm.Rank() == 0
 		prevKernel := map[string]time.Duration{}
 		if root {
@@ -245,6 +254,12 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 						pointsRateG.Set(float64(r.G.Cells()) * float64(nRanks) *
 							float64(r.Step) / el)
 					}
+					ps := r.Engine.PoolStats()
+					poolWorkersG.Set(float64(ps.Spawned))
+					poolQueueG.Set(float64(ps.QueueDepth))
+					if tot := ps.BusyNS + ps.IdleNS; tot > 0 {
+						poolBusyG.Set(float64(ps.BusyNS) / float64(tot))
+					}
 					r.Mon.Export(reg, tel.PeakGFLOPS)
 				}
 				if stepLog != nil {
@@ -305,7 +320,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			if wall > 0 && r.Step > 0 {
 				summary.PointsPerSec = float64(cells) * float64(r.Step) / wall.Seconds()
 			}
-			for _, k := range []string{"RHS", "UP", "DT", "IO_WAVELET"} {
+			for _, k := range []string{"RHS", "UP", "RHSUP", "DT", "IO_WAVELET"} {
 				summary.KernelShare[k] = r.Mon.Share(k)
 			}
 			for _, name := range r.Mon.Names() {
