@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke sim-json verify verify-short fuzz-seed
+.PHONY: check vet build bin test race bench bench-smoke bench-net smoke-net sim-json verify verify-short fuzz-seed
 
 check: vet build test race
 
@@ -15,11 +15,17 @@ vet:
 build:
 	$(GO) build ./...
 
+# Binaries for multi-process runs: mpcf-launch looks for mpcf-sim next to
+# itself, so both land in bin/.
+bin:
+	$(GO) build -o bin/mpcf-sim ./cmd/mpcf-sim
+	$(GO) build -o bin/mpcf-launch ./cmd/mpcf-launch
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/telemetry ./internal/sim ./internal/cluster ./internal/node
+	$(GO) test -race ./internal/telemetry ./internal/sim ./internal/cluster ./internal/node ./internal/transport ./internal/mpi
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -32,6 +38,23 @@ bench-smoke:
 # Machine-readable perf record for cross-PR diffing (docs/observability.md).
 sim-json:
 	$(GO) run ./cmd/mpcf-bench -exp sim -steps 50 -json BENCH_sim.json
+
+# Wire-transport message-size sweep on both transports (docs/networking.md).
+bench-net:
+	$(GO) run ./cmd/mpcf-bench -exp net -net-json BENCH_net.json
+
+# End-to-end transport correctness: the same small Sod problem through two
+# real OS processes over tcp and through the in-process transport must
+# produce bitwise-identical conserved-field checksums.
+smoke-net: bin
+	@rm -rf smoke-net.tmp && mkdir smoke-net.tmp
+	./bin/mpcf-sim -case sod -ranks 2,1,1 -blocks 2,2,2 -n 8 -steps 5 \
+		-quiet -diag-every 0 -sums smoke-net.tmp/inproc.sums
+	./bin/mpcf-launch -n 2 -- -case sod -ranks 2,1,1 -blocks 2,2,2 -n 8 -steps 5 \
+		-quiet -diag-every 0 -sums smoke-net.tmp/tcp.sums
+	cmp smoke-net.tmp/inproc.sums smoke-net.tmp/tcp.sums
+	@echo "smoke-net: checksums bitwise identical across transports"
+	@rm -rf smoke-net.tmp
 
 # Full-ladder verification: convergence orders, conservation audit and the
 # Rayleigh-collapse comparison, gated on testdata/tolerances.json. Exits

@@ -9,7 +9,11 @@
 //	mpcf-bench -n 32 -dur 2s    # production block size, longer timing
 //
 // Experiments: table3 table4 table5 table6 table7 table8 table9 table10
-// fig5 fig7 fig9 compression throughput io sim all
+// fig5 fig7 fig9 compression throughput io sim net all
+//
+// The net experiment sweeps wire-transport message sizes (1 KiB – 4 MiB)
+// on both the inproc and tcp transports, emitting BENCH_net.json with
+// per-size latency percentiles and achieved bandwidth.
 //
 // The sim experiment also emits a machine-readable BENCH_sim.json (per-kernel
 // GFLOP/s, step latency percentiles, cross-rank imbalance) next to the
@@ -31,6 +35,7 @@ func main() {
 	dur := flag.Duration("dur", 500*time.Millisecond, "minimum timing window per kernel measurement")
 	steps := flag.Int("steps", 100, "time steps for the simulation-driven experiments")
 	jsonPath := flag.String("json", "BENCH_sim.json", "machine-readable output path of the sim experiment (empty: skip)")
+	netJSONPath := flag.String("net-json", "BENCH_net.json", "machine-readable output path of the net experiment (empty: skip)")
 	pipeline := flag.Bool("pipeline", true, "primary sim-experiment mode: dependency-driven fused RHS+UP pipeline (false: bulk-synchronous staged baseline); both modes are always measured")
 	flag.Parse()
 
@@ -51,10 +56,11 @@ func main() {
 		"throughput":  func() { experiments.Throughput(w, *steps) },
 		"io":          func() { experiments.IO(w, *n) },
 		"sim":         func() { experiments.BenchSim(w, *n, *steps, *jsonPath, *pipeline) },
+		"net":         func() { experiments.BenchNet(w, *netJSONPath) },
 	}
 	order := []string{
 		"table3", "table4", "table5", "table6", "table7", "table8",
-		"table9", "table10", "fig5", "fig7", "fig9", "compression", "throughput", "io", "sim",
+		"table9", "table10", "fig5", "fig7", "fig9", "compression", "throughput", "io", "sim", "net",
 	}
 	if *exp == "all" {
 		for _, id := range order {

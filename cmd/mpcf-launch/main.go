@@ -1,0 +1,190 @@
+// mpcf-launch runs a multi-process simulation on one machine: it forks N
+// local mpcf-sim processes over the tcp transport, injecting the per-rank
+// flags (-transport tcp -rank i -coord) and multiplexing their output with
+// [rank i] prefixes — a minimal local mpirun.
+//
+// Usage:
+//
+//	mpcf-launch -n 2 -- -case sod -ranks 2,1,1 -steps 50
+//	mpcf-launch -n 8 -sim ./bin/mpcf-sim -- -ranks 2,2,2 -steps 100
+//
+// Everything after "--" is passed to every rank verbatim. The -ranks triple
+// in the passed-through arguments must multiply to -n; when absent,
+// "-ranks n,1,1" is injected. The coordinator port is chosen by binding a
+// free listener here and passing its address down, so concurrent launches
+// cannot race on a port. The first rank to fail kills the others, and the
+// launcher exits with the first non-zero exit code.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+func main() {
+	n := flag.Int("n", 2, "number of ranks (local processes)")
+	simBin := flag.String("sim", "", "mpcf-sim binary (default: mpcf-sim next to this binary, else from PATH)")
+	flag.Parse()
+	if *n <= 0 {
+		fmt.Fprintln(os.Stderr, "mpcf-launch: -n must be positive")
+		os.Exit(2)
+	}
+	passThrough := flag.Args()
+
+	// Validate or inject the -ranks decomposition: its product must be -n.
+	if prod, ok := ranksProduct(passThrough); !ok {
+		passThrough = append(passThrough, "-ranks", fmt.Sprintf("%d,1,1", *n))
+	} else if prod != *n {
+		fmt.Fprintf(os.Stderr, "mpcf-launch: -ranks product %d does not match -n %d\n", prod, *n)
+		os.Exit(2)
+	}
+
+	bin := *simBin
+	if bin == "" {
+		bin = siblingOrPath("mpcf-sim")
+	}
+
+	// Bind the coordinator port here: rank 0 could race another launcher if
+	// it picked its own. The listener is closed and the address re-bound by
+	// rank 0; the window is tiny and a stolen port fails loudly at dial.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mpcf-launch: reserving coordinator port: %v\n", err)
+		os.Exit(1)
+	}
+	coord := ln.Addr().String()
+	ln.Close()
+
+	procs := make([]*exec.Cmd, *n)
+	var outWG sync.WaitGroup
+	var killOnce sync.Once
+	killAll := func() {
+		killOnce.Do(func() {
+			for _, p := range procs {
+				if p != nil && p.Process != nil {
+					p.Process.Kill()
+				}
+			}
+		})
+	}
+
+	exitCodes := make([]int, *n)
+	var procWG sync.WaitGroup
+	for r := 0; r < *n; r++ {
+		args := append([]string{
+			"-transport", "tcp",
+			"-rank", strconv.Itoa(r),
+			"-coord", coord,
+		}, passThrough...)
+		cmd := exec.Command(bin, args...)
+		stdout, err := cmd.StdoutPipe()
+		if err == nil {
+			cmd.Stderr = cmd.Stdout // one interleave-safe stream per rank
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcf-launch: rank %d pipe: %v\n", r, err)
+			killAll()
+			os.Exit(1)
+		}
+		if err := cmd.Start(); err != nil {
+			fmt.Fprintf(os.Stderr, "mpcf-launch: rank %d start: %v\n", r, err)
+			killAll()
+			os.Exit(1)
+		}
+		procs[r] = cmd
+		outWG.Add(1)
+		go prefixCopy(&outWG, r, stdout)
+		procWG.Add(1)
+		go func(r int, cmd *exec.Cmd) {
+			defer procWG.Done()
+			err := cmd.Wait()
+			code := 0
+			if err != nil {
+				code = 1
+				if ee, ok := err.(*exec.ExitError); ok {
+					code = ee.ExitCode()
+				}
+			}
+			exitCodes[r] = code
+			if code != 0 {
+				fmt.Fprintf(os.Stderr, "[rank %d] exited with code %d\n", r, code)
+				killAll() // a dead rank wedges the others; fail fast
+			}
+		}(r, cmd)
+	}
+	procWG.Wait()
+	outWG.Wait()
+	for _, code := range exitCodes {
+		if code != 0 {
+			os.Exit(code)
+		}
+	}
+}
+
+// prefixCopy copies r's output line by line with a "[rank i]" prefix, so
+// interleaved output from concurrent ranks stays attributable.
+func prefixCopy(wg *sync.WaitGroup, rank int, r io.Reader) {
+	defer wg.Done()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		fmt.Printf("[rank %d] %s\n", rank, sc.Text())
+	}
+}
+
+// ranksProduct scans args for -ranks/--ranks and returns the product of
+// the decomposition triple (single value = cube shorthand, as mpcf-sim
+// parses it).
+func ranksProduct(args []string) (int, bool) {
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		var val string
+		switch {
+		case a == "-ranks" || a == "--ranks":
+			if i+1 >= len(args) {
+				return 0, false
+			}
+			val = args[i+1]
+		case strings.HasPrefix(a, "-ranks="):
+			val = strings.TrimPrefix(a, "-ranks=")
+		case strings.HasPrefix(a, "--ranks="):
+			val = strings.TrimPrefix(a, "--ranks=")
+		default:
+			continue
+		}
+		parts := strings.Split(val, ",")
+		if len(parts) == 1 {
+			parts = []string{parts[0], parts[0], parts[0]}
+		}
+		prod := 1
+		for _, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil || v <= 0 {
+				return 0, false
+			}
+			prod *= v
+		}
+		return prod, true
+	}
+	return 0, false
+}
+
+// siblingOrPath prefers a binary sitting next to this one (the common
+// "make build" layout), falling back to PATH lookup.
+func siblingOrPath(name string) string {
+	if self, err := os.Executable(); err == nil {
+		sib := self[:strings.LastIndexByte(self, '/')+1] + name
+		if st, err := os.Stat(sib); err == nil && !st.IsDir() {
+			return sib
+		}
+	}
+	return name
+}

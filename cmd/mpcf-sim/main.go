@@ -68,6 +68,14 @@ func main() {
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090; :0 picks a port; empty: disabled)")
 	stepLogPath := flag.String("step-log", "", "write a JSONL structured step log to this path (- for stdout)")
 	quiet := flag.Bool("quiet", false, "suppress per-step human output (final summary still printed)")
+	transportName := flag.String("transport", "inproc", "rank transport: inproc (all ranks in this process) or tcp (this process is one rank)")
+	rank := flag.Int("rank", 0, "this process's rank (tcp transport)")
+	coord := flag.String("coord", "", "rendezvous coordinator host:port; rank 0 listens on it (tcp transport)")
+	listen := flag.String("listen", "", "data listener bind address (tcp transport; empty picks a free port)")
+	dialTimeout := flag.Duration("net-dial-timeout", 0, "rendezvous + mesh construction budget (0: 30s)")
+	readTimeout := flag.Duration("net-read-timeout", 0, "per-frame read deadline (0: none)")
+	writeTimeout := flag.Duration("net-write-timeout", 0, "per-frame write deadline (0: none)")
+	sumsPath := flag.String("sums", "", "write final conserved-field checksums (hex float64 bits) to this file on rank 0")
 	flag.Parse()
 
 	// Telemetry sinks, each opt-in via its flag; the hot loop pays only a
@@ -124,6 +132,25 @@ func main() {
 		Encoder:         *encoder,
 		DiagEvery:       *diagEvery,
 		Telemetry:       tel,
+		ChecksumPath:    *sumsPath,
+	}
+	switch *transportName {
+	case "inproc", "":
+	case "tcp":
+		if *coord == "" {
+			log.Fatal("-transport tcp requires -coord host:port")
+		}
+		cfg.Net = &cubism.NetConfig{
+			Transport:    "tcp",
+			Rank:         *rank,
+			Coord:        *coord,
+			Listen:       *listen,
+			DialTimeout:  *dialTimeout,
+			ReadTimeout:  *readTimeout,
+			WriteTimeout: *writeTimeout,
+		}
+	default:
+		log.Fatalf("unknown transport %q (want inproc or tcp)", *transportName)
 	}
 
 	switch *caseName {
@@ -184,7 +211,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "telemetry: wrote %d spans to %s (open in chrome://tracing or https://ui.perfetto.dev)\n",
 			tel.Tracer.Len(), *tracePath)
 	}
-	fmt.Fprintf(os.Stderr, "\n%d steps, t=%.3e, wall %v, %.2f Mpoints/s\n%s",
-		summary.Steps, summary.SimTime, summary.WallTime.Round(1e6),
-		summary.PointsPerSec/1e6, summary.Report)
+	if cfg.Net == nil || cfg.Net.Rank == 0 {
+		// The summary is gathered on rank 0; peer ranks hold a zero value.
+		fmt.Fprintf(os.Stderr, "\n%d steps, t=%.3e, wall %v, %.2f Mpoints/s\n%s",
+			summary.Steps, summary.SimTime, summary.WallTime.Round(1e6),
+			summary.PointsPerSec/1e6, summary.Report)
+	}
 }

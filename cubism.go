@@ -32,13 +32,19 @@
 package cubism
 
 import (
+	"fmt"
 	"io"
+	"math"
+	"os"
+	"strings"
+	"time"
 
 	"cubism/internal/cloud"
 	"cubism/internal/cluster"
 	"cubism/internal/compress"
 	"cubism/internal/dump"
 	"cubism/internal/grid"
+	"cubism/internal/mpi"
 	"cubism/internal/physics"
 	"cubism/internal/sim"
 	"cubism/internal/telemetry"
@@ -172,6 +178,40 @@ type Config struct {
 	// metrics registry and structured step log (see docs/observability.md).
 	// Nil disables all instrumentation beyond a pointer check per phase.
 	Telemetry *Telemetry
+
+	// Net (optional) selects the wire transport. Nil or Transport "inproc"
+	// keeps the default single-process world (all ranks as goroutines);
+	// Transport "tcp" makes this process one rank of a multi-process world
+	// (see docs/networking.md and cmd/mpcf-launch).
+	Net *NetConfig
+
+	// ChecksumPath (optional) writes the final conserved-field totals as
+	// hex-encoded float64 bit patterns to this file on rank 0 after the
+	// last step — a transport-independent fingerprint: a TCP multi-process
+	// run and an in-process run of the same scenario must produce byte-for-
+	// byte identical files.
+	ChecksumPath string
+}
+
+// NetConfig configures the wire transport of a multi-process run.
+type NetConfig struct {
+	// Transport is "inproc" (default) or "tcp".
+	Transport string
+	// Rank is this process's rank in [0, product(Ranks)).
+	Rank int
+	// Coord is the rendezvous coordinator address; rank 0 listens on it.
+	Coord string
+	// Listen is the data listener bind address ("" picks any free port).
+	Listen string
+	// DialTimeout bounds rendezvous and mesh construction (0: 30s).
+	// ReadTimeout/WriteTimeout are per-frame I/O deadlines (0: none).
+	// CloseTimeout bounds the graceful shutdown drain (0: 10s).
+	DialTimeout  time.Duration
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	CloseTimeout time.Duration
+	// SendQueue is the per-peer outgoing frame queue depth (0: 256).
+	SendQueue int
 }
 
 // Telemetry bundles the observability sinks threaded through the solver
@@ -216,7 +256,43 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 	if cfl == 0 {
 		cfl = 0.3
 	}
-	return sim.Run(sim.Config{
+	var world *mpi.World
+	if n := cfg.Net; n != nil && n.Transport != "" && n.Transport != "inproc" {
+		if n.Transport != "tcp" {
+			return Summary{}, fmt.Errorf("cubism: unknown transport %q (want inproc or tcp)", n.Transport)
+		}
+		w, err := mpi.ConnectTCP(mpi.TCPConfig{
+			Rank:         n.Rank,
+			Size:         ranks[0] * ranks[1] * ranks[2],
+			Coord:        n.Coord,
+			Listen:       n.Listen,
+			DialTimeout:  n.DialTimeout,
+			ReadTimeout:  n.ReadTimeout,
+			WriteTimeout: n.WriteTimeout,
+			CloseTimeout: n.CloseTimeout,
+			SendQueue:    n.SendQueue,
+			Registry:     cfg.Telemetry.GetMetrics(),
+			Tracer:       cfg.Telemetry.GetTracer(),
+		})
+		if err != nil {
+			return Summary{}, err
+		}
+		world = w
+	}
+	var sumErr error
+	var onFinish func(r *cluster.Rank)
+	if cfg.ChecksumPath != "" {
+		path := cfg.ChecksumPath
+		onFinish = func(r *cluster.Rank) {
+			tot := r.ConservedTotals() // collective: every rank participates
+			if r.Cart.Rank() == 0 {
+				if err := writeChecksums(path, tot); err != nil {
+					sumErr = err
+				}
+			}
+		}
+	}
+	summary, err := sim.Run(sim.Config{
 		Cluster: cluster.Config{
 			RankDims:    ranks,
 			BlockDims:   cfg.Blocks,
@@ -243,7 +319,38 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		Wall:            cfg.Wall,
 		HasWall:         cfg.HasWall,
 		Telemetry:       cfg.Telemetry,
+		World:           world,
+		OnFinish:        onFinish,
 	}, onStep)
+	if err == nil {
+		err = sumErr
+	}
+	return summary, err
+}
+
+// writeChecksums renders the conserved totals as hex float64 bit patterns,
+// one quantity per line, so runs can be compared bitwise with cmp/diff.
+func writeChecksums(path string, t cluster.Totals) error {
+	var b strings.Builder
+	for _, e := range []struct {
+		name string
+		v    float64
+	}{
+		{"mass", t.Mass},
+		{"mom_x", t.MomX},
+		{"mom_y", t.MomY},
+		{"mom_z", t.MomZ},
+		{"energy", t.Energy},
+		{"abs_mom", t.AbsMomSum},
+		{"gamma_min", t.GammaMin},
+		{"gamma_max", t.GammaMax},
+		{"pi_min", t.PiMin},
+		{"pi_max", t.PiMax},
+	} {
+		fmt.Fprintf(&b, "%s %016x\n", e.name, math.Float64bits(e.v))
+	}
+	fmt.Fprintf(&b, "nonfinite %d\n", t.NonFinite)
+	return os.WriteFile(path, []byte(b.String()), 0o644)
 }
 
 // DumpHeader is the self-describing metadata of a compressed dump file.

@@ -102,7 +102,7 @@ func Write(comm *mpi.Comm, path string, g *grid.Grid, rankDims [3]int, step int,
 	}
 	base := int64(comm.Allreduce(myBase, mpi.MaxOp))
 
-	f, err := mpi.CreateShared(path)
+	f, err := mpi.CreateShared(comm, path)
 	if err != nil {
 		return err
 	}

@@ -281,8 +281,9 @@ func (r *Rank) Initialize(f func(x, y, z float64) physics.Prim) {
 }
 
 // ghost message tags: one per face, offset by the RK stage so stages never
-// cross-match.
-func faceTag(f grid.Face, stage int) int { return 100 + 10*stage + int(f) }
+// cross-match, in the mpi ghost tag namespace so they cannot collide with
+// collectives or dump streams.
+func faceTag(f grid.Face, stage int) int { return mpi.TagGhost(int(f), stage) }
 
 // opposite returns the matching face on the neighboring rank.
 func opposite(f grid.Face) grid.Face { return f ^ 1 }
@@ -298,6 +299,7 @@ func (r *Rank) ExchangeGhosts(stage int) [6]*mpi.Request {
 	sp := r.tr.StartSpan("ghost_exchange", r.rankID, 0)
 	defer sp.End()
 	var recvs [6]*mpi.Request
+	r.Cart.BeginTagEpoch() // each halo cycle is one tag epoch for the reuse assertion
 	r.G.ClearHalos()
 	for f := grid.XLo; f <= grid.ZHi; f++ {
 		dir := -1

@@ -71,7 +71,7 @@ func WriteCollective(comm *mpi.Comm, path string, hdr Header, c *compress.Compre
 	streamsFlat := comm.Gather(float64(len(streams)))
 
 	// The per-rank stream-size tables are exchanged point-to-point to rank 0.
-	const tagStreams = 7701
+	tagStreams := mpi.TagStream(0)
 	if comm.Rank() != 0 {
 		data := make([]int64, len(streams))
 		for i, s := range streams {
@@ -132,7 +132,7 @@ func WriteCollective(comm *mpi.Comm, path string, hdr Header, c *compress.Compre
 	}
 	base := int64(comm.Allreduce(myBase, mpi.MaxOp))
 
-	f, err := mpi.CreateShared(path)
+	f, err := mpi.CreateShared(comm, path)
 	if err != nil {
 		return 0, err
 	}

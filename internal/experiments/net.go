@@ -1,0 +1,209 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"cubism/internal/mpi"
+)
+
+// The net experiment measures the wire-transport point-to-point path that
+// carries the ghost halos: a message-size sweep (1 KiB – 4 MiB, the range
+// spanned by face payloads across block sizes) of ping-pong latency
+// percentiles and one-way burst bandwidth, on both transports. The inproc
+// numbers are the by-reference handoff cost (no serialization — the upper
+// bound any wire can approach); the tcp numbers are a real loopback socket
+// pair through the full frame codec, write-coalescing and read-pump path.
+
+// BenchNetPoint is one message size's row.
+type BenchNetPoint struct {
+	SizeBytes int     `json:"size_bytes"`
+	MeanUS    float64 `json:"latency_mean_us"`
+	P50US     float64 `json:"latency_p50_us"`
+	P90US     float64 `json:"latency_p90_us"`
+	P99US     float64 `json:"latency_p99_us"`
+	BWMBps    float64 `json:"bandwidth_mbps"`
+}
+
+// BenchNetTransport is one transport's sweep.
+type BenchNetTransport struct {
+	Transport string          `json:"transport"`
+	Points    []BenchNetPoint `json:"points"`
+}
+
+// BenchNetResult is the machine-readable BENCH_net.json record.
+type BenchNetResult struct {
+	Iters      int                 `json:"iters_per_size"`
+	Burst      int                 `json:"burst_frames"`
+	Transports []BenchNetTransport `json:"transports"`
+}
+
+// netSweepSizes is the 1 KiB – 4 MiB sweep.
+var netSweepSizes = []int{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+// netPinger is rank 0's body: per size, a warmed-up ping-pong latency
+// sample set followed by a one-way burst timed to its ack.
+func netPinger(c *mpi.Comm, iters, burst int) []BenchNetPoint {
+	tagPing, tagPong := mpi.TagStream(1), mpi.TagStream(2)
+	tagBurst, tagAck := mpi.TagStream(3), mpi.TagStream(4)
+	var pts []BenchNetPoint
+	for _, size := range netSweepSizes {
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		for i := 0; i < 3; i++ { // warmup: page in buffers, settle the path
+			c.SendBytes(1, tagPing, payload)
+			c.RecvBytes(1, tagPong)
+		}
+		lats := make([]float64, 0, iters)
+		for i := 0; i < iters; i++ {
+			t0 := time.Now()
+			c.SendBytes(1, tagPing, payload)
+			c.RecvBytes(1, tagPong)
+			// Half the round trip is the conventional one-way latency.
+			lats = append(lats, time.Since(t0).Seconds()/2*1e6)
+		}
+		sort.Float64s(lats)
+		var mean float64
+		for _, v := range lats {
+			mean += v
+		}
+		mean /= float64(len(lats))
+
+		t0 := time.Now()
+		for i := 0; i < burst; i++ {
+			c.SendBytes(1, tagBurst, payload)
+		}
+		c.RecvBytes(1, tagAck) // receiver acks after consuming the whole burst
+		elapsed := time.Since(t0).Seconds()
+		bw := 0.0
+		if elapsed > 0 {
+			bw = float64(burst) * float64(size) / 1e6 / elapsed
+		}
+		pts = append(pts, BenchNetPoint{
+			SizeBytes: size,
+			MeanUS:    mean,
+			P50US:     percentile(lats, 0.50),
+			P90US:     percentile(lats, 0.90),
+			P99US:     percentile(lats, 0.99),
+			BWMBps:    bw,
+		})
+	}
+	return pts
+}
+
+// netEchoer is rank 1's body, mirroring netPinger's message pattern.
+func netEchoer(c *mpi.Comm, iters, burst int) {
+	tagPing, tagPong := mpi.TagStream(1), mpi.TagStream(2)
+	tagBurst, tagAck := mpi.TagStream(3), mpi.TagStream(4)
+	for range netSweepSizes {
+		for i := 0; i < 3+iters; i++ {
+			c.SendBytes(0, tagPong, c.RecvBytes(0, tagPing))
+		}
+		for i := 0; i < burst; i++ {
+			c.RecvBytes(0, tagBurst)
+		}
+		c.SendBytes(0, tagAck, []byte{1})
+	}
+}
+
+// RunBenchNet executes the sweep on both transports and returns the record.
+func RunBenchNet(iters, burst int) (BenchNetResult, error) {
+	res := BenchNetResult{Iters: iters, Burst: burst}
+
+	// inproc: a 2-rank in-process world.
+	var inprocPts []BenchNetPoint
+	w := mpi.NewWorld(2)
+	w.Run(func(c *mpi.Comm) {
+		if c.Rank() == 0 {
+			inprocPts = netPinger(c, iters, burst)
+		} else {
+			netEchoer(c, iters, burst)
+		}
+	})
+	res.Transports = append(res.Transports, BenchNetTransport{Transport: "inproc", Points: inprocPts})
+
+	// tcp: two single-rank worlds in this process, meshed over loopback.
+	// The coordinator listener is pre-bound so no port is guessed.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return res, fmt.Errorf("bench net: coordinator listener: %v", err)
+	}
+	coord := ln.Addr().String()
+	var tcpPts []BenchNetPoint
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg := mpi.TCPConfig{Rank: rank, Size: 2, Coord: coord}
+			if rank == 0 {
+				cfg.CoordListener = ln
+			}
+			world, err := mpi.ConnectTCP(cfg)
+			if err != nil {
+				errs[rank] = err
+				return
+			}
+			world.Run(func(c *mpi.Comm) {
+				if c.Rank() == 0 {
+					tcpPts = netPinger(c, iters, burst)
+				} else {
+					netEchoer(c, iters, burst)
+				}
+			})
+			errs[rank] = world.Err()
+		}(r)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return res, err
+		}
+	}
+	res.Transports = append(res.Transports, BenchNetTransport{Transport: "tcp", Points: tcpPts})
+	return res, nil
+}
+
+// BenchNet runs the sweep, prints the human table to w and writes
+// BENCH_net.json-style output to jsonPath (skipped when empty).
+func BenchNet(w io.Writer, jsonPath string) {
+	header(w, "Wire transport benchmark (ping-pong latency, burst bandwidth)")
+	res, err := RunBenchNet(40, 8)
+	if err != nil {
+		panic(err)
+	}
+	for _, tr := range res.Transports {
+		line(w, "%s:", tr.Transport)
+		line(w, "  %10s %12s %12s %12s %12s %14s",
+			"size", "mean us", "p50 us", "p90 us", "p99 us", "MB/s")
+		for _, p := range tr.Points {
+			line(w, "  %10d %12.2f %12.2f %12.2f %12.2f %14.1f",
+				p.SizeBytes, p.MeanUS, p.P50US, p.P90US, p.P99US, p.BWMBps)
+		}
+	}
+	if jsonPath == "" {
+		return
+	}
+	if err := WriteBenchNetJSON(jsonPath, res); err != nil {
+		panic(err)
+	}
+	line(w, "wrote %s", jsonPath)
+}
+
+// WriteBenchNetJSON writes the record as indented JSON.
+func WriteBenchNetJSON(path string, res BenchNetResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

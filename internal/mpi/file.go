@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"fmt"
 	"os"
 	"sync"
 )
@@ -11,38 +12,78 @@ import (
 // exclusive prefix sum; after the scan, each rank acquires a destination
 // offset and ... writes its compressed buffer in the file", paper §6).
 //
-// Ranks share one *os.File; WriteAt on distinct regions is safe
-// concurrently, so the simulated transport adds only open/close rendezvous.
+// In-process, ranks share one *os.File (WriteAt on distinct regions is
+// safe concurrently), refcounted so the file closes when the last rank
+// closes. Distributed, every process holds its own descriptor on the same
+// path: rank 0 creates/truncates, a barrier orders the rest behind it, and
+// they open without truncation.
 type File struct {
-	mu   sync.Mutex
-	f    *os.File
-	refs int
+	f      *os.File
+	refs   int
+	shared bool // registered in fileReg (in-process mode)
+	refsMu sync.Mutex
 }
 
-// fileRegistry deduplicates opens of the same path within a world.
+// fileRegistry deduplicates opens of the same path within an in-process
+// world.
 var (
 	fileMu  sync.Mutex
 	fileReg = map[string]*File{}
 )
 
-// CreateShared opens (creating/truncating on first open) path as a shared
-// file. Every rank must call it; the first call creates, the rest attach.
-func CreateShared(path string) (*File, error) {
+// CreateShared opens (creating/truncating) path as a shared file across
+// the world's ranks. Every rank must call it collectively.
+func CreateShared(c *Comm, path string) (*File, error) {
+	if c.world.Distributed() {
+		return createSharedDistributed(c, path)
+	}
 	fileMu.Lock()
 	defer fileMu.Unlock()
 	if sf, ok := fileReg[path]; ok {
-		sf.mu.Lock()
+		sf.refsMu.Lock()
 		sf.refs++
-		sf.mu.Unlock()
+		sf.refsMu.Unlock()
 		return sf, nil
 	}
 	f, err := os.Create(path)
 	if err != nil {
 		return nil, err
 	}
-	sf := &File{f: f, refs: 1}
+	sf := &File{f: f, refs: 1, shared: true}
 	fileReg[path] = sf
 	return sf, nil
+}
+
+// createSharedDistributed orders the truncating create on rank 0 before
+// every other rank's non-truncating open. The error flag travels through
+// the barrier allreduce so a failed create aborts all ranks coherently
+// instead of letting them write into a file that was never created.
+func createSharedDistributed(c *Comm, path string) (*File, error) {
+	var f *os.File
+	var err error
+	if c.rank == 0 {
+		f, err = os.Create(path)
+	}
+	flag := 0.0
+	if err != nil {
+		flag = 1.0
+	}
+	if c.Allreduce(flag, MaxOp) != 0 {
+		if f != nil {
+			f.Close()
+		}
+		if err == nil {
+			err = fmt.Errorf("mpi: shared create of %s failed on rank 0", path)
+		}
+		return nil, err
+	}
+	if c.rank != 0 {
+		f, err = os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &File{f: f, refs: 1}, nil
 }
 
 // WriteAt writes data at the given byte offset.
@@ -50,21 +91,24 @@ func (sf *File) WriteAt(data []byte, off int64) (int, error) {
 	return sf.f.WriteAt(data, off)
 }
 
-// Close detaches; the underlying file closes when every rank has closed.
+// Close detaches; the underlying file closes when every local rank has
+// closed (distributed ranks each own their descriptor).
 func (sf *File) Close() error {
-	sf.mu.Lock()
+	sf.refsMu.Lock()
 	sf.refs--
 	last := sf.refs == 0
-	sf.mu.Unlock()
+	sf.refsMu.Unlock()
 	if !last {
 		return nil
 	}
-	fileMu.Lock()
-	for p, f := range fileReg {
-		if f == sf {
-			delete(fileReg, p)
+	if sf.shared {
+		fileMu.Lock()
+		for p, f := range fileReg {
+			if f == sf {
+				delete(fileReg, p)
+			}
 		}
+		fileMu.Unlock()
 	}
-	fileMu.Unlock()
 	return sf.f.Close()
 }

@@ -1,28 +1,31 @@
-// Package mpi is an in-process message-passing runtime providing the MPI
-// subset CUBISM-MPCF uses: non-blocking point-to-point messages, a cartesian
+// Package mpi is a message-passing runtime providing the MPI subset
+// CUBISM-MPCF uses: non-blocking point-to-point messages, a cartesian
 // communicator, allreduce, exclusive prefix sums (for the compressed
 // parallel dumps), barriers, and a shared file abstraction with
 // write-at-offset semantics.
 //
 // The paper runs on up to 96 Blue Gene/Q racks with one MPI rank per node.
-// This machine has no MPI and no interconnect, so the substrate is
-// simulated: ranks are goroutines inside one process and the network is
-// replaced by in-memory mailboxes. All ordering and matching semantics
-// (source+tag matching, collective call alignment) follow MPI, so the
-// cluster layer above is written exactly as it would be against MPI proper;
-// only the transport differs.
+// Here the matching/collective semantics live in this package while the
+// wire itself is pluggable (internal/transport): the default inproc
+// transport runs every rank as a goroutine in one process with by-reference
+// payload handoff (bitwise identical to the original substrate), and the
+// tcp transport shards ranks across OS processes with length-prefixed
+// frames (ConnectTCP). All ordering and matching semantics (source+tag
+// matching, collective call alignment) follow MPI, so the cluster layer
+// above is written exactly as it would be against MPI proper.
 package mpi
 
 import (
 	"fmt"
-	"math"
 	"sync"
+
+	"cubism/internal/transport"
 )
 
 // message is one point-to-point payload in flight.
 type message struct {
 	src, tag int
-	data     []float32
+	data     []byte
 }
 
 // mailbox is the per-rank receive queue with source/tag matching.
@@ -38,15 +41,16 @@ func newMailbox() *mailbox {
 	return m
 }
 
-func (m *mailbox) put(msg message) {
+// deliver is the transport.Handler for this rank.
+func (m *mailbox) deliver(src, tag int, payload []byte) {
 	m.mu.Lock()
-	m.pending = append(m.pending, msg)
+	m.pending = append(m.pending, message{src: src, tag: tag, data: payload})
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
 
 // take blocks until a message matching (src, tag) is available and removes
-// it. src == AnySource matches any sender.
+// it. src == AnySource matches any sender. Matching is FIFO per (src, tag).
 func (m *mailbox) take(src, tag int) message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -64,28 +68,35 @@ func (m *mailbox) take(src, tag int) message {
 // AnySource matches messages from any rank.
 const AnySource = -1
 
-// World owns the communication state of a set of ranks.
+// World owns the communication state of a set of ranks. An in-process
+// world (NewWorld) holds every rank; a distributed world (ConnectTCP)
+// holds exactly one local rank, with the rest living in peer processes.
 type World struct {
 	size  int
-	boxes []*mailbox
+	local int // local rank in a distributed world; -1 when all ranks are in-process
 
-	collMu sync.Mutex
-	colls  map[uint64]*collective
-	seqs   []uint64
+	boxes []*mailbox           // nil at remote ranks
+	eps   []transport.Endpoint // nil at remote ranks
+
+	closeErr error
 }
 
-// NewWorld creates a world of the given number of ranks.
+// NewWorld creates an in-process world of the given number of ranks on the
+// inproc transport.
 func NewWorld(size int) *World {
 	if size <= 0 {
 		panic("mpi: world size must be positive")
 	}
 	w := &World{
 		size:  size,
-		colls: make(map[uint64]*collective),
-		seqs:  make([]uint64, size),
+		local: -1,
+		boxes: make([]*mailbox, size),
+		eps:   make([]transport.Endpoint, size),
 	}
-	for i := 0; i < size; i++ {
-		w.boxes = append(w.boxes, newMailbox())
+	hub := transport.NewHub(size)
+	for r := 0; r < size; r++ {
+		w.boxes[r] = newMailbox()
+		w.eps[r] = hub.Endpoint(r, w.boxes[r].deliver)
 	}
 	return w
 }
@@ -93,9 +104,30 @@ func NewWorld(size int) *World {
 // Size returns the number of ranks.
 func (w *World) Size() int { return w.size }
 
-// Run executes body once per rank, each on its own goroutine, and waits for
-// all of them. It is the moral equivalent of mpirun.
+// Distributed reports whether this world holds only one local rank of a
+// multi-process run.
+func (w *World) Distributed() bool { return w.local >= 0 }
+
+// LocalRank returns the local rank of a distributed world (-1 in-process).
+func (w *World) LocalRank() int { return w.local }
+
+// Err returns the error, if any, from the distributed shutdown handshake
+// after Run has returned.
+func (w *World) Err() error { return w.closeErr }
+
+// Run executes body once per local rank and waits. In-process it is the
+// moral equivalent of mpirun: one goroutine per rank. In a distributed
+// world it runs body for the single local rank, then performs a barrier
+// (so no rank tears the wire down while peers still depend on it) and the
+// graceful transport close; any close error is available via Err.
 func (w *World) Run(body func(*Comm)) {
+	if w.Distributed() {
+		c := &Comm{world: w, rank: w.local}
+		body(c)
+		c.Barrier()
+		w.closeErr = w.eps[w.local].Close()
+		return
+	}
 	var wg sync.WaitGroup
 	wg.Add(w.size)
 	for r := 0; r < w.size; r++ {
@@ -107,10 +139,14 @@ func (w *World) Run(body func(*Comm)) {
 	wg.Wait()
 }
 
-// Comm is one rank's handle on the world.
+// Comm is one rank's handle on the world. A Comm belongs to the rank's
+// main goroutine (as in MPI, where a rank issues its own calls); it must
+// not be shared across goroutines.
 type Comm struct {
-	world *World
-	rank  int
+	world   *World
+	rank    int
+	collSeq uint64
+	tagSeen map[uint64]struct{} // send-side (dst,tag) dedup, only when tag checking is on
 }
 
 // Rank returns this rank's id in [0, Size).
@@ -122,14 +158,15 @@ func (c *Comm) Size() int { return c.world.size }
 // Request represents an in-flight non-blocking operation. Receive requests
 // are lazy: the mailbox is matched on Wait rather than at post time. This
 // is indistinguishable from an eager receive in this substrate — sends
-// complete by depositing into the receiver's mailbox immediately, so
-// progress never depends on a posted receive — and it avoids spawning one
-// goroutine plus channel per receive.
+// complete at post time (inproc: deposited in the receiver's mailbox; tcp:
+// enqueued on the peer's write loop), so progress never depends on a
+// posted receive — and it avoids spawning one goroutine plus channel per
+// receive.
 type Request struct {
 	recv     *Comm // non-nil for receives
 	src, tag int
 	received bool
-	data     []float32
+	data     []byte
 }
 
 // sentRequest is the shared, already-complete request every Isend returns:
@@ -138,9 +175,15 @@ type Request struct {
 var sentRequest = &Request{received: true}
 
 // Wait blocks until the operation completes and returns the received data
-// (nil for sends). Wait may be called multiple times; later calls return
-// the same payload.
+// as float32s (nil for sends). Wait may be called multiple times; later
+// calls return the same payload.
 func (r *Request) Wait() []float32 {
+	return bytesToFloats(r.WaitBytes())
+}
+
+// WaitBytes blocks until the operation completes and returns the raw
+// payload bytes (nil for sends).
+func (r *Request) WaitBytes() []byte {
 	if !r.received {
 		msg := r.recv.world.boxes[r.recv.rank].take(r.src, r.tag)
 		r.data = msg.data
@@ -158,73 +201,52 @@ func WaitAll(reqs []*Request) {
 	}
 }
 
-// Isend posts a non-blocking send of data to rank dst with the given tag.
+// IsendBytes posts a non-blocking send of raw bytes to rank dst with the
+// given tag — the single generic envelope every typed send lowers onto.
 // The payload is handed off by reference; the caller must not mutate it
 // until the receiver is done with it (the cluster layer double-buffers).
-func (c *Comm) Isend(dst, tag int, data []float32) *Request {
+func (c *Comm) IsendBytes(dst, tag int, payload []byte) *Request {
 	if dst < 0 || dst >= c.world.size {
 		panic(fmt.Sprintf("mpi: Isend to invalid rank %d", dst))
 	}
-	c.world.boxes[dst].put(message{src: c.rank, tag: tag, data: data})
+	c.checkTag(dst, tag)
+	if err := c.world.eps[c.rank].Send(dst, tag, payload); err != nil {
+		panic(fmt.Sprintf("mpi: rank %d send to %d tag %#x: %v", c.rank, dst, tag, err))
+	}
 	return sentRequest
 }
 
+// Isend posts a non-blocking send of float32 data (by reference, see
+// IsendBytes).
+func (c *Comm) Isend(dst, tag int, data []float32) *Request {
+	return c.IsendBytes(dst, tag, floatsToBytes(data))
+}
+
 // Irecv posts a non-blocking receive matching (src, tag). The request must
-// be completed with Wait by the posting goroutine.
+// be completed with Wait/WaitBytes by the posting goroutine.
 func (c *Comm) Irecv(src, tag int) *Request {
 	return &Request{recv: c, src: src, tag: tag}
 }
 
-// Send is a blocking send.
+// Send is a blocking send of float32 data.
 func (c *Comm) Send(dst, tag int, data []float32) { c.Isend(dst, tag, data).Wait() }
 
-// Recv is a blocking receive.
-func (c *Comm) Recv(src, tag int) []float32 {
-	msg := c.world.boxes[c.rank].take(src, tag)
-	return msg.data
+// SendBytes is a blocking send of raw bytes.
+func (c *Comm) SendBytes(dst, tag int, payload []byte) { c.IsendBytes(dst, tag, payload).Wait() }
+
+// Recv is a blocking receive returning float32 data.
+func (c *Comm) Recv(src, tag int) []float32 { return bytesToFloats(c.RecvBytes(src, tag)) }
+
+// RecvBytes is a blocking receive returning the raw payload bytes.
+func (c *Comm) RecvBytes(src, tag int) []byte {
+	return c.world.boxes[c.rank].take(src, tag).data
 }
 
-// collective is the rendezvous state for one collective call site.
-type collective struct {
-	mu      sync.Mutex
-	cond    *sync.Cond
-	arrived int
-	vals    []float64
-	result  float64
-	done    bool
-}
+// SendInts transmits int64 values bit-exactly over the byte envelope.
+func (c *Comm) SendInts(dst, tag int, v []int64) { c.SendBytes(dst, tag, intsToBytes(v)) }
 
-// coll returns the collective state for this rank's next collective call.
-// MPI semantics require all ranks to issue collectives in the same order,
-// so the per-rank sequence number lines the calls up.
-func (c *Comm) coll() *collective {
-	w := c.world
-	w.collMu.Lock()
-	defer w.collMu.Unlock()
-	seq := w.seqs[c.rank]
-	w.seqs[c.rank]++
-	st, ok := w.colls[seq]
-	if !ok {
-		st = &collective{vals: make([]float64, w.size)}
-		st.cond = sync.NewCond(&st.mu)
-		w.colls[seq] = st
-	}
-	// Garbage-collect completed slots behind the slowest rank occasionally.
-	if seq > 64 && seq%64 == 0 {
-		low := w.seqs[0]
-		for _, s := range w.seqs {
-			if s < low {
-				low = s
-			}
-		}
-		for k := range w.colls {
-			if k+2 < low {
-				delete(w.colls, k)
-			}
-		}
-	}
-	return st
-}
+// RecvInts receives a message sent with SendInts.
+func (c *Comm) RecvInts(src, tag int) []int64 { return bytesToInts(c.RecvBytes(src, tag)) }
 
 // Op combines two float64 values in a reduction.
 type Op func(a, b float64) float64
@@ -248,53 +270,64 @@ func MinOp(a, b float64) float64 {
 // SumOp adds the values.
 func SumOp(a, b float64) float64 { return a + b }
 
+// nextCollTag returns the tag for this rank's next collective call. MPI
+// semantics require all ranks to issue collectives in the same order, so
+// the per-rank sequence number lines the calls up; it is carried in the
+// tag's low bits so a fast rank's next-collective message sitting in rank
+// 0's mailbox cannot be matched by the current one. Ranks drift by at most
+// one collective (rank 0 answers call k only after every rank reached k),
+// so the 16-bit wrap is collision-free.
+func (c *Comm) nextCollTag() int {
+	tag := TagColl(c.collSeq)
+	c.collSeq++
+	return tag
+}
+
 // Allreduce combines x across all ranks with op and returns the result to
-// every rank. The combination is performed in rank order, so results are
-// deterministic (bit-reproducible) run to run.
+// every rank. Rank 0 is the reduction root: it receives contributions in
+// ascending rank order and folds them in that order, so results are
+// deterministic (bit-reproducible) run to run and across transports.
 func (c *Comm) Allreduce(x float64, op Op) float64 {
-	st := c.coll()
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.vals[c.rank] = x
-	st.arrived++
-	if st.arrived == c.world.size {
-		acc := st.vals[0]
-		for i := 1; i < c.world.size; i++ {
-			acc = op(acc, st.vals[i])
-		}
-		st.result = acc
-		st.done = true
-		st.cond.Broadcast()
-	} else {
-		for !st.done {
-			st.cond.Wait()
-		}
+	tag := c.nextCollTag()
+	size := c.world.size
+	if size == 1 {
+		return x
 	}
-	return st.result
+	if c.rank == 0 {
+		acc := x
+		for r := 1; r < size; r++ {
+			acc = op(acc, bytesToF64(c.RecvBytes(r, tag)))
+		}
+		out := f64ToBytes(acc)
+		for r := 1; r < size; r++ {
+			c.SendBytes(r, tag, out)
+		}
+		return acc
+	}
+	c.SendBytes(0, tag, f64ToBytes(x))
+	return bytesToF64(c.RecvBytes(0, tag))
 }
 
 // Exscan returns the exclusive prefix sum of x over the ranks: rank r gets
-// sum of x from ranks < r (0 for rank 0). The compressed dump uses it to
-// assign file offsets to variable-size rank buffers (paper §6).
+// the sum of x from ranks < r (0 for rank 0). The compressed dump uses it
+// to assign file offsets to variable-size rank buffers (paper §6).
 func (c *Comm) Exscan(x int64) int64 {
-	st := c.coll()
-	st.mu.Lock()
-	st.vals[c.rank] = float64(x) // exact for |x| < 2^53, far above dump sizes
-	st.arrived++
-	if st.arrived == c.world.size {
-		st.done = true
-		st.cond.Broadcast()
-	} else {
-		for !st.done {
-			st.cond.Wait()
+	tag := c.nextCollTag()
+	size := c.world.size
+	if size == 1 {
+		return 0
+	}
+	if c.rank == 0 {
+		prefix := x // running sum of ranks < r, for each r ≥ 1 in turn
+		for r := 1; r < size; r++ {
+			xr := bytesToI64(c.RecvBytes(r, tag))
+			c.SendBytes(r, tag, i64ToBytes(prefix))
+			prefix += xr
 		}
+		return 0
 	}
-	var sum int64
-	for i := 0; i < c.rank; i++ {
-		sum += int64(st.vals[i])
-	}
-	st.mu.Unlock()
-	return sum
+	c.SendBytes(0, tag, i64ToBytes(x))
+	return bytesToI64(c.RecvBytes(0, tag))
 }
 
 // Barrier blocks until all ranks arrive.
@@ -302,43 +335,22 @@ func (c *Comm) Barrier() { c.Allreduce(0, SumOp) }
 
 // Gather collects one float64 per rank on every rank (an allgather).
 func (c *Comm) Gather(x float64) []float64 {
-	st := c.coll()
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	st.vals[c.rank] = x
-	st.arrived++
-	if st.arrived == c.world.size {
-		st.done = true
-		st.cond.Broadcast()
-	} else {
-		for !st.done {
-			st.cond.Wait()
+	tag := c.nextCollTag()
+	size := c.world.size
+	if c.rank == 0 {
+		out := make([]float64, size)
+		out[0] = x
+		for r := 1; r < size; r++ {
+			out[r] = bytesToF64(c.RecvBytes(r, tag))
 		}
+		if size > 1 {
+			buf := f64SliceToBytes(out)
+			for r := 1; r < size; r++ {
+				c.SendBytes(r, tag, buf)
+			}
+		}
+		return out
 	}
-	out := make([]float64, c.world.size)
-	copy(out, st.vals)
-	return out
-}
-
-// SendInts transmits int64 values bit-exactly by packing each into two
-// float32 bit patterns (the message payload type of this substrate).
-func (c *Comm) SendInts(dst, tag int, v []int64) {
-	data := make([]float32, 2*len(v))
-	for i, x := range v {
-		data[2*i] = math.Float32frombits(uint32(uint64(x) >> 32))
-		data[2*i+1] = math.Float32frombits(uint32(uint64(x)))
-	}
-	c.Send(dst, tag, data)
-}
-
-// RecvInts receives a message sent with SendInts.
-func (c *Comm) RecvInts(src, tag int) []int64 {
-	data := c.Recv(src, tag)
-	v := make([]int64, len(data)/2)
-	for i := range v {
-		hi := uint64(math.Float32bits(data[2*i]))
-		lo := uint64(math.Float32bits(data[2*i+1]))
-		v[i] = int64(hi<<32 | lo)
-	}
-	return v
+	c.SendBytes(0, tag, f64ToBytes(x))
+	return bytesToF64Slice(c.RecvBytes(0, tag))
 }

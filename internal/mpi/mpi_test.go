@@ -171,7 +171,7 @@ func TestSharedFile(t *testing.T) {
 	path := filepath.Join(dir, "shared.bin")
 	w := NewWorld(4)
 	w.Run(func(c *Comm) {
-		f, err := CreateShared(path)
+		f, err := CreateShared(c, path)
 		if err != nil {
 			t.Error(err)
 			return

@@ -1,0 +1,91 @@
+package mpi
+
+import (
+	"fmt"
+	"os"
+	"sync/atomic"
+)
+
+// Tag namespaces. Collectives, ghost exchange and the dump streams used to
+// share one flat integer tag space, which worked only because the literal
+// constants happened not to collide — a latent bug the moment a new
+// subsystem picked an overlapping number. Tags now carry their class in
+// the high byte (below transport.TagReserved = 0xFF000000, which the
+// transport keeps for control frames), with class-specific payload bits
+// beneath:
+//
+//	ghost:  0x01 | stage | face   (stage in bits 8..15, face in bits 0..7)
+//	coll:   0x02 | seq&0xFFFF    (per-rank collective sequence number)
+//	stream: 0x03 | n             (dump stream channel n)
+const (
+	classGhost  = 0x01 << 24
+	classColl   = 0x02 << 24
+	classStream = 0x03 << 24
+
+	classMask = 0xFF << 24
+)
+
+// TagGhost returns the tag for the ghost-halo message crossing the given
+// face at the given RK stage.
+func TagGhost(face, stage int) int {
+	if face < 0 || face > 0xFF || stage < 0 || stage > 0xFF {
+		panic(fmt.Sprintf("mpi: ghost tag out of range (face %d, stage %d)", face, stage))
+	}
+	return classGhost | stage<<8 | face
+}
+
+// TagStream returns the tag for dump stream channel n.
+func TagStream(n int) int {
+	if n < 0 || n > 0xFFFF {
+		panic(fmt.Sprintf("mpi: stream tag out of range (%d)", n))
+	}
+	return classStream | n
+}
+
+// TagColl returns the tag for the collective with the given per-rank
+// sequence number (internal; exported for the conformance tests).
+func TagColl(seq uint64) int { return classColl | int(seq&0xFFFF) }
+
+// tagCheckOn enables the debug assertion that flags reuse of a (dst, tag)
+// pair within one epoch. Off by default (it costs a map insert per send);
+// enabled by SetTagCheck or MPCF_TAGCHECK=1.
+var tagCheckOn atomic.Bool
+
+func init() {
+	if os.Getenv("MPCF_TAGCHECK") == "1" {
+		tagCheckOn.Store(true)
+	}
+}
+
+// SetTagCheck toggles the debug tag-reuse assertion for subsequently
+// created sends on all ranks.
+func SetTagCheck(on bool) { tagCheckOn.Store(on) }
+
+// BeginTagEpoch opens a new tag epoch for this rank: the reuse assertion
+// forgets all (dst, tag) pairs seen so far. The cluster layer calls it at
+// the top of each ghost exchange, making the epoch one halo cycle.
+func (c *Comm) BeginTagEpoch() {
+	if c.tagSeen != nil {
+		clear(c.tagSeen)
+	}
+}
+
+// checkTag asserts, when enabled, that (dst, tag) was not already used for
+// a send in this epoch. Collective tags are exempt: they are versioned by
+// the sequence number, so reuse across epochs is by construction safe, and
+// their cadence is not tied to the ghost-exchange epoch.
+func (c *Comm) checkTag(dst, tag int) {
+	if !tagCheckOn.Load() || tag&classMask == classColl {
+		return
+	}
+	if c.tagSeen == nil {
+		c.tagSeen = make(map[uint64]struct{})
+	}
+	key := uint64(dst)<<32 | uint64(uint32(tag))
+	if _, dup := c.tagSeen[key]; dup {
+		panic(fmt.Sprintf("mpi: rank %d reused tag %#x for a send to rank %d within one epoch; "+
+			"a second in-flight message on the same (dst, tag) pair can be matched out of intent "+
+			"(call BeginTagEpoch at phase boundaries, or namespace the tag)", c.rank, tag, dst))
+	}
+	c.tagSeen[key] = struct{}{}
+}

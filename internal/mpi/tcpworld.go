@@ -1,0 +1,87 @@
+package mpi
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"time"
+
+	"cubism/internal/telemetry"
+	"cubism/internal/transport"
+)
+
+// TCPConfig configures one process's attachment to a distributed world
+// over the tcp transport. Zero-valued durations and sizes take the
+// transport defaults (see transport.TCPOptions).
+type TCPConfig struct {
+	Rank   int    // this process's rank in [0, Size)
+	Size   int    // world size (number of processes)
+	Coord  string // rendezvous coordinator address; rank 0 listens on it
+	Listen string // data listener bind address ("" = any port, loopback advertised)
+
+	DialTimeout  time.Duration
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	CloseTimeout time.Duration
+
+	MaxFrame  int
+	SendQueue int
+
+	Registry *telemetry.Registry
+	Tracer   *telemetry.Tracer
+
+	// CoordListener, when non-nil on rank 0, is a pre-bound rendezvous
+	// listener (lets a launcher pick a free port without a bind race).
+	CoordListener net.Listener
+
+	// OnError observes asynchronous wire failures. When nil, a failure
+	// crashes the process: a rank whose peer link broke cannot make
+	// progress (pending receives would hang forever), and MPI's own
+	// convention is to abort the job.
+	OnError func(error)
+}
+
+// ConnectTCP joins (or, for rank 0, convenes) a distributed world: it
+// performs the rendezvous, builds the full peer mesh and returns a World
+// holding this process's single local rank. The returned world's Run
+// executes the body once, then barriers and closes the wire gracefully.
+func ConnectTCP(cfg TCPConfig) (*World, error) {
+	if cfg.Size <= 0 || cfg.Rank < 0 || cfg.Rank >= cfg.Size {
+		return nil, fmt.Errorf("mpi: invalid rank %d of %d", cfg.Rank, cfg.Size)
+	}
+	w := &World{
+		size:  cfg.Size,
+		local: cfg.Rank,
+		boxes: make([]*mailbox, cfg.Size),
+		eps:   make([]transport.Endpoint, cfg.Size),
+	}
+	w.boxes[cfg.Rank] = newMailbox()
+	onErr := cfg.OnError
+	if onErr == nil {
+		onErr = func(err error) {
+			fmt.Fprintf(os.Stderr, "mpi: fatal wire failure: %v\n", err)
+			os.Exit(3)
+		}
+	}
+	ep, err := transport.DialTCP(transport.TCPOptions{
+		Rank:          cfg.Rank,
+		Size:          cfg.Size,
+		Coord:         cfg.Coord,
+		Listen:        cfg.Listen,
+		DialTimeout:   cfg.DialTimeout,
+		ReadTimeout:   cfg.ReadTimeout,
+		WriteTimeout:  cfg.WriteTimeout,
+		CloseTimeout:  cfg.CloseTimeout,
+		MaxFrame:      cfg.MaxFrame,
+		SendQueue:     cfg.SendQueue,
+		Registry:      cfg.Registry,
+		Tracer:        cfg.Tracer,
+		CoordListener: cfg.CoordListener,
+		OnError:       onErr,
+	}, w.boxes[cfg.Rank].deliver)
+	if err != nil {
+		return nil, err
+	}
+	w.eps[cfg.Rank] = ep
+	return w, nil
+}

@@ -64,6 +64,12 @@ type Config struct {
 	// per-phase pointer check; when set, the tracer is also threaded into
 	// the cluster and node layers (unless Cluster.Tracer is already set).
 	Telemetry *telemetry.Set
+
+	// World (optional) supplies a pre-built communication world — a
+	// distributed one from mpi.ConnectTCP, or a test's inproc world. Nil
+	// builds the default in-process world sized to Cluster.RankDims. Its
+	// size must equal the rank-dims product.
+	World *mpi.World
 }
 
 // StepInfo is delivered to the per-step callback on rank 0.
@@ -122,7 +128,13 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 	if nRanks <= 0 {
 		return Summary{}, fmt.Errorf("sim: invalid rank dims %v", cfg.Cluster.RankDims)
 	}
-	world := mpi.NewWorld(nRanks)
+	world := cfg.World
+	if world == nil {
+		world = mpi.NewWorld(nRanks)
+	} else if world.Size() != nRanks {
+		return Summary{}, fmt.Errorf("sim: world size %d does not match rank dims %v",
+			world.Size(), cfg.Cluster.RankDims)
+	}
 
 	tel := cfg.Telemetry
 	if tel != nil && cfg.Cluster.Tracer == nil {
@@ -328,6 +340,9 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			}
 		}
 	})
+	if runErr == nil {
+		runErr = world.Err() // distributed shutdown failure, nil otherwise
+	}
 	return summary, runErr
 }
 

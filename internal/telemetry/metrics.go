@@ -191,6 +191,14 @@ var StepLatencyBuckets = []float64{
 	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
 }
 
+// NetLatencyBuckets are the default wire-frame latency buckets (seconds):
+// loopback frames land in the microsecond range, congested cross-machine
+// links in the tens of milliseconds.
+var NetLatencyBuckets = []float64{
+	5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3,
+	0.01, 0.025, 0.05, 0.1, 0.25, 1,
+}
+
 // Histogram returns the histogram for (name, labels), creating it with the
 // given bucket upper bounds if needed.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {

@@ -1,0 +1,135 @@
+package transport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net"
+	"time"
+)
+
+// Rendezvous protocol (docs/networking.md): rank 0 listens on the
+// coordinator address; every rank (rank 0 included, over loopback) dials
+// it, sends one JSON registration line {"rank":r,"addr":"host:port"} with
+// its data listener address, and blocks. Once all size registrations have
+// arrived the coordinator answers every connection with one JSON table
+// line {"addrs":[...]} and closes; only then do the ranks start dialing
+// each other, so every data listener is known to be up before the first
+// peer dial.
+
+type coordReg struct {
+	Rank int    `json:"rank"`
+	Addr string `json:"addr"`
+}
+
+type coordTable struct {
+	Addrs []string `json:"addrs"`
+	Err   string   `json:"err,omitempty"`
+}
+
+// runCoordinator accepts size registrations on ln, broadcasts the peer
+// table and closes the listener. It runs on rank 0's setup goroutine; the
+// budget bounds the whole rendezvous.
+func runCoordinator(ln net.Listener, size int, budget time.Duration) error {
+	defer ln.Close()
+	deadline := time.Now().Add(budget)
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	conns := make([]net.Conn, 0, size)
+	defer func() {
+		for _, c := range conns {
+			c.Close()
+		}
+	}()
+	addrs := make([]string, size)
+	registered := make([]bool, size)
+	for n := 0; n < size; {
+		conn, err := ln.Accept()
+		if err != nil {
+			return fmt.Errorf("transport: coordinator accept (have %d/%d registrations): %w", n, size, err)
+		}
+		conn.SetDeadline(deadline)
+		var reg coordReg
+		if err := json.NewDecoder(conn).Decode(&reg); err != nil {
+			conn.Close() // not a registrant; keep waiting for the rest
+			continue
+		}
+		if reg.Rank < 0 || reg.Rank >= size || registered[reg.Rank] {
+			json.NewEncoder(conn).Encode(coordTable{Err: fmt.Sprintf("invalid or duplicate rank %d", reg.Rank)})
+			conn.Close()
+			return fmt.Errorf("transport: coordinator: invalid or duplicate registration for rank %d", reg.Rank)
+		}
+		registered[reg.Rank] = true
+		addrs[reg.Rank] = reg.Addr
+		conns = append(conns, conn)
+		n++
+	}
+	table := coordTable{Addrs: addrs}
+	for _, c := range conns {
+		if err := json.NewEncoder(c).Encode(table); err != nil {
+			return fmt.Errorf("transport: coordinator broadcast: %w", err)
+		}
+	}
+	return nil
+}
+
+// register dials the coordinator (retrying with backoff until it is up),
+// announces (rank, addr) and returns the broadcast peer table.
+func register(coord string, rank int, addr string, budget time.Duration) ([]string, error) {
+	conn, err := dialRetry(coord, budget)
+	if err != nil {
+		return nil, fmt.Errorf("transport: rank %d cannot reach coordinator %s: %w", rank, coord, err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(budget))
+	if err := json.NewEncoder(conn).Encode(coordReg{Rank: rank, Addr: addr}); err != nil {
+		return nil, fmt.Errorf("transport: rank %d registration: %w", rank, err)
+	}
+	var table coordTable
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&table); err != nil {
+		return nil, fmt.Errorf("transport: rank %d waiting for peer table: %w", rank, err)
+	}
+	if table.Err != "" {
+		return nil, fmt.Errorf("transport: coordinator rejected rank %d: %s", rank, table.Err)
+	}
+	if len(table.Addrs) == 0 {
+		return nil, fmt.Errorf("transport: coordinator sent empty peer table to rank %d", rank)
+	}
+	return table.Addrs, nil
+}
+
+// dialRetry dials addr with exponential backoff plus jitter until it
+// succeeds or the budget elapses. Retrying covers staggered process
+// startup (the listener may simply not exist yet) as well as transient
+// refusals under load.
+func dialRetry(addr string, budget time.Duration) (net.Conn, error) {
+	deadline := time.Now().Add(budget)
+	delay := 25 * time.Millisecond
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return nil, fmt.Errorf("transport: dial %s: budget exhausted: %w", addr, lastErr)
+		}
+		attempt := remain
+		if attempt > 2*time.Second {
+			attempt = 2 * time.Second
+		}
+		conn, err := net.DialTimeout("tcp", addr, attempt)
+		if err == nil {
+			return conn, nil
+		}
+		lastErr = err
+		// Jittered exponential backoff: sleep delay/2 .. delay, double, cap.
+		sleep := delay/2 + time.Duration(rand.Int63n(int64(delay/2)+1))
+		if sleep > remain {
+			return nil, fmt.Errorf("transport: dial %s: budget exhausted: %w", addr, lastErr)
+		}
+		time.Sleep(sleep)
+		if delay *= 2; delay > time.Second {
+			delay = time.Second
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Wire format (little-endian, docs/networking.md):
+//
+//	connection handshake:  "MPCFNet1" | uint32 rank        (each direction)
+//	frame:                 uint32 len | uint32 src | uint32 tag | payload
+//
+// len counts payload bytes only. The tag field carries the mpi-layer
+// namespace bits (class and RK stage live in the tag's high bytes), so a
+// frame header identifies rank, tag and stage without the transport
+// knowing the solver's tag map. Tags at TagReserved and above are
+// transport control frames and never reach the Handler.
+const (
+	handshakeMagic = "MPCFNet1"
+	frameHeader    = 12
+
+	// TagReserved is the first transport-reserved tag value; application
+	// tags must stay below it.
+	TagReserved = 0xFF000000
+
+	// tagFIN announces a graceful shutdown of the sending side: the peer
+	// will write no further frames and will half-close its connection.
+	tagFIN = 0xFFFFFFFF
+
+	// DefaultMaxFrame bounds a single frame's payload; a length prefix
+	// beyond the limit means a corrupt or hostile stream and fails the
+	// connection instead of attempting a huge allocation.
+	DefaultMaxFrame = 1 << 28
+)
+
+// putFrameHeader encodes the fixed header into hdr.
+func putFrameHeader(hdr *[frameHeader]byte, n, src, tag uint32) {
+	binary.LittleEndian.PutUint32(hdr[0:4], n)
+	binary.LittleEndian.PutUint32(hdr[4:8], src)
+	binary.LittleEndian.PutUint32(hdr[8:12], tag)
+}
+
+// readFrame reads one frame from r. It returns the src and tag fields and
+// a freshly allocated payload (nil for empty payloads).
+func readFrame(r io.Reader, maxFrame int) (src, tag uint32, payload []byte, err error) {
+	var hdr [frameHeader]byte
+	if _, err = io.ReadFull(r, hdr[:]); err != nil {
+		return 0, 0, nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[0:4])
+	src = binary.LittleEndian.Uint32(hdr[4:8])
+	tag = binary.LittleEndian.Uint32(hdr[8:12])
+	if int64(n) > int64(maxFrame) {
+		return 0, 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit %d (corrupt stream?)", n, maxFrame)
+	}
+	if n > 0 {
+		payload = make([]byte, n)
+		if _, err = io.ReadFull(r, payload); err != nil {
+			return 0, 0, nil, fmt.Errorf("transport: short frame payload: %w", err)
+		}
+	}
+	return src, tag, payload, nil
+}
+
+// writeHandshake sends the connection preamble announcing rank.
+func writeHandshake(w io.Writer, rank int) error {
+	buf := make([]byte, len(handshakeMagic)+4)
+	copy(buf, handshakeMagic)
+	binary.LittleEndian.PutUint32(buf[len(handshakeMagic):], uint32(rank))
+	_, err := w.Write(buf)
+	return err
+}
+
+// readHandshake validates the preamble and returns the announced rank.
+func readHandshake(r io.Reader) (int, error) {
+	buf := make([]byte, len(handshakeMagic)+4)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, fmt.Errorf("transport: handshake read: %w", err)
+	}
+	if string(buf[:len(handshakeMagic)]) != handshakeMagic {
+		return 0, fmt.Errorf("transport: bad handshake magic %q", buf[:len(handshakeMagic)])
+	}
+	return int(binary.LittleEndian.Uint32(buf[len(handshakeMagic):])), nil
+}

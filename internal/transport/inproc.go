@@ -1,0 +1,55 @@
+package transport
+
+import "fmt"
+
+// Hub connects the ranks of one in-process world. Send delivers the
+// payload slice to the destination's handler directly on the sender's
+// goroutine — exactly the semantics of the original mailbox substrate:
+// sends complete at post time, payloads travel by reference with zero
+// copies, and ordering per (src, dst) pair is the sender's program order.
+type Hub struct {
+	size     int
+	handlers []Handler
+}
+
+// NewHub creates a hub for a world of the given size. All endpoints must
+// be attached (Endpoint) before the first Send.
+func NewHub(size int) *Hub {
+	if size <= 0 {
+		panic("transport: hub size must be positive")
+	}
+	return &Hub{size: size, handlers: make([]Handler, size)}
+}
+
+// Endpoint attaches rank's delivery handler and returns its endpoint.
+func (h *Hub) Endpoint(rank int, deliver Handler) Endpoint {
+	if rank < 0 || rank >= h.size {
+		panic(fmt.Sprintf("transport: endpoint rank %d out of range [0,%d)", rank, h.size))
+	}
+	if h.handlers[rank] != nil {
+		panic(fmt.Sprintf("transport: endpoint for rank %d attached twice", rank))
+	}
+	h.handlers[rank] = deliver
+	return &inprocEndpoint{hub: h, rank: rank}
+}
+
+type inprocEndpoint struct {
+	hub  *Hub
+	rank int
+}
+
+func (e *inprocEndpoint) Rank() int { return e.rank }
+func (e *inprocEndpoint) Size() int { return e.hub.size }
+
+func (e *inprocEndpoint) Send(dst, tag int, payload []byte) error {
+	if dst < 0 || dst >= e.hub.size {
+		return fmt.Errorf("transport: send to invalid rank %d", dst)
+	}
+	if uint32(tag) >= TagReserved {
+		return fmt.Errorf("transport: tag %#x is in the reserved control namespace", tag)
+	}
+	e.hub.handlers[dst](e.rank, tag, payload)
+	return nil
+}
+
+func (e *inprocEndpoint) Close() error { return nil }

@@ -1,0 +1,509 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"cubism/internal/telemetry"
+)
+
+// TCPOptions configures one rank's TCP endpoint.
+type TCPOptions struct {
+	// Rank and Size identify this rank within the world. Required.
+	Rank int
+	Size int
+
+	// Coord is the rendezvous coordinator address (host:port). Rank 0
+	// listens on it (unless CoordListener is set); every rank dials it to
+	// register. Required when Size > 1.
+	Coord string
+
+	// Listen is the address the data listener binds ("" means any port on
+	// all interfaces, which is right for single-host runs; set an explicit
+	// host for multi-homed machines so peers dial a reachable address).
+	Listen string
+
+	// DialTimeout bounds the whole rendezvous plus mesh construction
+	// (default 30s). ReadTimeout/WriteTimeout are per-frame I/O deadlines
+	// on established connections; zero means no deadline (the default —
+	// a rank legitimately goes quiet for the length of a compute phase).
+	// CloseTimeout bounds the graceful FIN drain in Close (default 10s).
+	DialTimeout  time.Duration
+	ReadTimeout  time.Duration
+	WriteTimeout time.Duration
+	CloseTimeout time.Duration
+
+	// MaxFrame bounds a single frame payload (default DefaultMaxFrame).
+	// SendQueue is the per-peer outgoing frame queue depth (default 256);
+	// Send blocks when the peer's queue is full (backpressure).
+	MaxFrame  int
+	SendQueue int
+
+	// Registry/Tracer receive net metrics and spans; nil disables them.
+	Registry *telemetry.Registry
+	Tracer   *telemetry.Tracer
+
+	// CoordListener, when non-nil on rank 0, is a pre-bound listener used
+	// for rendezvous instead of binding Coord. Lets tests and mpcf-launch
+	// pick a free port without a bind race.
+	CoordListener net.Listener
+
+	// OnError, when non-nil, observes asynchronous connection failures
+	// (read-pump errors after the endpoint is established).
+	OnError func(error)
+}
+
+func (o *TCPOptions) withDefaults() TCPOptions {
+	v := *o
+	if v.DialTimeout <= 0 {
+		v.DialTimeout = 30 * time.Second
+	}
+	if v.CloseTimeout <= 0 {
+		v.CloseTimeout = 10 * time.Second
+	}
+	if v.MaxFrame <= 0 {
+		v.MaxFrame = DefaultMaxFrame
+	}
+	if v.SendQueue <= 0 {
+		v.SendQueue = 256
+	}
+	return v
+}
+
+type outFrame struct {
+	tag     uint32
+	payload []byte
+	enq     time.Time
+}
+
+// peerConn is one side of the persistent duplex connection to a peer.
+type peerConn struct {
+	rank int
+	conn *net.TCPConn
+	out  chan outFrame
+	done chan struct{} // read pump exited
+	wg   sync.WaitGroup
+
+	latency *telemetry.Histogram // enqueue→flush seconds, nil when telemetry off
+}
+
+type tcpEndpoint struct {
+	opts    TCPOptions
+	deliver Handler
+	peersMu sync.Mutex
+	peers   []*peerConn // index by rank; nil at self
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	closeErr  error
+
+	finSeen []atomic.Bool // per-peer: FIN frame received
+
+	bytesSent *telemetry.Counter
+	bytesRecv *telemetry.Counter
+}
+
+// DialTCP establishes the full peer mesh for one rank: rendezvous through
+// the coordinator, then one persistent duplex TCP connection per peer pair
+// (the higher rank dials the lower; both sides handshake with their rank).
+// It returns only after every peer connection is up, so the first Send
+// never races mesh construction.
+func DialTCP(opts TCPOptions, deliver Handler) (Endpoint, error) {
+	o := opts.withDefaults()
+	if o.Size <= 0 || o.Rank < 0 || o.Rank >= o.Size {
+		return nil, fmt.Errorf("transport: invalid rank %d of %d", o.Rank, o.Size)
+	}
+	e := &tcpEndpoint{
+		opts:    o,
+		deliver: deliver,
+		peers:   make([]*peerConn, o.Size),
+		finSeen: make([]atomic.Bool, o.Size),
+	}
+	if o.Registry != nil {
+		rankLabel := telemetry.Labels{"rank": fmt.Sprint(o.Rank)}
+		e.bytesSent = o.Registry.Counter("mpcf_net_bytes_sent",
+			"Wire bytes sent by the tcp transport (headers included).", rankLabel)
+		e.bytesRecv = o.Registry.Counter("mpcf_net_bytes_recv",
+			"Wire bytes received by the tcp transport (headers included).", rankLabel)
+	}
+	if o.Size == 1 {
+		return e, nil // no listener, no rendezvous: a 1-rank world has no wire
+	}
+	if o.Coord == "" && o.CoordListener == nil {
+		return nil, fmt.Errorf("transport: coordinator address required for size %d", o.Size)
+	}
+
+	// Data listener first so its address can be registered.
+	ln, err := net.Listen("tcp", o.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: rank %d data listener: %w", o.Rank, err)
+	}
+	dataAddr := advertiseAddr(ln.Addr().(*net.TCPAddr), o.Listen)
+
+	// Rank 0 runs the coordinator concurrently with its own registration.
+	coordErr := make(chan error, 1)
+	coord := o.Coord
+	if o.Rank == 0 {
+		cln := o.CoordListener
+		if cln == nil {
+			if cln, err = net.Listen("tcp", o.Coord); err != nil {
+				ln.Close()
+				return nil, fmt.Errorf("transport: rank 0 coordinator listener: %w", err)
+			}
+		}
+		coord = cln.Addr().String()
+		go func() { coordErr <- runCoordinator(cln, o.Size, o.DialTimeout) }()
+	}
+	addrs, err := register(coord, o.Rank, dataAddr, o.DialTimeout)
+	if err != nil {
+		ln.Close()
+		return nil, err
+	}
+	if len(addrs) != o.Size {
+		ln.Close()
+		return nil, fmt.Errorf("transport: peer table has %d entries, want %d", len(addrs), o.Size)
+	}
+
+	// Mesh construction. Lower ranks accept from higher ranks; this rank
+	// dials every lower rank. Both run concurrently — with deadlines, a
+	// stuck peer fails the whole setup rather than hanging it.
+	deadline := time.Now().Add(o.DialTimeout)
+	if tl, ok := ln.(*net.TCPListener); ok {
+		tl.SetDeadline(deadline)
+	}
+	var mu sync.Mutex
+	var firstErr error
+	fail := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // accept side: expect Size-1-Rank inbound connections
+		defer wg.Done()
+		for i := 0; i < o.Size-1-o.Rank; i++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				fail(fmt.Errorf("transport: rank %d accept: %w", o.Rank, err))
+				return
+			}
+			tc := conn.(*net.TCPConn)
+			tc.SetDeadline(deadline)
+			peer, err := readHandshake(tc)
+			if err != nil || peer <= o.Rank || peer >= o.Size {
+				if err == nil {
+					err = fmt.Errorf("unexpected peer rank %d", peer)
+				}
+				tc.Close()
+				fail(fmt.Errorf("transport: rank %d inbound handshake: %w", o.Rank, err))
+				return
+			}
+			if err := writeHandshake(tc, o.Rank); err != nil {
+				tc.Close()
+				fail(fmt.Errorf("transport: rank %d handshake reply to %d: %w", o.Rank, peer, err))
+				return
+			}
+			tc.SetDeadline(time.Time{})
+			if !e.addPeer(peer, tc) {
+				tc.Close()
+				fail(fmt.Errorf("transport: duplicate connection from rank %d", peer))
+				return
+			}
+		}
+	}()
+	for lower := 0; lower < o.Rank; lower++ {
+		wg.Add(1)
+		go func(lower int) { // dial side: connect to every lower rank
+			defer wg.Done()
+			conn, err := dialRetry(addrs[lower], time.Until(deadline))
+			if err != nil {
+				fail(fmt.Errorf("transport: rank %d dialing rank %d: %w", o.Rank, lower, err))
+				return
+			}
+			tc := conn.(*net.TCPConn)
+			tc.SetDeadline(deadline)
+			if err := writeHandshake(tc, o.Rank); err == nil {
+				var peer int
+				if peer, err = readHandshake(tc); err == nil && peer != lower {
+					err = fmt.Errorf("dialed rank %d but peer announced %d", lower, peer)
+				}
+			}
+			if err != nil {
+				tc.Close()
+				fail(fmt.Errorf("transport: rank %d handshake with rank %d: %w", o.Rank, lower, err))
+				return
+			}
+			tc.SetDeadline(time.Time{})
+			if !e.addPeer(lower, tc) {
+				tc.Close()
+				fail(fmt.Errorf("transport: duplicate connection to rank %d", lower))
+			}
+		}(lower)
+	}
+	wg.Wait()
+	ln.Close()
+	if o.Rank == 0 {
+		if err := <-coordErr; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		e.teardown()
+		return nil, firstErr
+	}
+	for _, p := range e.peers {
+		if p != nil {
+			e.startPeer(p)
+		}
+	}
+	return e, nil
+}
+
+// advertiseAddr turns the bound listener address into one peers can dial:
+// a wildcard-host bind advertises loopback (single-host default) unless an
+// explicit host was configured.
+func advertiseAddr(bound *net.TCPAddr, listen string) string {
+	if host, _, err := net.SplitHostPort(listen); err == nil && host != "" && host != "0.0.0.0" && host != "::" {
+		return net.JoinHostPort(host, fmt.Sprint(bound.Port))
+	}
+	if bound.IP == nil || bound.IP.IsUnspecified() {
+		return net.JoinHostPort("127.0.0.1", fmt.Sprint(bound.Port))
+	}
+	return bound.String()
+}
+
+func (e *tcpEndpoint) addPeer(rank int, conn *net.TCPConn) bool {
+	p := &peerConn{
+		rank: rank,
+		conn: conn,
+		out:  make(chan outFrame, e.opts.SendQueue),
+		done: make(chan struct{}),
+	}
+	conn.SetNoDelay(true)
+	if e.opts.Registry != nil {
+		p.latency = e.opts.Registry.Histogram("mpcf_net_frame_latency_seconds",
+			"Per-peer frame latency from send enqueue to socket flush.",
+			telemetry.NetLatencyBuckets, telemetry.Labels{"peer": fmt.Sprint(rank)})
+	}
+	// peersMu guards only mesh-construction publication; the steady state
+	// (after DialTCP returns) reads peers without locks.
+	e.peersMu.Lock()
+	defer e.peersMu.Unlock()
+	if e.peers[rank] != nil {
+		return false
+	}
+	e.peers[rank] = p
+	return true
+}
+
+func (e *tcpEndpoint) startPeer(p *peerConn) {
+	p.wg.Add(2)
+	go e.writeLoop(p)
+	go e.readPump(p)
+}
+
+// writeLoop drains p.out into a buffered writer, coalescing every frame
+// available right now into one flush — small ghost-halo faces and header
+// frames batch into single syscalls under load, while an idle queue still
+// flushes each frame immediately.
+func (e *tcpEndpoint) writeLoop(p *peerConn) {
+	defer p.wg.Done()
+	bw := bufio.NewWriterSize(p.conn, 256<<10)
+	writeOne := func(f outFrame) error {
+		if e.opts.WriteTimeout > 0 {
+			p.conn.SetWriteDeadline(time.Now().Add(e.opts.WriteTimeout))
+		}
+		var hdr [frameHeader]byte
+		putFrameHeader(&hdr, uint32(len(f.payload)), uint32(e.opts.Rank), f.tag)
+		if _, err := bw.Write(hdr[:]); err != nil {
+			return err
+		}
+		if len(f.payload) > 0 {
+			if _, err := bw.Write(f.payload); err != nil {
+				return err
+			}
+		}
+		e.bytesSent.Add(int64(frameHeader + len(f.payload)))
+		return nil
+	}
+	var pending []outFrame // frames in the buffer, not yet flushed
+	flush := func() error {
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		if p.latency != nil {
+			now := time.Now()
+			for _, f := range pending {
+				p.latency.Observe(now.Sub(f.enq).Seconds())
+			}
+		}
+		pending = pending[:0]
+		return nil
+	}
+	fail := func(err error) {
+		e.reportError(fmt.Errorf("transport: rank %d write to rank %d: %w", e.opts.Rank, p.rank, err))
+		for range p.out { // drain so Send never blocks forever on a dead peer
+		}
+	}
+	for f := range p.out {
+		if err := writeOne(f); err != nil {
+			fail(err)
+			return
+		}
+		pending = append(pending, f)
+	coalesce:
+		for {
+			select {
+			case g, ok := <-p.out:
+				if !ok {
+					_ = flush()
+					p.conn.CloseWrite()
+					return
+				}
+				if err := writeOne(g); err != nil {
+					fail(err)
+					return
+				}
+				pending = append(pending, g)
+			default:
+				break coalesce
+			}
+		}
+		if err := flush(); err != nil {
+			fail(err)
+			return
+		}
+	}
+	// Queue closed with no trailing frame: flush whatever the last
+	// iteration buffered and half-close so the peer's read pump sees EOF.
+	_ = flush()
+	p.conn.CloseWrite()
+}
+
+// readPump demultiplexes inbound frames into the delivery handler until
+// the peer half-closes (after its FIN) or the connection fails.
+func (e *tcpEndpoint) readPump(p *peerConn) {
+	defer p.wg.Done()
+	defer close(p.done)
+	br := bufio.NewReaderSize(p.conn, 256<<10)
+	for {
+		if e.opts.ReadTimeout > 0 && !e.closed.Load() {
+			p.conn.SetReadDeadline(time.Now().Add(e.opts.ReadTimeout))
+		}
+		src, tag, payload, err := readFrame(br, e.opts.MaxFrame)
+		if err != nil {
+			if err == io.EOF && (e.finSeen[p.rank].Load() || e.closed.Load()) {
+				return // clean shutdown: FIN then half-close
+			}
+			if !e.closed.Load() {
+				e.reportError(fmt.Errorf("transport: rank %d read from rank %d: %w", e.opts.Rank, p.rank, err))
+			}
+			return
+		}
+		if int(src) != p.rank {
+			e.reportError(fmt.Errorf("transport: rank %d: frame from rank %d arrived on rank %d's connection", e.opts.Rank, src, p.rank))
+			return
+		}
+		if tag >= TagReserved {
+			if tag == tagFIN {
+				e.finSeen[p.rank].Store(true)
+			}
+			continue // control frames never reach the handler
+		}
+		e.bytesRecv.Add(int64(frameHeader + len(payload)))
+		var span telemetry.Span
+		if e.opts.Tracer != nil {
+			span = e.opts.Tracer.StartSpan("net_recv", e.opts.Rank, 1<<11|p.rank)
+		}
+		e.deliver(int(src), int(tag), payload)
+		span.End()
+	}
+}
+
+func (e *tcpEndpoint) Rank() int { return e.opts.Rank }
+func (e *tcpEndpoint) Size() int { return e.opts.Size }
+
+func (e *tcpEndpoint) Send(dst, tag int, payload []byte) error {
+	if dst < 0 || dst >= e.opts.Size {
+		return fmt.Errorf("transport: send to invalid rank %d", dst)
+	}
+	if uint32(tag) >= TagReserved {
+		return fmt.Errorf("transport: tag %#x is in the reserved control namespace", tag)
+	}
+	if len(payload) > e.opts.MaxFrame {
+		return fmt.Errorf("transport: payload of %d bytes exceeds frame limit %d", len(payload), e.opts.MaxFrame)
+	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
+	if dst == e.opts.Rank {
+		e.deliver(dst, tag, payload) // self-send short-circuits the wire
+		return nil
+	}
+	var span telemetry.Span
+	if e.opts.Tracer != nil {
+		span = e.opts.Tracer.StartSpan("net_send", e.opts.Rank, 1<<10|dst)
+	}
+	e.peers[dst].out <- outFrame{tag: uint32(tag), payload: payload, enq: time.Now()}
+	span.End()
+	return nil
+}
+
+// Close performs the graceful shutdown: FIN to every peer, drain and
+// half-close the write sides, then wait (bounded by CloseTimeout) for the
+// peers' FIN + EOF so in-flight inbound frames are fully delivered.
+func (e *tcpEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		e.closed.Store(true)
+		for _, p := range e.peers {
+			if p == nil {
+				continue
+			}
+			// FIN is the last frame; closing out lets the write loop drain,
+			// flush and CloseWrite. Send-after-Close is excluded by contract.
+			p.out <- outFrame{tag: tagFIN}
+			close(p.out)
+		}
+		deadline := time.Now().Add(e.opts.CloseTimeout)
+		for _, p := range e.peers {
+			if p == nil {
+				continue
+			}
+			select {
+			case <-p.done:
+			case <-time.After(time.Until(deadline)):
+				p.conn.SetReadDeadline(time.Now()) // unstick the pump
+				<-p.done
+				if e.closeErr == nil {
+					e.closeErr = fmt.Errorf("transport: rank %d: close timed out waiting for rank %d", e.opts.Rank, p.rank)
+				}
+			}
+			p.conn.Close()
+			p.wg.Wait()
+		}
+	})
+	return e.closeErr
+}
+
+// teardown releases a partially built mesh after a setup failure.
+func (e *tcpEndpoint) teardown() {
+	for _, p := range e.peers {
+		if p != nil {
+			p.conn.Close()
+		}
+	}
+}
+
+func (e *tcpEndpoint) reportError(err error) {
+	if e.opts.OnError != nil {
+		e.opts.OnError(err)
+	}
+}

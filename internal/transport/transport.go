@@ -1,0 +1,49 @@
+// Package transport is the rank-to-rank wire layer beneath internal/mpi:
+// point-to-point delivery of typed byte frames between the ranks of one
+// world, behind a pluggable Endpoint interface.
+//
+// Two implementations exist. The inproc endpoint is the original in-process
+// substrate — every rank lives in one address space and Send hands the
+// payload slice to the destination by reference, so all existing
+// determinism and zero-copy guarantees hold bitwise. The tcp endpoint
+// shards the world across OS processes: frames are length-prefixed binary
+// records on one persistent duplex connection per peer pair, written by a
+// per-peer coalescing loop and demultiplexed by a per-peer read pump
+// (docs/networking.md describes the wire format and the rendezvous
+// protocol).
+//
+// The layering contract: transport moves frames and knows nothing about
+// matching or collectives; internal/mpi owns (source, tag) matching,
+// request objects and the collective algorithms, which is why the cluster
+// layer runs unchanged on either implementation.
+package transport
+
+import "errors"
+
+// Handler consumes one delivered frame. Implementations call it from the
+// goroutine that produced the frame (inproc: the sender; tcp: the peer's
+// read pump), so it must be safe for concurrent use and must not block for
+// long — internal/mpi points it at a mailbox enqueue.
+type Handler func(src, tag int, payload []byte)
+
+// Endpoint is one rank's attachment to the wire.
+//
+// Send enqueues one frame for dst. The payload is handed off by reference:
+// the caller must not mutate it until the receiver is done with it (the
+// MPI-layer contract; the cluster layer double-buffers per stage). Tags are
+// opaque to the transport except for the reserved control namespace
+// (TagReserved and above). Send may block on transport backpressure but
+// never on the receiver's consumption in the tcp case.
+//
+// Close flushes queued frames, performs the graceful FIN exchange (tcp)
+// and releases all resources. Send after Close returns ErrClosed. Close
+// must not race an in-flight Send — callers sequence a barrier first.
+type Endpoint interface {
+	Rank() int
+	Size() int
+	Send(dst, tag int, payload []byte) error
+	Close() error
+}
+
+// ErrClosed is returned by Send on a closed endpoint.
+var ErrClosed = errors.New("transport: endpoint closed")

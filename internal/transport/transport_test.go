@@ -1,0 +1,468 @@
+package transport
+
+import (
+	"bytes"
+	"net"
+	"sync"
+	"testing"
+	"time"
+)
+
+// collector is a test Handler recording delivered frames.
+type collector struct {
+	mu     sync.Mutex
+	frames []struct {
+		src, tag int
+		payload  []byte
+	}
+	signal chan struct{}
+}
+
+func newCollector() *collector {
+	return &collector{signal: make(chan struct{}, 1)}
+}
+
+func (c *collector) handle(src, tag int, payload []byte) {
+	c.mu.Lock()
+	c.frames = append(c.frames, struct {
+		src, tag int
+		payload  []byte
+	}{src, tag, payload})
+	c.mu.Unlock()
+	select { // must never block: the handler runs on the transport's pump
+	case c.signal <- struct{}{}:
+	default:
+	}
+}
+
+func (c *collector) waitN(t *testing.T, n int) {
+	t.Helper()
+	deadline := time.After(10 * time.Second)
+	for {
+		c.mu.Lock()
+		have := len(c.frames)
+		c.mu.Unlock()
+		if have >= n {
+			return
+		}
+		select {
+		case <-c.signal:
+		case <-time.After(10 * time.Millisecond):
+		case <-deadline:
+			t.Fatalf("timed out waiting for %d frames (have %d)", n, have)
+		}
+	}
+}
+
+// mesh is one transport instance under conformance test.
+type mesh struct {
+	eps  []Endpoint
+	cols []*collector
+}
+
+func (m *mesh) close(t *testing.T) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for _, ep := range m.eps {
+		wg.Add(1)
+		go func(ep Endpoint) {
+			defer wg.Done()
+			if err := ep.Close(); err != nil {
+				t.Errorf("close: %v", err)
+			}
+		}(ep)
+	}
+	wg.Wait()
+}
+
+// makeInproc builds a size-rank inproc mesh.
+func makeInproc(t *testing.T, size int) *mesh {
+	t.Helper()
+	m := &mesh{}
+	hub := NewHub(size)
+	for r := 0; r < size; r++ {
+		col := newCollector()
+		m.cols = append(m.cols, col)
+		m.eps = append(m.eps, hub.Endpoint(r, col.handle))
+	}
+	return m
+}
+
+// makeTCP builds a size-rank tcp mesh over loopback, all endpoints in this
+// process.
+func makeTCP(t *testing.T, size int) *mesh {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &mesh{eps: make([]Endpoint, size), cols: make([]*collector, size)}
+	coord := ln.Addr().String()
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		col := newCollector()
+		m.cols[r] = col
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			opts := TCPOptions{
+				Rank: rank, Size: size, Coord: coord,
+				DialTimeout: 10 * time.Second,
+				OnError:     func(err error) { t.Errorf("rank %d wire: %v", rank, err) },
+			}
+			if rank == 0 {
+				opts.CoordListener = ln
+			}
+			m.eps[rank], errs[rank] = DialTCP(opts, col.handle)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return m
+}
+
+// conformance runs the shared behavioral suite against a transport factory.
+func conformance(t *testing.T, make func(t *testing.T, size int) *mesh) {
+	t.Run("Delivery", func(t *testing.T) {
+		m := make(t, 2)
+		defer m.close(t)
+		want := []byte{1, 2, 3, 4}
+		if err := m.eps[0].Send(1, 7, want); err != nil {
+			t.Fatal(err)
+		}
+		m.cols[1].waitN(t, 1)
+		got := m.cols[1].frames[0]
+		if got.src != 0 || got.tag != 7 || !bytes.Equal(got.payload, want) {
+			t.Fatalf("got (src=%d tag=%d %v), want (0, 7, %v)", got.src, got.tag, got.payload, want)
+		}
+	})
+	t.Run("PerPairFIFO", func(t *testing.T) {
+		m := make(t, 2)
+		defer m.close(t)
+		const n = 500
+		for i := 0; i < n; i++ {
+			if err := m.eps[0].Send(1, 5, []byte{byte(i), byte(i >> 8)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.cols[1].waitN(t, n)
+		for i, f := range m.cols[1].frames {
+			if got := int(f.payload[0]) | int(f.payload[1])<<8; got != i {
+				t.Fatalf("frame %d carried sequence %d: per-pair order not preserved", i, got)
+			}
+		}
+	})
+	t.Run("ConcurrentSenders", func(t *testing.T) {
+		m := make(t, 3)
+		defer m.close(t)
+		const per = 200
+		var wg sync.WaitGroup
+		for _, src := range []int{0, 2} {
+			wg.Add(1)
+			go func(src int) {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					if err := m.eps[src].Send(1, src, []byte{byte(i)}); err != nil {
+						t.Errorf("send: %v", err)
+						return
+					}
+				}
+			}(src)
+		}
+		wg.Wait()
+		m.cols[1].waitN(t, 2*per)
+		next := map[int]int{} // per-source FIFO must hold even interleaved
+		for _, f := range m.cols[1].frames {
+			if int(f.payload[0]) != next[f.src]%256 {
+				t.Fatalf("src %d frame out of order", f.src)
+			}
+			next[f.src]++
+		}
+		if next[0] != per || next[2] != per {
+			t.Fatalf("got %d/%d frames, want %d each", next[0], next[2], per)
+		}
+	})
+	t.Run("EmptyPayload", func(t *testing.T) {
+		m := make(t, 2)
+		defer m.close(t)
+		if err := m.eps[1].Send(0, 9, nil); err != nil {
+			t.Fatal(err)
+		}
+		m.cols[0].waitN(t, 1)
+		if f := m.cols[0].frames[0]; f.src != 1 || f.tag != 9 || len(f.payload) != 0 {
+			t.Fatalf("empty frame arrived as (src=%d tag=%d len=%d)", f.src, f.tag, len(f.payload))
+		}
+	})
+	t.Run("LargeFrame", func(t *testing.T) {
+		m := make(t, 2)
+		defer m.close(t)
+		want := bytes.Repeat([]byte{0xAB}, 4<<20)
+		want[0], want[len(want)-1] = 0x01, 0x02
+		if err := m.eps[0].Send(1, 3, want); err != nil {
+			t.Fatal(err)
+		}
+		m.cols[1].waitN(t, 1)
+		if !bytes.Equal(m.cols[1].frames[0].payload, want) {
+			t.Fatal("4 MiB payload corrupted in flight")
+		}
+	})
+	t.Run("InvalidDst", func(t *testing.T) {
+		m := make(t, 2)
+		defer m.close(t)
+		if err := m.eps[0].Send(5, 1, nil); err == nil {
+			t.Fatal("send to out-of-range rank succeeded")
+		}
+	})
+	t.Run("ReservedTag", func(t *testing.T) {
+		m := make(t, 2)
+		defer m.close(t)
+		if err := m.eps[0].Send(1, int(TagReserved), nil); err == nil {
+			t.Fatal("send with reserved control tag succeeded")
+		}
+	})
+}
+
+func TestInprocConformance(t *testing.T) { conformance(t, makeInproc) }
+func TestTCPConformance(t *testing.T)    { conformance(t, makeTCP) }
+
+func TestTCPSelfSend(t *testing.T) {
+	m := makeTCP(t, 2)
+	defer m.close(t)
+	if err := m.eps[1].Send(1, 4, []byte{42}); err != nil {
+		t.Fatal(err)
+	}
+	m.cols[1].waitN(t, 1)
+	if f := m.cols[1].frames[0]; f.src != 1 || f.payload[0] != 42 {
+		t.Fatalf("self-send arrived as src=%d payload=%v", f.src, f.payload)
+	}
+}
+
+func TestTCPSizeOne(t *testing.T) {
+	// A 1-rank world needs no coordinator, listener or peers.
+	col := newCollector()
+	ep, err := DialTCP(TCPOptions{Rank: 0, Size: 1}, col.handle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ep.Send(0, 1, []byte{7}); err != nil {
+		t.Fatal(err)
+	}
+	col.waitN(t, 1)
+	if err := ep.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPDialRetry(t *testing.T) {
+	// Rank 1 starts dialing before rank 0's coordinator exists; the backoff
+	// loop must carry it through the staggered startup.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := ln.Addr().String()
+	cols := []*collector{newCollector(), newCollector()}
+	eps := make([]Endpoint, 2)
+	errs := make([]error, 2)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		eps[1], errs[1] = DialTCP(TCPOptions{
+			Rank: 1, Size: 2, Coord: coord, DialTimeout: 10 * time.Second,
+		}, cols[1].handle)
+	}()
+	time.Sleep(300 * time.Millisecond) // let rank 1 burn through a few dial attempts
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		eps[0], errs[0] = DialTCP(TCPOptions{
+			Rank: 0, Size: 2, Coord: coord, DialTimeout: 10 * time.Second,
+			CoordListener: ln,
+		}, cols[0].handle)
+	}()
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	m := &mesh{eps: eps, cols: cols}
+	defer m.close(t)
+	if err := eps[1].Send(0, 1, []byte{9}); err != nil {
+		t.Fatal(err)
+	}
+	cols[0].waitN(t, 1)
+}
+
+func TestTCPGracefulCloseDeliversAll(t *testing.T) {
+	// Frames enqueued before Close must all arrive: Close drains the write
+	// queue, sends FIN and half-closes, and the receiving side's Close
+	// waits for the peer's FIN before tearing down the pump.
+	m := makeTCP(t, 2)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := m.eps[0].Send(1, 1, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.close(t)
+	m.cols[1].mu.Lock()
+	got := len(m.cols[1].frames)
+	m.cols[1].mu.Unlock()
+	if got != n {
+		t.Fatalf("graceful close delivered %d of %d frames", got, n)
+	}
+	if err := m.eps[0].Send(1, 1, nil); err != ErrClosed {
+		t.Fatalf("send after close returned %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPOversizeSend(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := ln.Addr().String()
+	eps := make([]Endpoint, 2)
+	errs := make([]error, 2)
+	cols := []*collector{newCollector(), newCollector()}
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			opts := TCPOptions{Rank: rank, Size: 2, Coord: coord,
+				DialTimeout: 10 * time.Second, MaxFrame: 1 << 10}
+			if rank == 0 {
+				opts.CoordListener = ln
+			}
+			eps[rank], errs[rank] = DialTCP(opts, cols[rank].handle)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	m := &mesh{eps: eps, cols: cols}
+	defer m.close(t)
+	if err := eps[0].Send(1, 1, make([]byte, 2<<10)); err == nil {
+		t.Fatal("oversize send succeeded")
+	}
+}
+
+func TestHandshakeRejectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("NOTMPCF1")
+	buf.Write([]byte{0, 0, 0, 0})
+	if _, err := readHandshake(&buf); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("ghost halo bytes")
+	var hdr [frameHeader]byte
+	putFrameHeader(&hdr, uint32(len(payload)), 3, 0x01020304)
+	buf.Write(hdr[:])
+	buf.Write(payload)
+	src, tag, got, err := readFrame(&buf, DefaultMaxFrame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != 3 || tag != 0x01020304 || !bytes.Equal(got, payload) {
+		t.Fatalf("frame decoded as (src=%d tag=%#x %q)", src, tag, got)
+	}
+}
+
+func TestFrameRejectsOversizeHeader(t *testing.T) {
+	var buf bytes.Buffer
+	var hdr [frameHeader]byte
+	putFrameHeader(&hdr, 1<<30, 0, 1)
+	buf.Write(hdr[:])
+	if _, _, _, err := readFrame(&buf, 1<<20); err == nil {
+		t.Fatal("oversize length prefix accepted")
+	}
+}
+
+func TestHubPanicsOnDuplicateAttach(t *testing.T) {
+	hub := NewHub(2)
+	hub.Endpoint(0, func(int, int, []byte) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate attach did not panic")
+		}
+	}()
+	hub.Endpoint(0, func(int, int, []byte) {})
+}
+
+func TestAdvertiseAddr(t *testing.T) {
+	cases := []struct {
+		bound  *net.TCPAddr
+		listen string
+		want   string
+	}{
+		{&net.TCPAddr{IP: net.IPv4zero, Port: 4000}, "", "127.0.0.1:4000"},
+		{&net.TCPAddr{IP: net.IPv4zero, Port: 4000}, "0.0.0.0:4000", "127.0.0.1:4000"},
+		{&net.TCPAddr{IP: net.IPv4zero, Port: 4000}, "node7:0", "node7:4000"},
+		{&net.TCPAddr{IP: net.ParseIP("10.0.0.5"), Port: 4000}, "10.0.0.5:4000", "10.0.0.5:4000"},
+	}
+	for _, c := range cases {
+		if got := advertiseAddr(c.bound, c.listen); got != c.want {
+			t.Errorf("advertiseAddr(%v, %q) = %q, want %q", c.bound, c.listen, got, c.want)
+		}
+	}
+}
+
+func TestDialRetryBudgetExhausted(t *testing.T) {
+	// A port nothing listens on: the retry loop must give up within the
+	// budget rather than spin forever.
+	start := time.Now()
+	_, err := dialRetry("127.0.0.1:1", 300*time.Millisecond)
+	if err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("budget exceeded: %v", elapsed)
+	}
+}
+
+func TestCoordinatorRejectsDuplicateRank(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordErr := make(chan error, 1)
+	go func() { coordErr <- runCoordinator(ln, 2, 10*time.Second) }()
+	// Two registrants both claim rank 0: whichever arrives second trips the
+	// duplicate check, the coordinator aborts, and both registrations fail
+	// (the second with the rejection, the first when its conn is torn down).
+	regErr := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := register(ln.Addr().String(), 0, "a:1", 10*time.Second)
+			regErr <- err
+		}()
+	}
+	select {
+	case err := <-coordErr:
+		if err == nil {
+			t.Fatal("coordinator accepted a duplicate rank 0 registration")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("coordinator did not terminate")
+	}
+	for i := 0; i < 2; i++ {
+		if err := <-regErr; err == nil {
+			t.Fatal("registration succeeded in an aborted rendezvous")
+		}
+	}
+}
