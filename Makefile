@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build bin test race bench bench-smoke bench-net smoke-net sim-json verify verify-short fuzz-seed
+.PHONY: check vet build bin test race bench bench-smoke bench-net smoke-net sim-json verify verify-short fuzz-seed chaos
 
 check: vet build test race
 
@@ -44,8 +44,9 @@ bench-net:
 	$(GO) run ./cmd/mpcf-bench -exp net -net-json BENCH_net.json
 
 # End-to-end transport correctness: the same small Sod problem through two
-# real OS processes over tcp and through the in-process transport must
-# produce bitwise-identical conserved-field checksums.
+# real OS processes over tcp — clean wire AND a seeded faulty wire (drops,
+# duplications, resets masked by the reliability layer) — must produce
+# conserved-field checksums bitwise identical to the in-process transport.
 smoke-net: bin
 	@rm -rf smoke-net.tmp && mkdir smoke-net.tmp
 	./bin/mpcf-sim -case sod -ranks 2,1,1 -blocks 2,2,2 -n 8 -steps 5 \
@@ -53,8 +54,21 @@ smoke-net: bin
 	./bin/mpcf-launch -n 2 -- -case sod -ranks 2,1,1 -blocks 2,2,2 -n 8 -steps 5 \
 		-quiet -diag-every 0 -sums smoke-net.tmp/tcp.sums
 	cmp smoke-net.tmp/inproc.sums smoke-net.tmp/tcp.sums
-	@echo "smoke-net: checksums bitwise identical across transports"
+	./bin/mpcf-launch -n 2 -- -case sod -ranks 2,1,1 -blocks 2,2,2 -n 8 -steps 5 \
+		-quiet -diag-every 0 -sums smoke-net.tmp/chaos.sums \
+		-net-chaos "drop=0.05,dup=0.05,reset=0.01,seed=11" \
+		-net-heartbeat 50ms -net-retransmit 150ms -net-peer-timeout 20s
+	cmp smoke-net.tmp/inproc.sums smoke-net.tmp/chaos.sums
+	@echo "smoke-net: checksums bitwise identical across transports (clean + chaos)"
 	@rm -rf smoke-net.tmp
+
+# The chaos suite under the race detector: fault-injected transport
+# conformance, reconnect/replay/escalation paths, frame fuzz seeds, and the
+# sim-level bitwise-under-chaos and checkpoint-restart proofs.
+chaos:
+	$(GO) test -race -count=1 ./internal/transport ./internal/transport/faulty ./internal/mpi
+	$(GO) test -race -count=1 -run 'TestSimBitwiseUnderChaos|TestRestoreResumesBitwise' ./internal/sim
+	$(GO) test -race -count=1 ./cmd/mpcf-launch
 
 # Full-ladder verification: convergence orders, conservation audit and the
 # Rayleigh-collapse comparison, gated on testdata/tolerances.json. Exits
@@ -68,4 +82,4 @@ verify-short:
 
 # Replay the checked-in fuzz seed corpora without fuzzing new inputs.
 fuzz-seed:
-	$(GO) test -run 'Fuzz' ./internal/compress
+	$(GO) test -run 'Fuzz' ./internal/compress ./internal/transport

@@ -13,7 +13,7 @@
 // "-ranks n,1,1" is injected. The coordinator port is chosen by binding a
 // free listener here and passing its address down, so concurrent launches
 // cannot race on a port. The first rank to fail kills the others, and the
-// launcher exits with the first non-zero exit code.
+// launcher exits with that first failure's exit code.
 package main
 
 import (
@@ -30,21 +30,33 @@ import (
 )
 
 func main() {
-	n := flag.Int("n", 2, "number of ranks (local processes)")
-	simBin := flag.String("sim", "", "mpcf-sim binary (default: mpcf-sim next to this binary, else from PATH)")
-	flag.Parse()
-	if *n <= 0 {
-		fmt.Fprintln(os.Stderr, "mpcf-launch: -n must be positive")
-		os.Exit(2)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the whole launcher, factored from main so the regression tests can
+// drive it in-process and observe the exit code. The returned code is the
+// first failing rank's (normalized: a signal death counts as 1), 0 when
+// every rank succeeds, 2 on usage errors.
+func run(argv []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("mpcf-launch", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 2, "number of ranks (local processes)")
+	simBin := fs.String("sim", "", "mpcf-sim binary (default: mpcf-sim next to this binary, else from PATH)")
+	if err := fs.Parse(argv); err != nil {
+		return 2
 	}
-	passThrough := flag.Args()
+	if *n <= 0 {
+		fmt.Fprintln(stderr, "mpcf-launch: -n must be positive")
+		return 2
+	}
+	passThrough := fs.Args()
 
 	// Validate or inject the -ranks decomposition: its product must be -n.
 	if prod, ok := ranksProduct(passThrough); !ok {
 		passThrough = append(passThrough, "-ranks", fmt.Sprintf("%d,1,1", *n))
 	} else if prod != *n {
-		fmt.Fprintf(os.Stderr, "mpcf-launch: -ranks product %d does not match -n %d\n", prod, *n)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "mpcf-launch: -ranks product %d does not match -n %d\n", prod, *n)
+		return 2
 	}
 
 	bin := *simBin
@@ -57,26 +69,42 @@ func main() {
 	// rank 0; the window is tiny and a stolen port fails loudly at dial.
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mpcf-launch: reserving coordinator port: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "mpcf-launch: reserving coordinator port: %v\n", err)
+		return 1
 	}
 	coord := ln.Addr().String()
 	ln.Close()
 
-	procs := make([]*exec.Cmd, *n)
+	// procs is appended to by the launch loop while rank-exit goroutines may
+	// already be cascading a kill, so both sides go through mu; aborted stops
+	// the launch loop from starting ranks that would outlive the cascade.
+	var mu sync.Mutex
+	procs := make([]*exec.Cmd, 0, *n)
+	aborted := false
 	var outWG sync.WaitGroup
-	var killOnce sync.Once
 	killAll := func() {
-		killOnce.Do(func() {
-			for _, p := range procs {
-				if p != nil && p.Process != nil {
-					p.Process.Kill()
-				}
+		mu.Lock()
+		defer mu.Unlock()
+		aborted = true
+		for _, p := range procs {
+			if p.Process != nil {
+				p.Process.Kill()
 			}
-		})
+		}
 	}
 
-	exitCodes := make([]int, *n)
+	// The exit verdict is the FIRST failure observed, recorded exactly once
+	// before the cascade kill: the ranks killed by killAll die with -1
+	// (signal) and must not shadow the real failing code. A rank 0 that
+	// times out waiting for rendezvous registrations exits non-zero the same
+	// way, so a partial launch also tears down the stragglers here.
+	var failOnce sync.Once
+	var failCode int
+	fail := func(code int) {
+		failOnce.Do(func() { failCode = code })
+		killAll()
+	}
+
 	var procWG sync.WaitGroup
 	for r := 0; r < *n; r++ {
 		args := append([]string{
@@ -85,23 +113,30 @@ func main() {
 			"-coord", coord,
 		}, passThrough...)
 		cmd := exec.Command(bin, args...)
-		stdout, err := cmd.StdoutPipe()
+		pipe, err := cmd.StdoutPipe()
 		if err == nil {
 			cmd.Stderr = cmd.Stdout // one interleave-safe stream per rank
 		}
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "mpcf-launch: rank %d pipe: %v\n", r, err)
-			killAll()
-			os.Exit(1)
+			fmt.Fprintf(stderr, "mpcf-launch: rank %d pipe: %v\n", r, err)
+			fail(1)
+			break
+		}
+		mu.Lock()
+		if aborted {
+			mu.Unlock()
+			break
 		}
 		if err := cmd.Start(); err != nil {
-			fmt.Fprintf(os.Stderr, "mpcf-launch: rank %d start: %v\n", r, err)
-			killAll()
-			os.Exit(1)
+			mu.Unlock()
+			fmt.Fprintf(stderr, "mpcf-launch: rank %d start: %v\n", r, err)
+			fail(1)
+			break
 		}
-		procs[r] = cmd
+		procs = append(procs, cmd)
+		mu.Unlock()
 		outWG.Add(1)
-		go prefixCopy(&outWG, r, stdout)
+		go prefixCopy(&outWG, stdout, r, pipe)
 		procWG.Add(1)
 		go func(r int, cmd *exec.Cmd) {
 			defer procWG.Done()
@@ -109,34 +144,29 @@ func main() {
 			code := 0
 			if err != nil {
 				code = 1
-				if ee, ok := err.(*exec.ExitError); ok {
+				if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() > 0 {
 					code = ee.ExitCode()
 				}
 			}
-			exitCodes[r] = code
 			if code != 0 {
-				fmt.Fprintf(os.Stderr, "[rank %d] exited with code %d\n", r, code)
-				killAll() // a dead rank wedges the others; fail fast
+				fmt.Fprintf(stderr, "[rank %d] exited with code %d\n", r, code)
+				fail(code) // a dead rank wedges the others; fail fast
 			}
 		}(r, cmd)
 	}
 	procWG.Wait()
 	outWG.Wait()
-	for _, code := range exitCodes {
-		if code != 0 {
-			os.Exit(code)
-		}
-	}
+	return failCode
 }
 
 // prefixCopy copies r's output line by line with a "[rank i]" prefix, so
 // interleaved output from concurrent ranks stays attributable.
-func prefixCopy(wg *sync.WaitGroup, rank int, r io.Reader) {
+func prefixCopy(wg *sync.WaitGroup, w io.Writer, rank int, r io.Reader) {
 	defer wg.Done()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
-		fmt.Printf("[rank %d] %s\n", rank, sc.Text())
+		fmt.Fprintf(w, "[rank %d] %s\n", rank, sc.Text())
 	}
 }
 

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as a fake mpcf-sim: when MPCF_LAUNCH_HELPER is set, the
+// test binary plays the child rank the launcher forked — the rank named by
+// MPCF_HELPER_FAIL_RANK exits with MPCF_HELPER_FAIL_CODE, every other rank
+// hangs until killed (as real ranks do when a peer dies mid-rendezvous).
+func TestMain(m *testing.M) {
+	if os.Getenv("MPCF_LAUNCH_HELPER") == "" {
+		os.Exit(m.Run())
+	}
+	rank := -1
+	for i, a := range os.Args {
+		if a == "-rank" && i+1 < len(os.Args) {
+			rank, _ = strconv.Atoi(os.Args[i+1])
+		}
+	}
+	failRank, _ := strconv.Atoi(os.Getenv("MPCF_HELPER_FAIL_RANK"))
+	failCode, _ := strconv.Atoi(os.Getenv("MPCF_HELPER_FAIL_CODE"))
+	if rank == failRank {
+		os.Stdout.WriteString("helper: failing as instructed\n")
+		os.Exit(failCode)
+	}
+	// Healthy ranks wedge (blocked on the dead peer) until the launcher
+	// kills them; exiting 0 here would mask a missing cascade kill.
+	time.Sleep(60 * time.Second)
+	os.Exit(0)
+}
+
+// TestLaunchPropagatesFirstFailureAndKillsStragglers: rank 1 exits 7, ranks
+// 0 and 2 hang. The launcher must return 7 — not the stragglers' kill
+// verdict — and must return promptly, proving the cascade kill happened.
+func TestLaunchPropagatesFirstFailureAndKillsStragglers(t *testing.T) {
+	t.Setenv("MPCF_LAUNCH_HELPER", "1")
+	t.Setenv("MPCF_HELPER_FAIL_RANK", "1")
+	t.Setenv("MPCF_HELPER_FAIL_CODE", "7")
+	var out, errOut bytes.Buffer
+	start := time.Now()
+	code := run([]string{"-n", "3", "-sim", os.Args[0]}, &out, &errOut)
+	if code != 7 {
+		t.Fatalf("launcher returned %d, want the failing rank's code 7\nstderr:\n%s", code, errOut.String())
+	}
+	if el := time.Since(start); el > 30*time.Second {
+		t.Fatalf("launcher took %v: hung ranks were not killed after the first failure", el)
+	}
+	if !strings.Contains(errOut.String(), "[rank 1] exited with code 7") {
+		t.Fatalf("stderr does not attribute the failure to rank 1:\n%s", errOut.String())
+	}
+	if !strings.Contains(out.String(), "[rank 1] helper: failing as instructed") {
+		t.Fatalf("child output was not prefixed and multiplexed:\n%s", out.String())
+	}
+}
+
+// TestLaunchCoordinatorDeathKillsRemaining is the rendezvous-timeout shape:
+// rank 0 (the coordinator) dies first, the other ranks are stuck waiting.
+// The launcher must tear them down and surface rank 0's code.
+func TestLaunchCoordinatorDeathKillsRemaining(t *testing.T) {
+	t.Setenv("MPCF_LAUNCH_HELPER", "1")
+	t.Setenv("MPCF_HELPER_FAIL_RANK", "0")
+	t.Setenv("MPCF_HELPER_FAIL_CODE", "3")
+	var out, errOut bytes.Buffer
+	start := time.Now()
+	code := run([]string{"-n", "4", "-sim", os.Args[0]}, &out, &errOut)
+	if code != 3 {
+		t.Fatalf("launcher returned %d, want coordinator rank's code 3\nstderr:\n%s", code, errOut.String())
+	}
+	if el := time.Since(start); el > 30*time.Second {
+		t.Fatalf("launcher took %v: ranks waiting on the dead coordinator were not killed", el)
+	}
+}
+
+// TestLaunchRejectsRankMismatch: a -ranks triple that does not multiply to
+// -n is a usage error (2), caught before any process starts.
+func TestLaunchRejectsRankMismatch(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-n", "2", "--", "-ranks", "2,2,1"}, &out, &errOut); code != 2 {
+		t.Fatalf("rank mismatch returned %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "does not match") {
+		t.Fatalf("usage error does not explain the mismatch:\n%s", errOut.String())
+	}
+}
+
+func TestRanksProduct(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		prod int
+		ok   bool
+	}{
+		{[]string{"-ranks", "2,2,2"}, 8, true},
+		{[]string{"-ranks=4"}, 64, true},
+		{[]string{"--ranks", "3,1,1"}, 3, true},
+		{[]string{"-steps", "5"}, 0, false},
+		{[]string{"-ranks", "0,1,1"}, 0, false},
+	} {
+		prod, ok := ranksProduct(tc.args)
+		if prod != tc.prod || ok != tc.ok {
+			t.Errorf("ranksProduct(%v) = (%d, %v), want (%d, %v)", tc.args, prod, ok, tc.prod, tc.ok)
+		}
+	}
+}

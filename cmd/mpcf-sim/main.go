@@ -64,6 +64,7 @@ func main() {
 	diagEvery := flag.Int("diag-every", 10, "diagnostics cadence in steps")
 	ckptEvery := flag.Int("checkpoint-every", 0, "write a lossless checkpoint every so many steps (0: never)")
 	ckptPath := flag.String("checkpoint", "checkpoint.ckp", "checkpoint file path")
+	restorePath := flag.String("restore", "", "resume from this checkpoint file (same decomposition; the recovery path after a rank failure)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this path (open in chrome://tracing or Perfetto)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090; :0 picks a port; empty: disabled)")
 	stepLogPath := flag.String("step-log", "", "write a JSONL structured step log to this path (- for stdout)")
@@ -75,6 +76,11 @@ func main() {
 	dialTimeout := flag.Duration("net-dial-timeout", 0, "rendezvous + mesh construction budget (0: 30s)")
 	readTimeout := flag.Duration("net-read-timeout", 0, "per-frame read deadline (0: none)")
 	writeTimeout := flag.Duration("net-write-timeout", 0, "per-frame write deadline (0: none)")
+	netHeartbeat := flag.Duration("net-heartbeat", 0, "idle-link heartbeat cadence (0: 2s; negative disables)")
+	netPeerTimeout := flag.Duration("net-peer-timeout", 0, "declare a silent peer failed after this long (0: 30s)")
+	netRetransmit := flag.Duration("net-retransmit", 0, "force a reconnect when acks stall this long (0: 3s; negative disables)")
+	netMaxReconnect := flag.Int("net-max-reconnect", 0, "reconnect attempts per failure episode (0: 8; negative disables reconnect)")
+	netChaos := flag.String("net-chaos", "", "inject seeded wire faults, e.g. drop=0.01,reset=0.001,seed=7 (fault drill; physics must stay bitwise identical)")
 	sumsPath := flag.String("sums", "", "write final conserved-field checksums (hex float64 bits) to this file on rank 0")
 	flag.Parse()
 
@@ -119,6 +125,7 @@ func main() {
 	cfg := cubism.Config{
 		CheckpointEvery: *ckptEvery,
 		CheckpointPath:  *ckptPath,
+		RestorePath:     *restorePath,
 		Ranks:           parseTriple(*ranks, [3]int{1, 1, 1}),
 		Blocks:          parseTriple(*blocks, [3]int{4, 4, 4}),
 		BlockSize:       *n,
@@ -141,13 +148,18 @@ func main() {
 			log.Fatal("-transport tcp requires -coord host:port")
 		}
 		cfg.Net = &cubism.NetConfig{
-			Transport:    "tcp",
-			Rank:         *rank,
-			Coord:        *coord,
-			Listen:       *listen,
-			DialTimeout:  *dialTimeout,
-			ReadTimeout:  *readTimeout,
-			WriteTimeout: *writeTimeout,
+			Transport:         "tcp",
+			Rank:              *rank,
+			Coord:             *coord,
+			Listen:            *listen,
+			DialTimeout:       *dialTimeout,
+			ReadTimeout:       *readTimeout,
+			WriteTimeout:      *writeTimeout,
+			HeartbeatInterval: *netHeartbeat,
+			PeerTimeout:       *netPeerTimeout,
+			RetransmitTimeout: *netRetransmit,
+			MaxReconnect:      *netMaxReconnect,
+			Chaos:             *netChaos,
 		}
 	default:
 		log.Fatalf("unknown transport %q (want inproc or tcp)", *transportName)

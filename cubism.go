@@ -48,6 +48,8 @@ import (
 	"cubism/internal/physics"
 	"cubism/internal/sim"
 	"cubism/internal/telemetry"
+	"cubism/internal/transport"
+	"cubism/internal/transport/faulty"
 )
 
 // State is a primitive flow state: density, velocity, pressure and the two
@@ -170,6 +172,12 @@ type Config struct {
 	// steps (0: never) into CheckpointPath.
 	CheckpointEvery int
 	CheckpointPath  string
+	// RestorePath resumes the run from a checkpoint written by a previous
+	// run with the same decomposition: grid state, step counter and
+	// simulated time are restored before the first step. This is the
+	// recovery path after a rank failure (mpcf-sim -restore; see
+	// docs/networking.md).
+	RestorePath string
 	// Wall marks a face as the solid wall for wall-pressure diagnostics.
 	Wall    Face
 	HasWall bool
@@ -212,6 +220,22 @@ type NetConfig struct {
 	CloseTimeout time.Duration
 	// SendQueue is the per-peer outgoing frame queue depth (0: 256).
 	SendQueue int
+
+	// Robustness knobs (zero: transport defaults; docs/networking.md):
+	// heartbeat cadence on idle links, the failure-detection horizon for an
+	// unreachable peer, the ack-stall bound that forces a reconnect, and the
+	// per-episode reconnect attempt cap.
+	HeartbeatInterval time.Duration
+	PeerTimeout       time.Duration
+	RetransmitTimeout time.Duration
+	MaxReconnect      int
+
+	// Chaos, when non-empty, injects seeded wire faults on outgoing data
+	// frames for fault-drill runs — a spec like
+	// "drop=0.01,reset=0.001,seed=7" (internal/transport/faulty.Parse).
+	// The reliability layer must mask every injected fault: physics results
+	// stay bitwise identical to a clean run.
+	Chaos string
 }
 
 // Telemetry bundles the observability sinks threaded through the solver
@@ -261,18 +285,31 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		if n.Transport != "tcp" {
 			return Summary{}, fmt.Errorf("cubism: unknown transport %q (want inproc or tcp)", n.Transport)
 		}
+		var fault transport.FaultInjector
+		if n.Chaos != "" {
+			plan, err := faulty.Parse(n.Chaos)
+			if err != nil {
+				return Summary{}, fmt.Errorf("cubism: chaos spec: %w", err)
+			}
+			fault = faulty.New(plan)
+		}
 		w, err := mpi.ConnectTCP(mpi.TCPConfig{
-			Rank:         n.Rank,
-			Size:         ranks[0] * ranks[1] * ranks[2],
-			Coord:        n.Coord,
-			Listen:       n.Listen,
-			DialTimeout:  n.DialTimeout,
-			ReadTimeout:  n.ReadTimeout,
-			WriteTimeout: n.WriteTimeout,
-			CloseTimeout: n.CloseTimeout,
-			SendQueue:    n.SendQueue,
-			Registry:     cfg.Telemetry.GetMetrics(),
-			Tracer:       cfg.Telemetry.GetTracer(),
+			Rank:              n.Rank,
+			Size:              ranks[0] * ranks[1] * ranks[2],
+			Coord:             n.Coord,
+			Listen:            n.Listen,
+			DialTimeout:       n.DialTimeout,
+			ReadTimeout:       n.ReadTimeout,
+			WriteTimeout:      n.WriteTimeout,
+			CloseTimeout:      n.CloseTimeout,
+			SendQueue:         n.SendQueue,
+			HeartbeatInterval: n.HeartbeatInterval,
+			PeerTimeout:       n.PeerTimeout,
+			RetransmitTimeout: n.RetransmitTimeout,
+			MaxReconnect:      n.MaxReconnect,
+			Fault:             fault,
+			Registry:          cfg.Telemetry.GetMetrics(),
+			Tracer:            cfg.Telemetry.GetTracer(),
 		})
 		if err != nil {
 			return Summary{}, err
@@ -316,6 +353,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		DiagEvery:       cfg.DiagEvery,
 		CheckpointEvery: cfg.CheckpointEvery,
 		CheckpointPath:  cfg.CheckpointPath,
+		RestorePath:     cfg.RestorePath,
 		Wall:            cfg.Wall,
 		HasWall:         cfg.HasWall,
 		Telemetry:       cfg.Telemetry,

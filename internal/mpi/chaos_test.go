@@ -1,0 +1,96 @@
+package mpi
+
+import (
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chaosTCPWorlds is tcpWorlds with fast failure detection and an error
+// capture channel instead of t.Errorf (these tests WANT wire failures).
+func chaosTCPWorlds(t *testing.T, size int, errCh chan error) []*World {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := ln.Addr().String()
+	worlds := make([]*World, size)
+	errs := make([]error, size)
+	var wg sync.WaitGroup
+	for r := 0; r < size; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg := TCPConfig{
+				Rank: rank, Size: size, Coord: coord,
+				HeartbeatInterval: 50 * time.Millisecond,
+				PeerTimeout:       time.Second,
+				MaxReconnect:      2,
+				OnError: func(err error) {
+					select {
+					case errCh <- err:
+					default:
+					}
+				},
+			}
+			if rank == 0 {
+				cfg.CoordListener = ln
+			}
+			worlds[rank], errs[rank] = ConnectTCP(cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d connect: %v", r, err)
+		}
+	}
+	return worlds
+}
+
+// TestRecvPanicsWhenPeerDies is the rank-failure escalation contract at the
+// mpi layer: when a peer crashes (no FIN, listener gone), a receive blocked
+// on it must not hang forever — the wire failure poisons the local mailbox
+// and the Recv panics with the failure, after OnError has fired.
+func TestRecvPanicsWhenPeerDies(t *testing.T) {
+	errCh := make(chan error, 4)
+	worlds := chaosTCPWorlds(t, 2, errCh)
+
+	recvDone := make(chan interface{}, 1)
+	go func() {
+		// The recover wraps Run itself: the poisoned-mailbox panic from the
+		// blocked Recv must propagate out (Run's closing barrier would
+		// deadlock against a dead peer anyway).
+		defer func() { recvDone <- recover() }()
+		worlds[0].Run(func(c *Comm) {
+			c.Recv(1, TagStream(9)) // blocks: rank 1 never sends, then dies
+		})
+	}()
+	// Give the receive time to block, then crash rank 1 without a FIN.
+	time.Sleep(100 * time.Millisecond)
+	worlds[1].eps[1].(interface{ Abort() }).Abort()
+
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("OnError delivered nil")
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("peer crash never surfaced through OnError")
+	}
+	select {
+	case v := <-recvDone:
+		if v == nil {
+			t.Fatal("blocked Recv returned normally from a dead peer")
+		}
+		if msg, ok := v.(string); !ok || !strings.Contains(msg, "aborted") {
+			t.Fatalf("Recv panic %v does not carry the wire failure", v)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("blocked Recv still hanging after the peer was declared dead")
+	}
+	_ = worlds[0].eps[0].Close()
+}

@@ -33,6 +33,7 @@ type mailbox struct {
 	mu      sync.Mutex
 	cond    *sync.Cond
 	pending []message
+	err     error // poisoned: the wire failed, blocked takes must not hang
 }
 
 func newMailbox() *mailbox {
@@ -49,8 +50,22 @@ func (m *mailbox) deliver(src, tag int, payload []byte) {
 	m.cond.Broadcast()
 }
 
+// poison marks the mailbox dead: every blocked and future take panics with
+// the wire failure instead of waiting forever for a message that cannot
+// arrive. Escalation (checkpoint-restart guidance, process exit) happens in
+// the World.OnError path; poisoning just guarantees no rank hangs.
+func (m *mailbox) poison(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
 // take blocks until a message matching (src, tag) is available and removes
 // it. src == AnySource matches any sender. Matching is FIFO per (src, tag).
+// take panics if the mailbox is poisoned by an unrecoverable wire failure.
 func (m *mailbox) take(src, tag int) message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -60,6 +75,9 @@ func (m *mailbox) take(src, tag int) message {
 				m.pending = append(m.pending[:i], m.pending[i+1:]...)
 				return msg
 			}
+		}
+		if m.err != nil {
+			panic(fmt.Sprintf("mpi: receive (src=%d tag=%#x) aborted: %v", src, tag, m.err))
 		}
 		m.cond.Wait()
 	}

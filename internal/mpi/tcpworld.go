@@ -27,6 +27,22 @@ type TCPConfig struct {
 	MaxFrame  int
 	SendQueue int
 
+	// Robustness knobs, forwarded to the transport (zero = transport
+	// defaults; see transport.TCPOptions and docs/networking.md):
+	// heartbeat cadence on idle links, the failure-detection horizon for a
+	// silent or unreachable peer, the ack-stall bound that triggers a
+	// reconnect, the per-episode reconnect attempt cap, and the resend
+	// window depth.
+	HeartbeatInterval time.Duration
+	PeerTimeout       time.Duration
+	RetransmitTimeout time.Duration
+	MaxReconnect      int
+	ResendQueue       int
+
+	// Fault, when non-nil, injects wire faults on outgoing data frames
+	// (chaos testing; see transport.FaultInjector and internal/transport/faulty).
+	Fault transport.FaultInjector
+
 	Registry *telemetry.Registry
 	Tracer   *telemetry.Tracer
 
@@ -34,10 +50,14 @@ type TCPConfig struct {
 	// listener (lets a launcher pick a free port without a bind race).
 	CoordListener net.Listener
 
-	// OnError observes asynchronous wire failures. When nil, a failure
-	// crashes the process: a rank whose peer link broke cannot make
-	// progress (pending receives would hang forever), and MPI's own
-	// convention is to abort the job.
+	// OnError observes unrecoverable wire failures — a peer that stayed
+	// unreachable past PeerTimeout despite reconnect attempts (transient
+	// faults are recovered inside the transport and never surface here).
+	// Whether or not it is set, the local mailbox is poisoned first, so
+	// blocked receives panic with the failure instead of hanging forever.
+	// When nil, the failure then crashes the process with exit code 3 and
+	// checkpoint-restart guidance: a rank whose peer is gone cannot make
+	// progress, and MPI's own convention is to abort the job.
 	OnError func(error)
 }
 
@@ -55,30 +75,44 @@ func ConnectTCP(cfg TCPConfig) (*World, error) {
 		boxes: make([]*mailbox, cfg.Size),
 		eps:   make([]transport.Endpoint, cfg.Size),
 	}
-	w.boxes[cfg.Rank] = newMailbox()
-	onErr := cfg.OnError
-	if onErr == nil {
-		onErr = func(err error) {
-			fmt.Fprintf(os.Stderr, "mpi: fatal wire failure: %v\n", err)
-			os.Exit(3)
+	box := newMailbox()
+	w.boxes[cfg.Rank] = box
+	userErr := cfg.OnError
+	onErr := func(err error) {
+		// Poison first: any receive blocked on the dead peer panics with
+		// the failure instead of hanging, whatever the handler does next.
+		box.poison(err)
+		if userErr != nil {
+			userErr(err)
+			return
 		}
+		fmt.Fprintf(os.Stderr,
+			"mpi: fatal wire failure: %v\nmpi: rank %d aborting; restart the job from the last checkpoint (mpcf-sim -restore <checkpoint.bin>)\n",
+			err, cfg.Rank)
+		os.Exit(3)
 	}
 	ep, err := transport.DialTCP(transport.TCPOptions{
-		Rank:          cfg.Rank,
-		Size:          cfg.Size,
-		Coord:         cfg.Coord,
-		Listen:        cfg.Listen,
-		DialTimeout:   cfg.DialTimeout,
-		ReadTimeout:   cfg.ReadTimeout,
-		WriteTimeout:  cfg.WriteTimeout,
-		CloseTimeout:  cfg.CloseTimeout,
-		MaxFrame:      cfg.MaxFrame,
-		SendQueue:     cfg.SendQueue,
-		Registry:      cfg.Registry,
-		Tracer:        cfg.Tracer,
-		CoordListener: cfg.CoordListener,
-		OnError:       onErr,
-	}, w.boxes[cfg.Rank].deliver)
+		Rank:              cfg.Rank,
+		Size:              cfg.Size,
+		Coord:             cfg.Coord,
+		Listen:            cfg.Listen,
+		DialTimeout:       cfg.DialTimeout,
+		ReadTimeout:       cfg.ReadTimeout,
+		WriteTimeout:      cfg.WriteTimeout,
+		CloseTimeout:      cfg.CloseTimeout,
+		MaxFrame:          cfg.MaxFrame,
+		SendQueue:         cfg.SendQueue,
+		HeartbeatInterval: cfg.HeartbeatInterval,
+		PeerTimeout:       cfg.PeerTimeout,
+		RetransmitTimeout: cfg.RetransmitTimeout,
+		MaxReconnect:      cfg.MaxReconnect,
+		ResendQueue:       cfg.ResendQueue,
+		Fault:             cfg.Fault,
+		Registry:          cfg.Registry,
+		Tracer:            cfg.Tracer,
+		CoordListener:     cfg.CoordListener,
+		OnError:           onErr,
+	}, box.deliver)
 	if err != nil {
 		return nil, err
 	}

@@ -44,6 +44,13 @@ type Config struct {
 	// steps (0: never) to CheckpointPath.
 	CheckpointEvery int
 	CheckpointPath  string
+	// RestorePath, when non-empty, resumes the run from a checkpoint before
+	// the first step: the grid state, step counter and simulated time are
+	// replaced by the checkpoint contents (the decomposition must match the
+	// one the checkpoint was written with). This is the recovery path after
+	// a rank failure: relaunch the job with RestorePath pointing at the last
+	// checkpoint (mpcf-sim -restore; see docs/networking.md).
+	RestorePath string
 	// Wall marks a reflecting wall face for wall-pressure diagnostics.
 	Wall    grid.Face
 	HasWall bool
@@ -180,7 +187,14 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 	world.Run(func(comm *mpi.Comm) {
 		r := cluster.NewRank(comm, cfg.Cluster)
 		defer r.Close()
+		if cfg.RestorePath != "" {
+			if err := r.RestoreCheckpoint(cfg.RestorePath); err != nil {
+				runErr = fmt.Errorf("sim: restore %s: %w", cfg.RestorePath, err)
+				return
+			}
+		}
 		root := comm.Rank() == 0
+		startStep := r.Step // non-zero after a checkpoint restore
 		prevKernel := map[string]time.Duration{}
 		if root {
 			cellsGauge.Set(float64(int64(r.G.Cells()) * int64(nRanks)))
@@ -264,7 +278,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 					}
 					if el := time.Since(start).Seconds(); el > 0 {
 						pointsRateG.Set(float64(r.G.Cells()) * float64(nRanks) *
-							float64(r.Step) / el)
+							float64(r.Step-startStep) / el)
 					}
 					ps := r.Engine.PoolStats()
 					poolWorkersG.Set(float64(ps.Spawned))
@@ -329,8 +343,10 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 				Kernels:     map[string]perf.Stats{},
 				Report:      r.Mon.Report(),
 			}
-			if wall > 0 && r.Step > 0 {
-				summary.PointsPerSec = float64(cells) * float64(r.Step) / wall.Seconds()
+			if wall > 0 && r.Step > startStep {
+				// Rate over the steps this run actually executed (a restored
+				// run inherits the checkpoint's step counter).
+				summary.PointsPerSec = float64(cells) * float64(r.Step-startStep) / wall.Seconds()
 			}
 			for _, k := range []string{"RHS", "UP", "RHSUP", "DT", "IO_WAVELET"} {
 				summary.KernelShare[k] = r.Mon.Share(k)

@@ -1,0 +1,316 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// chaosTCPOptions are aggressive-recovery settings for fault tests: tight
+// retransmit/peer deadlines so recovery (or detection) happens in test time.
+func chaosTCPOptions(rank, size int, coord string) TCPOptions {
+	return TCPOptions{
+		Rank: rank, Size: size, Coord: coord,
+		DialTimeout:       10 * time.Second,
+		HeartbeatInterval: 50 * time.Millisecond,
+		PeerTimeout:       8 * time.Second,
+		RetransmitTimeout: 150 * time.Millisecond,
+	}
+}
+
+// makeTCPWith builds a loopback mesh with per-rank option customization.
+func makeTCPWith(t *testing.T, size int, custom func(rank int, o *TCPOptions)) *mesh {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &mesh{eps: make([]Endpoint, size), cols: make([]*collector, size)}
+	coord := ln.Addr().String()
+	var wg sync.WaitGroup
+	errs := make([]error, size)
+	for r := 0; r < size; r++ {
+		col := newCollector()
+		m.cols[r] = col
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			opts := chaosTCPOptions(rank, size, coord)
+			if rank == 0 {
+				opts.CoordListener = ln
+			}
+			if custom != nil {
+				custom(rank, &opts)
+			}
+			m.eps[rank], errs[rank] = DialTCP(opts, col.handle)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+	}
+	return m
+}
+
+// resetEveryN injects a connection reset on every nth data frame, capped.
+type resetEveryN struct {
+	n   int
+	max int32
+	cnt atomic.Int32
+	hit atomic.Int32
+}
+
+func (f *resetEveryN) Outgoing(dst, tag, size int) FaultDecision {
+	if f.cnt.Add(1)%int32(f.n) == 0 && f.hit.Load() < f.max {
+		f.hit.Add(1)
+		return FaultDecision{Action: FaultReset}
+	}
+	return FaultDecision{}
+}
+
+// TestTCPReconnectAfterReset proves an injected mid-stream connection reset
+// is invisible above the transport: every frame sent across repeated resets
+// arrives exactly once, in order.
+func TestTCPReconnectAfterReset(t *testing.T) {
+	inj := &resetEveryN{n: 40, max: 8}
+	m := makeTCPWith(t, 2, func(rank int, o *TCPOptions) {
+		if rank == 0 {
+			o.Fault = inj
+		}
+		o.OnError = func(err error) { t.Errorf("rank %d wire: %v", rank, err) }
+	})
+	const n = 400
+	for i := 0; i < n; i++ {
+		if err := m.eps[0].Send(1, 5, []byte{byte(i), byte(i >> 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.cols[1].waitN(t, n)
+	for i, f := range m.cols[1].frames {
+		if got := int(f.payload[0]) | int(f.payload[1])<<8; got != i {
+			t.Fatalf("frame %d carried sequence %d after resets", i, got)
+		}
+	}
+	if inj.hit.Load() == 0 {
+		t.Fatal("no resets were injected; the test exercised nothing")
+	}
+	m.close(t)
+}
+
+// dropEveryN drops every nth data frame, capped.
+type dropEveryN struct {
+	n   int
+	max int32
+	cnt atomic.Int32
+	hit atomic.Int32
+}
+
+func (f *dropEveryN) Outgoing(dst, tag, size int) FaultDecision {
+	if f.cnt.Add(1)%int32(f.n) == 0 && f.hit.Load() < f.max {
+		f.hit.Add(1)
+		return FaultDecision{Action: FaultDrop}
+	}
+	return FaultDecision{}
+}
+
+// TestTCPTailDropRecoveredByStall drops the final frame of a burst — no
+// later traffic creates a sequence gap, so only the sender-side ack-stall
+// check can notice. Recovery must still deliver it.
+func TestTCPTailDropRecoveredByStall(t *testing.T) {
+	inj := &dropEveryN{n: 10, max: 1} // drops exactly frame #10 of 10
+	m := makeTCPWith(t, 2, func(rank int, o *TCPOptions) {
+		if rank == 0 {
+			o.Fault = inj
+		}
+		o.OnError = func(err error) { t.Errorf("rank %d wire: %v", rank, err) }
+	})
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := m.eps[0].Send(1, 3, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.cols[1].waitN(t, n)
+	if inj.hit.Load() != 1 {
+		t.Fatalf("expected exactly one drop, injected %d", inj.hit.Load())
+	}
+	for i, f := range m.cols[1].frames {
+		if int(f.payload[0]) != i {
+			t.Fatalf("frame %d carried %d after tail-drop recovery", i, f.payload[0])
+		}
+	}
+	m.close(t)
+}
+
+// TestTCPPeerAbortEscalates kills one rank without FIN (a crash) and
+// requires the survivor to detect the failure and surface it through
+// OnError — once — instead of hanging.
+func TestTCPPeerAbortEscalates(t *testing.T) {
+	for _, victim := range []int{0, 1} {
+		name := map[int]string{0: "AcceptSideSurvivor", 1: "DialSideSurvivor"}[1-victim]
+		t.Run(name, func(t *testing.T) {
+			errCh := make(chan error, 4)
+			var reported atomic.Int32
+			m := makeTCPWith(t, 2, func(rank int, o *TCPOptions) {
+				o.PeerTimeout = 1 * time.Second
+				o.MaxReconnect = 2
+				if rank != victim {
+					o.OnError = func(err error) {
+						reported.Add(1)
+						errCh <- err
+					}
+				} else {
+					o.OnError = func(error) {} // the crashing rank reports nothing useful
+				}
+			})
+			m.eps[victim].(interface{ Abort() }).Abort()
+			// Keep the survivor's link active so the failure is noticed.
+			survivor := 1 - victim
+			_ = m.eps[survivor].Send(victim, 1, []byte{1})
+			select {
+			case err := <-errCh:
+				if err == nil {
+					t.Fatal("OnError delivered nil")
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("peer crash was never escalated through OnError")
+			}
+			time.Sleep(100 * time.Millisecond)
+			if n := reported.Load(); n != 1 {
+				t.Fatalf("OnError fired %d times, want exactly 1", n)
+			}
+			// Sends to the dead peer now fail fast instead of blocking.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				if err := m.eps[survivor].Send(victim, 1, []byte{2}); err != nil {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("send to a declared-dead peer kept succeeding")
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+			if err := m.eps[survivor].Close(); err == nil {
+				t.Log("survivor close succeeded (peer already drained)")
+			}
+		})
+	}
+}
+
+// TestFrameEveryBitFlipDetected flips every bit of an encoded frame, one at
+// a time, and requires readFrame to reject each mutation. This is the
+// integrity guarantee the chaos suite leans on: no single-bit corruption —
+// header or payload — can be delivered as data. If checksumming were
+// removed, payload mutations would decode cleanly and this test fails.
+func TestFrameEveryBitFlipDetected(t *testing.T) {
+	payload := []byte("conserved quantities must not drift")
+	var hdr [frameHeader]byte
+	putFrameHeader(&hdr, uint32(len(payload)), 3, 0x20001, 9, payload)
+	frame := append(append([]byte{}, hdr[:]...), payload...)
+	// The pristine frame decodes.
+	if _, _, _, _, err := readFrame(bytes.NewReader(frame), DefaultMaxFrame); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+	for bit := 0; bit < len(frame)*8; bit++ {
+		mut := append([]byte{}, frame...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		if _, _, _, _, err := readFrame(bytes.NewReader(mut), DefaultMaxFrame); err == nil {
+			t.Fatalf("bit flip at offset %d (byte %d) decoded as a valid frame", bit, bit/8)
+		}
+	}
+}
+
+// TestCoordinatorTimeout: a rendezvous where not all ranks show up must
+// fail within the budget, naming the shortfall.
+func TestCoordinatorTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coordErr := make(chan error, 1)
+	go func() { coordErr <- runCoordinator(ln, 3, 500*time.Millisecond) }()
+	go func() {
+		_, _ = register(ln.Addr().String(), 0, "a:1", 2*time.Second)
+	}()
+	select {
+	case err := <-coordErr:
+		if err == nil {
+			t.Fatal("coordinator succeeded with 1 of 3 registrations")
+		}
+		if !strings.Contains(err.Error(), "1/3") {
+			t.Fatalf("timeout error does not name the registration shortfall: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("coordinator did not time out")
+	}
+}
+
+// TestTCPDoubleClose: Close is idempotent and the second call returns the
+// first call's verdict.
+func TestTCPDoubleClose(t *testing.T) {
+	m := makeTCP(t, 2)
+	if err := m.eps[0].Send(1, 1, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	m.cols[1].waitN(t, 1)
+	m.close(t)
+	for r, ep := range m.eps {
+		if err := ep.Close(); err != nil {
+			t.Fatalf("rank %d second close: %v", r, err)
+		}
+	}
+}
+
+// TestInprocSendAfterClose: the inproc endpoint honors the Endpoint
+// contract's ErrClosed, same as tcp.
+func TestInprocSendAfterClose(t *testing.T) {
+	m := makeInproc(t, 2)
+	if err := m.eps[0].Send(1, 1, []byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.eps[0].Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.eps[0].Send(1, 1, []byte{2}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("send after close returned %v, want ErrClosed", err)
+	}
+	// The other endpoint is unaffected.
+	if err := m.eps[1].Send(0, 1, []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTCPSendToFailedPeerErrors: once a peer is declared lost, sends to it
+// fail fast with a peer-failure error (not ErrClosed — the endpoint itself
+// is still alive for its other peers).
+func TestTCPSendToFailedPeerErrors(t *testing.T) {
+	m := makeTCPWith(t, 2, func(rank int, o *TCPOptions) {
+		o.PeerTimeout = 500 * time.Millisecond
+		o.MaxReconnect = 1
+		o.OnError = func(error) {}
+	})
+	m.eps[1].(interface{ Abort() }).Abort()
+	_ = m.eps[0].Send(1, 1, []byte{1}) // wake the link so failure is detected
+	deadline := time.Now().Add(8 * time.Second)
+	for {
+		err := m.eps[0].Send(1, 1, []byte{1})
+		if err != nil {
+			if errors.Is(err, ErrClosed) {
+				t.Fatalf("send to failed peer returned ErrClosed, want a peer-failure error")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sends to a dead peer never started failing")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	_ = m.eps[0].Close()
+}

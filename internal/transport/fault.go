@@ -1,0 +1,52 @@
+package transport
+
+import "time"
+
+// FaultAction is what a FaultInjector tells the tcp write path to do with
+// one outgoing data frame. Faults act strictly below the reliability layer
+// (the frame is already registered in the resend queue when the decision is
+// consulted), so every action must be recovered transparently by the
+// sequence/ack/reconnect machinery — that recovery is exactly what the
+// chaos suite proves.
+type FaultAction uint8
+
+const (
+	// FaultPass writes the frame normally.
+	FaultPass FaultAction = iota
+	// FaultDrop skips the write; the receiver sees a sequence gap (or the
+	// sender an ack stall) and recovery replays the frame.
+	FaultDrop
+	// FaultDup writes the frame twice; the receiver's dedup drops the copy.
+	FaultDup
+	// FaultReorder holds the frame back and emits it after the next data
+	// frame, producing an out-of-order arrival.
+	FaultReorder
+	// FaultFlip writes the frame with one payload bit inverted (header CRC
+	// already computed over the pristine payload), forcing a checksum
+	// failure at the receiver. Empty payloads pass through unharmed.
+	FaultFlip
+	// FaultReset writes the frame, then hard-closes the connection with
+	// SO_LINGER 0 so the peer sees a mid-stream RST.
+	FaultReset
+	// FaultDelay sleeps for Decision.Delay before writing.
+	FaultDelay
+)
+
+// FaultDecision is one injector verdict for one outgoing data frame.
+type FaultDecision struct {
+	Action FaultAction
+	// Delay applies to FaultDelay.
+	Delay time.Duration
+	// FlipBit is the payload bit index to invert for FaultFlip (taken
+	// modulo the payload bit length).
+	FlipBit uint64
+}
+
+// FaultInjector decides, per outgoing data frame, whether and how to
+// corrupt the wire. Implementations must be safe for concurrent use (one
+// writer goroutine per peer consults it) and deterministic for a fixed
+// seed, so chaos runs are reproducible. internal/transport/faulty provides
+// the seeded implementation; production runs leave it nil.
+type FaultInjector interface {
+	Outgoing(dst, tag, size int) FaultDecision
+}

@@ -1,0 +1,226 @@
+// Package faulty is the deterministic fault injector behind the transport
+// chaos suite: it wraps the tcp endpoint's write path (via
+// transport.TCPOptions.Fault) and injects frame drops, delays,
+// duplications, reorders, payload bit-flips and mid-stream connection
+// resets according to a seeded plan. Every draw comes from a per-peer
+// deterministic stream, so a failing chaos run is replayed exactly by its
+// seed. Faults act below the reliability layer; a correct transport makes
+// every one of them invisible to the mpi layer, which is precisely what the
+// conformance-under-chaos tests assert.
+package faulty
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"cubism/internal/transport"
+)
+
+// Plan is the per-frame fault distribution. Each rate is a probability in
+// [0,1] evaluated per outgoing data frame, checked in the order Drop, Dup,
+// Reorder, Flip, Reset, Delay (at most one fault fires per frame).
+type Plan struct {
+	// Seed fixes the decision streams; runs with equal seeds and equal
+	// traffic draw identical fault sequences.
+	Seed int64
+
+	Drop    float64 // skip the write entirely
+	Dup     float64 // write the frame twice
+	Reorder float64 // hold the frame, emit it after the next one
+	Flip    float64 // invert one payload bit (CRC must catch it)
+	Reset   float64 // RST the connection mid-stream
+	Delay   float64 // sleep before the write
+
+	// DelayMax bounds an injected delay (default 2ms); the drawn delay is
+	// uniform in (0, DelayMax].
+	DelayMax time.Duration
+
+	// Max, when positive, caps the number of injected faults per class per
+	// peer stream — e.g. Flip=1 with Max=4 corrupts exactly the first four
+	// data frames and then goes quiet, which lets a test force faults onto
+	// early traffic while still guaranteeing overall progress.
+	Max int
+}
+
+// Parse builds a Plan from a comma-separated spec such as
+// "drop=0.01,dup=0.005,reorder=0.01,flip=0.001,reset=0.002,delay=0.01,
+// delaymax=5ms,max=100,seed=7" (the mpcf-sim -net-chaos flag format).
+func Parse(spec string) (Plan, error) {
+	var p Plan
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(field, "=")
+		if !ok {
+			return Plan{}, fmt.Errorf("faulty: bad field %q (want key=value)", field)
+		}
+		key = strings.ToLower(strings.TrimSpace(key))
+		val = strings.TrimSpace(val)
+		switch key {
+		case "seed":
+			v, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faulty: bad seed %q: %v", val, err)
+			}
+			p.Seed = v
+		case "max":
+			v, err := strconv.Atoi(val)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faulty: bad max %q: %v", val, err)
+			}
+			p.Max = v
+		case "delaymax":
+			d, err := time.ParseDuration(val)
+			if err != nil {
+				return Plan{}, fmt.Errorf("faulty: bad delaymax %q: %v", val, err)
+			}
+			p.DelayMax = d
+		default:
+			rate, err := strconv.ParseFloat(val, 64)
+			if err != nil || rate < 0 || rate > 1 {
+				return Plan{}, fmt.Errorf("faulty: bad rate %s=%q (want 0..1)", key, val)
+			}
+			switch key {
+			case "drop":
+				p.Drop = rate
+			case "dup":
+				p.Dup = rate
+			case "reorder":
+				p.Reorder = rate
+			case "flip":
+				p.Flip = rate
+			case "reset":
+				p.Reset = rate
+			case "delay":
+				p.Delay = rate
+			default:
+				return Plan{}, fmt.Errorf("faulty: unknown fault class %q", key)
+			}
+		}
+	}
+	return p, nil
+}
+
+// String renders the plan in Parse's format (only non-zero fields).
+func (p Plan) String() string {
+	var parts []string
+	for _, f := range []struct {
+		k string
+		v float64
+	}{{"drop", p.Drop}, {"dup", p.Dup}, {"reorder", p.Reorder},
+		{"flip", p.Flip}, {"reset", p.Reset}, {"delay", p.Delay}} {
+		if f.v > 0 {
+			parts = append(parts, fmt.Sprintf("%s=%g", f.k, f.v))
+		}
+	}
+	sort.Strings(parts)
+	if p.DelayMax > 0 {
+		parts = append(parts, "delaymax="+p.DelayMax.String())
+	}
+	if p.Max > 0 {
+		parts = append(parts, "max="+strconv.Itoa(p.Max))
+	}
+	parts = append(parts, "seed="+strconv.FormatInt(p.Seed, 10))
+	return strings.Join(parts, ",")
+}
+
+// Active reports whether the plan injects anything at all.
+func (p Plan) Active() bool {
+	return p.Drop > 0 || p.Dup > 0 || p.Reorder > 0 || p.Flip > 0 || p.Reset > 0 || p.Delay > 0
+}
+
+// Injector implements transport.FaultInjector from a Plan. One Injector
+// belongs to one endpoint; each destination rank gets its own seeded
+// decision stream, so the fault sequence on the stream to peer r does not
+// depend on traffic to other peers.
+type Injector struct {
+	plan Plan
+
+	mu    sync.Mutex
+	peers map[int]*peerStream
+}
+
+type peerStream struct {
+	rng    *rand.Rand
+	counts [6]int // injected so far, per class
+}
+
+// New builds an injector from the plan.
+func New(plan Plan) *Injector {
+	if plan.DelayMax <= 0 {
+		plan.DelayMax = 2 * time.Millisecond
+	}
+	return &Injector{plan: plan, peers: make(map[int]*peerStream)}
+}
+
+// classes indexes peerStream.counts; the order fixes fault precedence.
+const (
+	classDrop = iota
+	classDup
+	classReorder
+	classFlip
+	classReset
+	classDelay
+)
+
+// Outgoing draws the fault decision for one data frame headed to dst. The
+// action/delay/flip-bit semantics are documented on transport.FaultDecision;
+// the tcp endpoint consults this through the transport.FaultInjector
+// interface.
+func (in *Injector) Outgoing(dst, tag, size int) transport.FaultDecision {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	ps := in.peers[dst]
+	if ps == nil {
+		// Mix the destination into the seed so each peer stream is
+		// distinct but individually reproducible.
+		ps = &peerStream{rng: rand.New(rand.NewSource(in.plan.Seed*1000003 + int64(dst)))}
+		in.peers[dst] = ps
+	}
+	p := in.plan
+	allow := func(class int) bool {
+		if p.Max > 0 && ps.counts[class] >= p.Max {
+			return false
+		}
+		ps.counts[class]++
+		return true
+	}
+	// One uniform draw decides among the classes by stacked thresholds, so
+	// at most one fault fires per frame and the per-class rates hold.
+	u := ps.rng.Float64()
+	switch {
+	case u < p.Drop:
+		if allow(classDrop) {
+			return transport.FaultDecision{Action: transport.FaultDrop}
+		}
+	case u < p.Drop+p.Dup:
+		if allow(classDup) {
+			return transport.FaultDecision{Action: transport.FaultDup}
+		}
+	case u < p.Drop+p.Dup+p.Reorder:
+		if allow(classReorder) {
+			return transport.FaultDecision{Action: transport.FaultReorder}
+		}
+	case u < p.Drop+p.Dup+p.Reorder+p.Flip:
+		if size > 0 && allow(classFlip) {
+			return transport.FaultDecision{Action: transport.FaultFlip, FlipBit: uint64(ps.rng.Int63())}
+		}
+	case u < p.Drop+p.Dup+p.Reorder+p.Flip+p.Reset:
+		if allow(classReset) {
+			return transport.FaultDecision{Action: transport.FaultReset}
+		}
+	case u < p.Drop+p.Dup+p.Reorder+p.Flip+p.Reset+p.Delay:
+		if allow(classDelay) {
+			d := time.Duration(ps.rng.Int63n(int64(p.DelayMax))) + 1
+			return transport.FaultDecision{Action: transport.FaultDelay, Delay: d}
+		}
+	}
+	return transport.FaultDecision{}
+}

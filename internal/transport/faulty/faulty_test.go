@@ -1,0 +1,118 @@
+package faulty
+
+import (
+	"testing"
+	"time"
+
+	"cubism/internal/transport"
+)
+
+func TestParseFields(t *testing.T) {
+	p, err := Parse("drop=0.01,dup=0.005,reorder=0.02,flip=0.001,reset=0.002,delay=0.1,delaymax=5ms,max=100,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Plan{Seed: 7, Drop: 0.01, Dup: 0.005, Reorder: 0.02, Flip: 0.001,
+		Reset: 0.002, Delay: 0.1, DelayMax: 5 * time.Millisecond, Max: 100}
+	if p != want {
+		t.Fatalf("parsed %+v, want %+v", p, want)
+	}
+	if !p.Active() {
+		t.Fatal("plan with rates reported inactive")
+	}
+	if (Plan{Seed: 3}).Active() {
+		t.Fatal("empty plan reported active")
+	}
+}
+
+func TestParseStringRoundTrip(t *testing.T) {
+	p := Plan{Seed: 42, Drop: 0.03, Reset: 0.001, DelayMax: 2 * time.Millisecond, Max: 16}
+	back, err := Parse(p.String())
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", p.String(), err)
+	}
+	if back != p {
+		t.Fatalf("round trip %q gave %+v, want %+v", p.String(), back, p)
+	}
+}
+
+func TestParseRejectsBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"drop",          // no value
+		"drop=1.5",      // rate out of range
+		"drop=-0.1",     // negative rate
+		"warp=0.5",      // unknown class
+		"seed=abc",      // non-integer seed
+		"delaymax=fast", // bad duration
+		"max=lots",      // bad int
+	} {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func TestInjectorDeterministicPerSeed(t *testing.T) {
+	plan := Plan{Seed: 99, Drop: 0.2, Dup: 0.1, Reorder: 0.1, Flip: 0.1, Reset: 0.05, Delay: 0.2}
+	a, b := New(plan), New(plan)
+	for i := 0; i < 2000; i++ {
+		dst := i % 3
+		da := a.Outgoing(dst, 1, 128)
+		db := b.Outgoing(dst, 1, 128)
+		if da != db {
+			t.Fatalf("call %d: injectors with equal seeds diverged: %+v vs %+v", i, da, db)
+		}
+	}
+}
+
+func TestInjectorPerPeerStreamsIndependent(t *testing.T) {
+	plan := Plan{Seed: 7, Drop: 0.3, Delay: 0.3}
+	// Injector a interleaves traffic to peers 1 and 2; injector b sends only
+	// to peer 1. The peer-1 decision stream must be identical — traffic to
+	// other peers must not perturb it.
+	a, b := New(plan), New(plan)
+	for i := 0; i < 500; i++ {
+		a.Outgoing(2, 1, 64) // noise on another stream
+		da := a.Outgoing(1, 1, 64)
+		db := b.Outgoing(1, 1, 64)
+		if da != db {
+			t.Fatalf("call %d: peer-1 stream perturbed by peer-2 traffic: %+v vs %+v", i, da, db)
+		}
+	}
+}
+
+func TestInjectorMaxCap(t *testing.T) {
+	in := New(Plan{Seed: 1, Flip: 1, Max: 3})
+	flips := 0
+	for i := 0; i < 100; i++ {
+		if d := in.Outgoing(1, 1, 64); d.Action == transport.FaultFlip {
+			flips++
+		}
+	}
+	if flips != 3 {
+		t.Fatalf("Max=3 plan injected %d flips", flips)
+	}
+}
+
+func TestInjectorFlipNeedsPayload(t *testing.T) {
+	in := New(Plan{Seed: 1, Flip: 1})
+	for i := 0; i < 50; i++ {
+		if d := in.Outgoing(1, 1, 0); d.Action != transport.FaultPass {
+			t.Fatalf("flip injected on an empty payload: %+v", d)
+		}
+	}
+}
+
+func TestInjectorDelayBounded(t *testing.T) {
+	max := 3 * time.Millisecond
+	in := New(Plan{Seed: 5, Delay: 1, DelayMax: max})
+	for i := 0; i < 200; i++ {
+		d := in.Outgoing(0, 1, 8)
+		if d.Action != transport.FaultDelay {
+			t.Fatalf("delay=1 plan returned %+v", d)
+		}
+		if d.Delay <= 0 || d.Delay > max {
+			t.Fatalf("injected delay %v outside (0, %v]", d.Delay, max)
+		}
+	}
+}

@@ -2,31 +2,56 @@ package transport
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 )
 
-// Wire format (little-endian, docs/networking.md):
+// Wire format v2 (little-endian, docs/networking.md):
 //
-//	connection handshake:  "MPCFNet1" | uint32 rank        (each direction)
-//	frame:                 uint32 len | uint32 src | uint32 tag | payload
+//	connection handshake:  "MPCFNet2" | uint32 rank | uint64 recv_next   (each direction)
+//	frame:                 uint32 len | uint32 src | uint32 tag | uint64 seq | uint32 crc | payload
 //
-// len counts payload bytes only. The tag field carries the mpi-layer
-// namespace bits (class and RK stage live in the tag's high bytes), so a
-// frame header identifies rank, tag and stage without the transport
-// knowing the solver's tag map. Tags at TagReserved and above are
-// transport control frames and never reach the Handler.
+// len counts payload bytes only. seq is the per-(src,dst) sequence number
+// of sequenced frames (data and FIN); for ACK control frames it carries the
+// cumulative acknowledgment instead. crc is CRC32C (Castagnoli) over the
+// first 20 header bytes plus the payload, so a flipped bit anywhere in the
+// frame — header or payload — is detected at the receiver and the frame is
+// poisoned (the connection fails and recovery replays) instead of silently
+// corrupting solver state. The handshake's recv_next field is the next
+// sequence number the handshaking side expects from its peer; on a
+// reconnect it doubles as a cumulative ack and tells the peer where to
+// resume its replay.
+//
+// The tag field carries the mpi-layer namespace bits (class and RK stage
+// live in the tag's high bytes), so a frame header identifies rank, tag and
+// stage without the transport knowing the solver's tag map. Tags at
+// TagReserved and above are transport control frames and never reach the
+// Handler.
 const (
-	handshakeMagic = "MPCFNet1"
-	frameHeader    = 12
+	handshakeMagic = "MPCFNet2"
+	handshakeLen   = len(handshakeMagic) + 4 + 8
+	frameHeader    = 24
 
 	// TagReserved is the first transport-reserved tag value; application
 	// tags must stay below it.
 	TagReserved = 0xFF000000
 
-	// tagFIN announces a graceful shutdown of the sending side: the peer
-	// will write no further frames and will half-close its connection.
+	// tagFIN announces a graceful shutdown of the sending side: no further
+	// data frames will be sent. FIN is sequenced like a data frame, so it
+	// is delivered exactly once, in order, and survives reconnects.
 	tagFIN = 0xFFFFFFFF
+
+	// tagACK carries the receiver's cumulative acknowledgment in the seq
+	// field: every sequenced frame below that value has been delivered.
+	// Unsequenced and idempotent.
+	tagACK = 0xFFFFFFFE
+
+	// tagHB is the idle-link heartbeat; its only job is to keep the peer's
+	// read deadline from expiring so wire silence means peer failure, not
+	// a long compute phase. Unsequenced, never retransmitted.
+	tagHB = 0xFFFFFFFD
 
 	// DefaultMaxFrame bounds a single frame's payload; a length prefix
 	// beyond the limit means a corrupt or hostile stream and fails the
@@ -34,52 +59,78 @@ const (
 	DefaultMaxFrame = 1 << 28
 )
 
-// putFrameHeader encodes the fixed header into hdr.
-func putFrameHeader(hdr *[frameHeader]byte, n, src, tag uint32) {
+// castagnoli is the CRC32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrChecksum reports a frame whose CRC32C did not match its contents: the
+// frame is poisoned and the connection must be recovered, never delivered.
+var ErrChecksum = errors.New("transport: frame checksum mismatch (payload corrupted in flight)")
+
+// putFrameHeader encodes the fixed header, including the CRC32C over the
+// header prefix and the payload the frame will carry.
+func putFrameHeader(hdr *[frameHeader]byte, n, src, tag uint32, seq uint64, payload []byte) {
 	binary.LittleEndian.PutUint32(hdr[0:4], n)
 	binary.LittleEndian.PutUint32(hdr[4:8], src)
 	binary.LittleEndian.PutUint32(hdr[8:12], tag)
+	binary.LittleEndian.PutUint64(hdr[12:20], seq)
+	crc := crc32.Checksum(hdr[0:20], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	binary.LittleEndian.PutUint32(hdr[20:24], crc)
 }
 
-// readFrame reads one frame from r. It returns the src and tag fields and
-// a freshly allocated payload (nil for empty payloads).
-func readFrame(r io.Reader, maxFrame int) (src, tag uint32, payload []byte, err error) {
+// readFrame reads one frame from r, verifying its checksum. It returns the
+// src, tag and seq fields and a freshly allocated payload (nil for empty
+// payloads). A checksum mismatch returns an error wrapping ErrChecksum.
+func readFrame(r io.Reader, maxFrame int) (src, tag uint32, seq uint64, payload []byte, err error) {
 	var hdr [frameHeader]byte
 	if _, err = io.ReadFull(r, hdr[:]); err != nil {
-		return 0, 0, nil, err
+		return 0, 0, 0, nil, err
 	}
 	n := binary.LittleEndian.Uint32(hdr[0:4])
 	src = binary.LittleEndian.Uint32(hdr[4:8])
 	tag = binary.LittleEndian.Uint32(hdr[8:12])
+	seq = binary.LittleEndian.Uint64(hdr[12:20])
+	want := binary.LittleEndian.Uint32(hdr[20:24])
 	if int64(n) > int64(maxFrame) {
-		return 0, 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit %d (corrupt stream?)", n, maxFrame)
+		return 0, 0, 0, nil, fmt.Errorf("transport: frame of %d bytes exceeds limit %d (corrupt stream?)", n, maxFrame)
 	}
 	if n > 0 {
 		payload = make([]byte, n)
 		if _, err = io.ReadFull(r, payload); err != nil {
-			return 0, 0, nil, fmt.Errorf("transport: short frame payload: %w", err)
+			return 0, 0, 0, nil, fmt.Errorf("transport: short frame payload: %w", err)
 		}
 	}
-	return src, tag, payload, nil
+	crc := crc32.Checksum(hdr[0:20], castagnoli)
+	crc = crc32.Update(crc, castagnoli, payload)
+	if crc != want {
+		return 0, 0, 0, nil, fmt.Errorf("%w: frame (src=%d tag=%#x seq=%d len=%d)", ErrChecksum, src, tag, seq, n)
+	}
+	return src, tag, seq, payload, nil
 }
 
-// writeHandshake sends the connection preamble announcing rank.
-func writeHandshake(w io.Writer, rank int) error {
-	buf := make([]byte, len(handshakeMagic)+4)
+// writeHandshake sends the connection preamble announcing rank and the next
+// sequence number this side expects from the peer (0 on a fresh world; the
+// replay resume point on a reconnect).
+func writeHandshake(w io.Writer, rank int, recvNext uint64) error {
+	buf := make([]byte, handshakeLen)
 	copy(buf, handshakeMagic)
 	binary.LittleEndian.PutUint32(buf[len(handshakeMagic):], uint32(rank))
+	binary.LittleEndian.PutUint64(buf[len(handshakeMagic)+4:], recvNext)
 	_, err := w.Write(buf)
 	return err
 }
 
-// readHandshake validates the preamble and returns the announced rank.
-func readHandshake(r io.Reader) (int, error) {
-	buf := make([]byte, len(handshakeMagic)+4)
+// readHandshake validates the preamble and returns the announced rank and
+// the peer's expected next sequence number.
+func readHandshake(r io.Reader) (int, uint64, error) {
+	buf := make([]byte, handshakeLen)
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, fmt.Errorf("transport: handshake read: %w", err)
+		return 0, 0, fmt.Errorf("transport: handshake read: %w", err)
 	}
 	if string(buf[:len(handshakeMagic)]) != handshakeMagic {
-		return 0, fmt.Errorf("transport: bad handshake magic %q", buf[:len(handshakeMagic)])
+		return 0, 0, fmt.Errorf("transport: bad handshake magic %q", buf[:len(handshakeMagic)])
 	}
-	return int(binary.LittleEndian.Uint32(buf[len(handshakeMagic):])), nil
+	rank := int(binary.LittleEndian.Uint32(buf[len(handshakeMagic):]))
+	recvNext := binary.LittleEndian.Uint64(buf[len(handshakeMagic)+4:])
+	return rank, recvNext, nil
 }

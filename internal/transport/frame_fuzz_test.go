@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzFrameRoundTrip: any (src, tag, seq, payload) tuple must survive
+// encode→decode bit-exactly. Exercises the CRC computation on both sides.
+func FuzzFrameRoundTrip(f *testing.F) {
+	f.Add(uint32(0), uint32(0), uint64(0), []byte{})
+	f.Add(uint32(3), uint32(0x20001), uint64(42), []byte("ghost halo bytes"))
+	f.Add(uint32(511), uint32(0xFEFFFFFF), uint64(1<<60), bytes.Repeat([]byte{0xAB}, 1024))
+	f.Fuzz(func(t *testing.T, src, tag uint32, seq uint64, payload []byte) {
+		if len(payload) > 1<<16 {
+			payload = payload[:1<<16]
+		}
+		var hdr [frameHeader]byte
+		putFrameHeader(&hdr, uint32(len(payload)), src, tag, seq, payload)
+		frame := append(append([]byte{}, hdr[:]...), payload...)
+		gs, gt, gq, gp, err := readFrame(bytes.NewReader(frame), DefaultMaxFrame)
+		if err != nil {
+			t.Fatalf("round trip rejected: %v", err)
+		}
+		if gs != src || gt != tag || gq != seq || !bytes.Equal(gp, payload) {
+			t.Fatalf("decoded (src=%d tag=%#x seq=%d len=%d), want (src=%d tag=%#x seq=%d len=%d)",
+				gs, gt, gq, len(gp), src, tag, seq, len(payload))
+		}
+	})
+}
+
+// fuzzCorruptFrame builds a valid frame then damages it — a handy seed for
+// the decoder fuzzer's interesting paths.
+func fuzzCorruptFrame(mutate func([]byte)) []byte {
+	payload := []byte("seed corpus payload")
+	var hdr [frameHeader]byte
+	putFrameHeader(&hdr, uint32(len(payload)), 1, 2, 3, payload)
+	frame := append(append([]byte{}, hdr[:]...), payload...)
+	if mutate != nil {
+		mutate(frame)
+	}
+	return frame
+}
+
+// FuzzFrameDecode throws arbitrary bytes at the decoder: it must never
+// panic or over-allocate, and anything it does accept must re-encode to the
+// identical header (i.e. only genuinely consistent frames pass the CRC).
+func FuzzFrameDecode(f *testing.F) {
+	f.Add(fuzzCorruptFrame(nil))                              // valid
+	f.Add(fuzzCorruptFrame(nil)[:frameHeader+4])              // truncated payload
+	f.Add(fuzzCorruptFrame(nil)[:7])                          // truncated header
+	f.Add(fuzzCorruptFrame(func(b []byte) { b[25] ^= 0x10 })) // payload bit flip
+	f.Add(fuzzCorruptFrame(func(b []byte) { b[20] ^= 0xFF })) // CRC field damage
+	f.Add(fuzzCorruptFrame(func(b []byte) {                   // length overflow
+		binary.LittleEndian.PutUint32(b[0:4], 1<<31)
+	}))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		src, tag, seq, payload, err := readFrame(bytes.NewReader(data), 1<<20)
+		if err != nil {
+			return // rejected: fine, as long as it did not panic
+		}
+		if len(data) < frameHeader+len(payload) {
+			t.Fatalf("decoder produced %d payload bytes from %d input bytes", len(payload), len(data))
+		}
+		var hdr [frameHeader]byte
+		putFrameHeader(&hdr, uint32(len(payload)), src, tag, seq, payload)
+		if !bytes.Equal(hdr[:], data[:frameHeader]) {
+			t.Fatalf("accepted frame does not re-encode to its own header (CRC collision or decode bug)")
+		}
+	})
+}

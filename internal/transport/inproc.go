@@ -1,6 +1,9 @@
 package transport
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Hub connects the ranks of one in-process world. Send delivers the
 // payload slice to the destination's handler directly on the sender's
@@ -34,8 +37,9 @@ func (h *Hub) Endpoint(rank int, deliver Handler) Endpoint {
 }
 
 type inprocEndpoint struct {
-	hub  *Hub
-	rank int
+	hub    *Hub
+	rank   int
+	closed atomic.Bool
 }
 
 func (e *inprocEndpoint) Rank() int { return e.rank }
@@ -48,8 +52,14 @@ func (e *inprocEndpoint) Send(dst, tag int, payload []byte) error {
 	if uint32(tag) >= TagReserved {
 		return fmt.Errorf("transport: tag %#x is in the reserved control namespace", tag)
 	}
+	if e.closed.Load() {
+		return ErrClosed
+	}
 	e.hub.handlers[dst](e.rank, tag, payload)
 	return nil
 }
 
-func (e *inprocEndpoint) Close() error { return nil }
+func (e *inprocEndpoint) Close() error {
+	e.closed.Store(true)
+	return nil
+}

@@ -360,10 +360,24 @@ func TestTCPOversizeSend(t *testing.T) {
 
 func TestHandshakeRejectsBadMagic(t *testing.T) {
 	var buf bytes.Buffer
-	buf.WriteString("NOTMPCF1")
-	buf.Write([]byte{0, 0, 0, 0})
-	if _, err := readHandshake(&buf); err == nil {
+	buf.WriteString("NOTMPCF2")
+	buf.Write(make([]byte, handshakeLen-len(handshakeMagic)))
+	if _, _, err := readHandshake(&buf); err == nil {
 		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestHandshakeRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHandshake(&buf, 3, 77); err != nil {
+		t.Fatal(err)
+	}
+	rank, recvNext, err := readHandshake(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 3 || recvNext != 77 {
+		t.Fatalf("handshake decoded as (rank=%d recv_next=%d), want (3, 77)", rank, recvNext)
 	}
 }
 
@@ -371,24 +385,24 @@ func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	payload := []byte("ghost halo bytes")
 	var hdr [frameHeader]byte
-	putFrameHeader(&hdr, uint32(len(payload)), 3, 0x01020304)
+	putFrameHeader(&hdr, uint32(len(payload)), 3, 0x01020304, 42, payload)
 	buf.Write(hdr[:])
 	buf.Write(payload)
-	src, tag, got, err := readFrame(&buf, DefaultMaxFrame)
+	src, tag, seq, got, err := readFrame(&buf, DefaultMaxFrame)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if src != 3 || tag != 0x01020304 || !bytes.Equal(got, payload) {
-		t.Fatalf("frame decoded as (src=%d tag=%#x %q)", src, tag, got)
+	if src != 3 || tag != 0x01020304 || seq != 42 || !bytes.Equal(got, payload) {
+		t.Fatalf("frame decoded as (src=%d tag=%#x seq=%d %q)", src, tag, seq, got)
 	}
 }
 
 func TestFrameRejectsOversizeHeader(t *testing.T) {
 	var buf bytes.Buffer
 	var hdr [frameHeader]byte
-	putFrameHeader(&hdr, 1<<30, 0, 1)
+	putFrameHeader(&hdr, 1<<30, 0, 1, 0, nil)
 	buf.Write(hdr[:])
-	if _, _, _, err := readFrame(&buf, 1<<20); err == nil {
+	if _, _, _, _, err := readFrame(&buf, 1<<20); err == nil {
 		t.Fatal("oversize length prefix accepted")
 	}
 }
