@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build bin test race bench bench-smoke bench-net smoke-net sim-json verify verify-short fuzz-seed chaos
+.PHONY: check vet build bin test race bench bench-smoke bench-net smoke-net sim-json verify verify-short fuzz-seed chaos bench-snapshot bench-compare perf-smoke
 
 check: vet build test race
 
@@ -42,6 +42,35 @@ sim-json:
 # Wire-transport message-size sweep on both transports (docs/networking.md).
 bench-net:
 	$(GO) run ./cmd/mpcf-bench -exp net -net-json BENCH_net.json
+
+# Regenerate the checked-in perf baselines under bench/. Run on a quiet
+# machine, inspect the diff, and commit — the CI perf-smoke job compares
+# against these in warn mode; local `make bench-compare` gates hard.
+bench-snapshot:
+	$(GO) run ./cmd/mpcf-bench -exp sim -n 8 -steps 20 -json bench/BENCH_sim.json
+	$(GO) run ./cmd/mpcf-bench -exp net -net-json bench/BENCH_net.json
+
+# The regression gate: rerun both benchmarks at the baselines' own
+# configuration and fail on structural changes or rate collapse
+# (docs/observability.md). SLACK widens the thresholds for noisy hosts.
+SLACK ?= 1
+bench-compare:
+	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json -compare-slack $(SLACK)
+
+# CI perf smoke: a 2-rank TCP run through the observatory (merged trace +
+# imbalance report artifacts) plus the bench gate in report-only mode.
+perf-smoke: bin
+	@rm -rf perf-smoke.tmp && mkdir perf-smoke.tmp
+	./bin/mpcf-launch -n 2 -- -case sod -ranks 2,1,1 -blocks 2,2,2 -n 8 -steps 6 \
+		-quiet -diag-every 0 \
+		-obs-trace perf-smoke.tmp/trace_merged.json \
+		-obs-report perf-smoke.tmp/imbalance.txt \
+		-obs-report-json perf-smoke.tmp/imbalance.json
+	@test -s perf-smoke.tmp/trace_merged.json
+	@test -s perf-smoke.tmp/imbalance.txt
+	cat perf-smoke.tmp/imbalance.txt
+	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json -compare-warn
+	@echo "perf-smoke: merged trace, imbalance report and compare gate all ran"
 
 # End-to-end transport correctness: the same small Sod problem through two
 # real OS processes over tcp — clean wire AND a seeded faulty wire (drops,

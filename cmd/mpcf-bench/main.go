@@ -18,12 +18,24 @@
 // The sim experiment also emits a machine-readable BENCH_sim.json (per-kernel
 // GFLOP/s, step latency percentiles, cross-rank imbalance) next to the
 // human-readable report, so the perf trajectory across PRs is diffable.
+//
+// The regression gate diffs fresh results against checked-in baselines:
+//
+//	mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json
+//	mpcf-bench -compare bench/BENCH_sim.json -compare-current BENCH_sim.json
+//	mpcf-bench -compare ... -compare-warn        # report-only (CI smoke)
+//	mpcf-bench -compare ... -compare-slack 2     # noisy shared runner
+//
+// Structural checks (analytic traffic constants, kernel/transport presence,
+// the pool spawn-once invariant) are exact; rate checks use generous
+// relative thresholds. Exit code 1 on regression unless -compare-warn.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"cubism/internal/experiments"
@@ -37,9 +49,16 @@ func main() {
 	jsonPath := flag.String("json", "BENCH_sim.json", "machine-readable output path of the sim experiment (empty: skip)")
 	netJSONPath := flag.String("net-json", "BENCH_net.json", "machine-readable output path of the net experiment (empty: skip)")
 	pipeline := flag.Bool("pipeline", true, "primary sim-experiment mode: dependency-driven fused RHS+UP pipeline (false: bulk-synchronous staged baseline); both modes are always measured")
+	compare := flag.String("compare", "", "comma-separated baseline BENCH_*.json paths; rerun the matching benchmarks and exit 1 on regression")
+	compareCurrent := flag.String("compare-current", "", "comma-separated fresh BENCH_*.json paths paired with -compare by position: diff files instead of rerunning")
+	compareWarn := flag.Bool("compare-warn", false, "report regressions without the non-zero exit (CI report-only mode)")
+	compareSlack := flag.Float64("compare-slack", 1, "widen the relative tolerances by this factor (noisy shared runners)")
 	flag.Parse()
 
 	w := os.Stdout
+	if *compare != "" {
+		os.Exit(runCompare(w, *compare, *compareCurrent, *compareWarn, *compareSlack, *pipeline))
+	}
 	run := map[string]func(){
 		"table3":      func() { experiments.Table3(w, *n) },
 		"table4":      func() { experiments.Table4(w, *n) },
@@ -74,4 +93,57 @@ func main() {
 		os.Exit(2)
 	}
 	f()
+}
+
+// runCompare drives the regression gate and returns the process exit code:
+// 0 when every baseline holds (or warn mode), 1 on regression, 2 on usage
+// or I/O errors.
+func runCompare(w *os.File, baselines, current string, warn bool, slack float64, pipeline bool) int {
+	th := experiments.DefaultThresholds(slack)
+	basePaths := strings.Split(baselines, ",")
+	var curPaths []string
+	if current != "" {
+		curPaths = strings.Split(current, ",")
+		if len(curPaths) != len(basePaths) {
+			fmt.Fprintf(os.Stderr, "mpcf-bench: -compare lists %d baselines but -compare-current lists %d files\n",
+				len(basePaths), len(curPaths))
+			return 2
+		}
+	}
+	regressed := false
+	for i, basePath := range basePaths {
+		basePath = strings.TrimSpace(basePath)
+		var rep *experiments.CompareReport
+		var err error
+		if curPaths != nil {
+			rep, err = experiments.CompareBenchFiles(basePath, strings.TrimSpace(curPaths[i]), th)
+		} else {
+			// Rerun the matching benchmark fresh; keep the record next to
+			// the baseline's name for artifact upload.
+			rep, err = experiments.CompareAgainstBaseline(basePath, "", pipeline, th)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mpcf-bench: compare %s: %v\n", basePath, err)
+			return 2
+		}
+		status := "ok"
+		if !rep.OK() {
+			status = "REGRESSED"
+			regressed = true
+		}
+		fmt.Fprintf(w, "compare %-4s %s: %s (%d checks)\n", rep.Kind, basePath, status, rep.Checks)
+		for _, msg := range rep.Regressions {
+			fmt.Fprintf(w, "  FAIL %s\n", msg)
+		}
+		for _, msg := range rep.Notes {
+			fmt.Fprintf(w, "  note %s\n", msg)
+		}
+	}
+	if regressed && !warn {
+		return 1
+	}
+	if regressed {
+		fmt.Fprintln(w, "regressions reported only (-compare-warn)")
+	}
+	return 0
 }

@@ -27,7 +27,13 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 )
+
+// killGrace is how long the cascade kill waits between the polite SIGINT
+// (which lets mpcf-sim flush its telemetry buffers, leaving usable partial
+// traces) and the SIGKILL escalation for ranks that ignore it.
+const killGrace = 2 * time.Second
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -84,13 +90,28 @@ func run(argv []string, stdout, stderr io.Writer) int {
 	var outWG sync.WaitGroup
 	killAll := func() {
 		mu.Lock()
-		defer mu.Unlock()
 		aborted = true
-		for _, p := range procs {
+		targets := append([]*exec.Cmd(nil), procs...)
+		mu.Unlock()
+		// Interrupt first so the ranks can flush trace and step-log buffers
+		// on the way down; escalate to Kill after the grace period for any
+		// rank that ignores the signal. Signaling an already-exited process
+		// just returns an error, which is fine to drop.
+		for _, p := range targets {
 			if p.Process != nil {
-				p.Process.Kill()
+				p.Process.Signal(os.Interrupt)
 			}
 		}
+		go func() {
+			time.Sleep(killGrace)
+			mu.Lock()
+			defer mu.Unlock()
+			for _, p := range procs {
+				if p.Process != nil {
+					p.Process.Kill()
+				}
+			}
+		}()
 	}
 
 	// The exit verdict is the FIRST failure observed, recorded exactly once

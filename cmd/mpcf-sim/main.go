@@ -17,8 +17,11 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 
 	"cubism"
 )
@@ -82,12 +85,23 @@ func main() {
 	netMaxReconnect := flag.Int("net-max-reconnect", 0, "reconnect attempts per failure episode (0: 8; negative disables reconnect)")
 	netChaos := flag.String("net-chaos", "", "inject seeded wire faults, e.g. drop=0.01,reset=0.001,seed=7 (fault drill; physics must stay bitwise identical)")
 	sumsPath := flag.String("sums", "", "write final conserved-field checksums (hex float64 bits) to this file on rank 0")
+	obsTrace := flag.String("obs-trace", "", "write the cluster-wide merged clock-aligned Chrome trace to this path on rank 0 (enables the cross-rank observatory)")
+	obsReport := flag.String("obs-report", "", "write the Table-4-shaped cluster imbalance report (text) to this path on rank 0 (- for stderr)")
+	obsReportJSON := flag.String("obs-report-json", "", "write the cluster imbalance report (JSON) to this path on rank 0")
+	obsSyncEvery := flag.Int("obs-sync-every", 0, "clock-offset re-sync cadence in steps on tcp worlds (0: 64)")
+	obsWriteEvery := flag.Int("obs-write-every", 0, "observatory artifact rewrite cadence in steps, so kills leave usable partial output (0: 16)")
 	flag.Parse()
+
+	obsOn := *obsTrace != "" || *obsReport != "" || *obsReportJSON != ""
+	obsReportPath := *obsReport
+	if obsReportPath == "-" {
+		obsReportPath = "" // rendered to stderr after the run instead
+	}
 
 	// Telemetry sinks, each opt-in via its flag; the hot loop pays only a
 	// pointer check for whatever stays disabled.
 	var tel *cubism.Telemetry
-	telOn := *tracePath != "" || *telemetryAddr != "" || *stepLogPath != ""
+	telOn := *tracePath != "" || *telemetryAddr != "" || *stepLogPath != "" || obsOn
 	if telOn {
 		tel = &cubism.Telemetry{Metrics: cubism.NewMetricsRegistry()}
 	}
@@ -99,6 +113,11 @@ func main() {
 			log.Fatalf("trace: %v", err)
 		}
 		traceFile = f
+		tel.Tracer = cubism.NewTracer()
+	}
+	if obsOn && tel.Tracer == nil {
+		// The observatory's merged trace needs span data even when no
+		// per-process -trace file was requested.
 		tel.Tracer = cubism.NewTracer()
 	}
 	if *telemetryAddr != "" {
@@ -119,8 +138,42 @@ func main() {
 			w = f
 		}
 		tel.StepLog = cubism.NewStepLogger(w)
-		defer tel.StepLog.Close()
 	}
+
+	// flushTelemetry drains whatever the local sinks have buffered — the
+	// per-process trace file and the step log. It runs once, from whichever
+	// path ends the process first: the normal exit, a wire-failure
+	// escalation, or a termination signal (mpcf-launch's cascade kill sends
+	// SIGINT first for exactly this reason), so chaos runs leave usable
+	// partial traces instead of truncated JSON. The step log is JSONL and
+	// unbuffered per line, so closing it is enough.
+	var flushOnce sync.Once
+	flushTelemetry := func() {
+		flushOnce.Do(func() {
+			if traceFile != nil {
+				if err := tel.Tracer.Write(traceFile); err != nil {
+					fmt.Fprintf(os.Stderr, "trace flush: %v\n", err)
+				}
+				if err := traceFile.Close(); err != nil {
+					fmt.Fprintf(os.Stderr, "trace flush: %v\n", err)
+				}
+			}
+			if tel != nil && tel.StepLog != nil {
+				tel.StepLog.Close()
+			}
+		})
+	}
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sigCh
+		flushTelemetry()
+		code := 130 // 128 + SIGINT
+		if s == syscall.SIGTERM {
+			code = 143
+		}
+		os.Exit(code)
+	}()
 
 	cfg := cubism.Config{
 		CheckpointEvery: *ckptEvery,
@@ -141,6 +194,15 @@ func main() {
 		Telemetry:       tel,
 		ChecksumPath:    *sumsPath,
 	}
+	if obsOn {
+		cfg.Observe = &cubism.ObserveConfig{
+			TracePath:      *obsTrace,
+			ReportPath:     obsReportPath,
+			ReportJSONPath: *obsReportJSON,
+			SyncEvery:      *obsSyncEvery,
+			WriteEvery:     *obsWriteEvery,
+		}
+	}
 	switch *transportName {
 	case "inproc", "":
 	case "tcp":
@@ -148,6 +210,16 @@ func main() {
 			log.Fatal("-transport tcp requires -coord host:port")
 		}
 		cfg.Net = &cubism.NetConfig{
+			OnWireError: func(err error) {
+				// The mailbox is already poisoned; flush the local sinks,
+				// then abort with the same code and guidance as the
+				// transport's default escalation path.
+				fmt.Fprintf(os.Stderr,
+					"mpcf-sim: unrecoverable wire failure: %v\n"+
+						"restart the job from the last checkpoint (mpcf-sim -restore)\n", err)
+				flushTelemetry()
+				os.Exit(3)
+			},
 			Transport:         "tcp",
 			Rank:              *rank,
 			Coord:             *coord,
@@ -211,19 +283,23 @@ func main() {
 		}
 	})
 	if err != nil {
+		flushTelemetry()
 		log.Fatal(err)
 	}
+	flushTelemetry()
 	if traceFile != nil {
-		if err := tel.Tracer.Write(traceFile); err != nil {
-			log.Fatalf("trace: %v", err)
-		}
-		if err := traceFile.Close(); err != nil {
-			log.Fatalf("trace: %v", err)
-		}
 		fmt.Fprintf(os.Stderr, "telemetry: wrote %d spans to %s (open in chrome://tracing or https://ui.perfetto.dev)\n",
 			tel.Tracer.Len(), *tracePath)
 	}
 	if cfg.Net == nil || cfg.Net.Rank == 0 {
+		if *obsReport == "-" && summary.Observatory != nil {
+			if err := summary.Observatory.WriteText(os.Stderr); err != nil {
+				log.Fatalf("imbalance report: %v", err)
+			}
+		}
+		if *obsTrace != "" {
+			fmt.Fprintf(os.Stderr, "observatory: merged trace at %s\n", *obsTrace)
+		}
 		// The summary is gathered on rank 0; peer ranks hold a zero value.
 		fmt.Fprintf(os.Stderr, "\n%d steps, t=%.3e, wall %v, %.2f Mpoints/s\n%s",
 			summary.Steps, summary.SimTime, summary.WallTime.Round(1e6),

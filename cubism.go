@@ -187,6 +187,13 @@ type Config struct {
 	// Nil disables all instrumentation beyond a pointer check per phase.
 	Telemetry *Telemetry
 
+	// Observe (optional) enables the cross-rank performance observatory:
+	// every rank streams per-phase step timings (plus spans and counter
+	// snapshots on tcp worlds) to rank 0, which writes one merged
+	// clock-aligned Chrome trace and a Table-4-shaped cluster imbalance
+	// report (see docs/observability.md).
+	Observe *ObserveConfig
+
 	// Net (optional) selects the wire transport. Nil or Transport "inproc"
 	// keeps the default single-process world (all ranks as goroutines);
 	// Transport "tcp" makes this process one rank of a multi-process world
@@ -236,12 +243,26 @@ type NetConfig struct {
 	// The reliability layer must mask every injected fault: physics results
 	// stay bitwise identical to a clean run.
 	Chaos string
+
+	// OnWireError (optional) runs when the transport escalates an
+	// unrecoverable peer failure, before the process aborts. Drivers use it
+	// to flush telemetry buffers so chaos runs leave usable partial traces
+	// (the default without it is an immediate exit).
+	OnWireError func(error)
 }
 
 // Telemetry bundles the observability sinks threaded through the solver
 // stack: a Chrome trace_event span tracer, a Prometheus/expvar metrics
 // registry, and a JSONL step logger.
 type Telemetry = telemetry.Set
+
+// ObserveConfig enables the cross-rank performance observatory (merged
+// clock-aligned traces and Table-4-shaped imbalance reports on rank 0).
+type ObserveConfig = sim.ObserveConfig
+
+// ImbalanceReport is the observatory's cluster imbalance report, delivered
+// in Summary.Observatory.
+type ImbalanceReport = telemetry.ImbalanceReport
 
 // NewTracer returns an enabled solver-phase span tracer; export it with
 // WriteFile after the run and open the JSON in chrome://tracing or Perfetto.
@@ -294,6 +315,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			fault = faulty.New(plan)
 		}
 		w, err := mpi.ConnectTCP(mpi.TCPConfig{
+			OnError:           n.OnWireError,
 			Rank:              n.Rank,
 			Size:              ranks[0] * ranks[1] * ranks[2],
 			Coord:             n.Coord,
@@ -357,6 +379,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		Wall:            cfg.Wall,
 		HasWall:         cfg.HasWall,
 		Telemetry:       cfg.Telemetry,
+		Observe:         cfg.Observe,
 		World:           world,
 		OnFinish:        onFinish,
 	}, onStep)

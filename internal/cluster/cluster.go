@@ -71,6 +71,13 @@ type Rank struct {
 	tr     *telemetry.Tracer
 	rankID int
 
+	// Cumulative communication-phase time, nanoseconds: ghostNS covers the
+	// pack/post side of the exchange, waitNS the time blocked on neighbor
+	// messages (InstallHalos or the pipelined per-face installs). The
+	// observatory diffs these per step for the Table-4 phase rows.
+	ghostNS int64
+	waitNS  int64
+
 	reg                  [][]float32 // low-storage Runge-Kutta registers, one per block
 	rhs                  [][]float32 // RHS evaluation buffers, one per block
 	u0                   [][]float32 // step-initial copies, allocated only for ssprk3
@@ -298,6 +305,8 @@ func opposite(f grid.Face) grid.Face { return f ^ 1 }
 func (r *Rank) ExchangeGhosts(stage int) [6]*mpi.Request {
 	sp := r.tr.StartSpan("ghost_exchange", r.rankID, 0)
 	defer sp.End()
+	t0 := time.Now()
+	defer func() { r.ghostNS += int64(time.Since(t0)) }()
 	var recvs [6]*mpi.Request
 	r.Cart.BeginTagEpoch() // each halo cycle is one tag epoch for the reuse assertion
 	r.G.ClearHalos()
@@ -328,6 +337,8 @@ func (r *Rank) ExchangeGhosts(stage int) [6]*mpi.Request {
 func (r *Rank) InstallHalos(recvs [6]*mpi.Request) {
 	sp := r.tr.StartSpan("halo_wait", r.rankID, 0)
 	defer sp.End()
+	t0 := time.Now()
+	defer func() { r.waitNS += int64(time.Since(t0)) }()
 	for f := grid.XLo; f <= grid.ZHi; f++ {
 		if recvs[f] == nil {
 			continue
@@ -430,8 +441,10 @@ func (r *Rank) rkStepPipelined(dt float64) {
 				continue
 			}
 			sp := r.tr.StartSpan(faceInstallSpan[f], r.rankID, 0)
+			tf := time.Now()
 			r.G.SetHalo(f, recvs[f].Wait())
 			run.Release(r.deps.faceBlocks[f])
+			r.waitNS += int64(time.Since(tf))
 			sp.End()
 		}
 		run.Wait()
@@ -441,6 +454,13 @@ func (r *Rank) rkStepPipelined(dt float64) {
 	}
 	r.Step++
 	r.Time += dt
+}
+
+// CommPhases returns the cumulative communication-phase durations: ghost is
+// the pack/post side of the exchanges, wait the time blocked on neighbor
+// messages. Callers diff successive values for per-step attribution.
+func (r *Rank) CommPhases() (ghost, wait time.Duration) {
+	return time.Duration(r.ghostNS), time.Duration(r.waitNS)
 }
 
 // Advance runs one complete simulation step (DT + RK3) and returns dt.

@@ -1,0 +1,321 @@
+package experiments
+
+// The bench regression gate: compare a fresh BENCH_sim.json / BENCH_net.json
+// against a checked-in baseline. Two classes of check:
+//
+//   - Structural checks are machine-independent and exact: the analytic
+//     traffic constants (up_bytes_per_value, stage_bytes_per_cell), the
+//     spawn-once pool invariant, kernel and transport presence, the sweep
+//     shape. A mismatch means the code changed what it computes, not how
+//     fast the host is.
+//   - Rate checks are machine-dependent and deliberately generous: a fresh
+//     throughput below MinRateFrac of baseline, or a latency above
+//     MaxLatencyFactor of baseline, flags a regression. The default factors
+//     tolerate CI-class noise and hardware spread; -compare-slack widens
+//     them further for shared runners.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// CompareThresholds are the relative tolerances of the rate checks.
+type CompareThresholds struct {
+	// MinRateFrac: fresh throughput (points/s, GFLOP/s) must reach this
+	// fraction of baseline.
+	MinRateFrac float64
+	// MaxLatencyFactor: fresh mean step latency must stay below this factor
+	// of baseline.
+	MaxLatencyFactor float64
+	// MinBWFrac: fresh per-size wire bandwidth must reach this fraction of
+	// baseline.
+	MinBWFrac float64
+	// MaxNetLatencyFactor: fresh per-size p50 wire latency must stay below
+	// this factor of baseline.
+	MaxNetLatencyFactor float64
+}
+
+// DefaultThresholds returns the standard tolerances widened by slack
+// (1 = default; 2 = twice as permissive, for noisy shared runners).
+func DefaultThresholds(slack float64) CompareThresholds {
+	if slack < 1 {
+		slack = 1
+	}
+	return CompareThresholds{
+		MinRateFrac:         0.4 / slack,
+		MaxLatencyFactor:    2.5 * slack,
+		MinBWFrac:           0.25 / slack,
+		MaxNetLatencyFactor: 4 * slack,
+	}
+}
+
+// CompareReport is the outcome of one baseline/fresh comparison.
+type CompareReport struct {
+	Kind        string   // "sim" or "net"
+	Checks      int      // checks performed
+	Regressions []string // failed checks, human-readable
+	Notes       []string // informational (skipped or config-mismatch details)
+}
+
+// OK reports whether no check regressed.
+func (r *CompareReport) OK() bool { return len(r.Regressions) == 0 }
+
+func (r *CompareReport) fail(format string, args ...any) {
+	r.Regressions = append(r.Regressions, fmt.Sprintf(format, args...))
+}
+
+func (r *CompareReport) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// checkMin asserts fresh >= frac*base (when base is positive).
+func (r *CompareReport) checkMin(name string, base, fresh, frac float64) {
+	if base <= 0 {
+		return
+	}
+	r.Checks++
+	if fresh < frac*base {
+		r.fail("%s regressed: %.4g vs baseline %.4g (floor %.4g = %.0f%% of baseline)",
+			name, fresh, base, frac*base, 100*frac)
+	}
+}
+
+// checkMax asserts fresh <= factor*base (when base is positive).
+func (r *CompareReport) checkMax(name string, base, fresh, factor float64) {
+	if base <= 0 {
+		return
+	}
+	r.Checks++
+	if fresh > factor*base {
+		r.fail("%s regressed: %.4g vs baseline %.4g (ceiling %.4g = %.1fx baseline)",
+			name, fresh, base, factor*base, factor)
+	}
+}
+
+// checkExact asserts an integral structural constant is unchanged.
+func (r *CompareReport) checkExact(name string, base, fresh int64) {
+	r.Checks++
+	if base != fresh {
+		r.fail("%s changed: %d vs baseline %d (structural, machine-independent)", name, fresh, base)
+	}
+}
+
+// CompareBenchSim diffs a fresh sim record against the baseline.
+func CompareBenchSim(base, fresh BenchSimResult, th CompareThresholds) *CompareReport {
+	r := &CompareReport{Kind: "sim"}
+	if base.BlockSize != fresh.BlockSize || base.RankDims != fresh.RankDims ||
+		base.BlockDims != fresh.BlockDims || base.Steps != fresh.Steps {
+		r.fail("configuration mismatch: baseline N=%d ranks=%v blocks=%v steps=%d, fresh N=%d ranks=%v blocks=%v steps=%d — regenerate the baseline (make bench-snapshot)",
+			base.BlockSize, base.RankDims, base.BlockDims, base.Steps,
+			fresh.BlockSize, fresh.RankDims, fresh.BlockDims, fresh.Steps)
+		return r
+	}
+
+	// Structural: the analytic traffic of each execution model and the
+	// spawn-once pool invariant do not depend on the machine.
+	baseModes := map[bool]BenchSimMode{}
+	for _, m := range base.Modes {
+		baseModes[m.Pipeline] = m
+	}
+	for _, m := range fresh.Modes {
+		name := "staged"
+		if m.Pipeline {
+			name = "fused"
+		}
+		bm, ok := baseModes[m.Pipeline]
+		if !ok {
+			r.Checks++
+			r.fail("mode %s missing from baseline", name)
+			continue
+		}
+		r.checkExact(name+" up_bytes_per_value", bm.UPBytesPerValue, m.UPBytesPerValue)
+		r.checkExact(name+" stage_bytes_per_cell", bm.StageBytesPerCell, m.StageBytesPerCell)
+		r.Checks++
+		if m.PoolWorkers > 0 && m.WorkerSpawns != int64(m.PoolWorkers) {
+			r.fail("%s pool spawned %d worker goroutines for %d workers — the spawn-once invariant broke",
+				name, m.WorkerSpawns, m.PoolWorkers)
+		}
+		r.checkMin(name+" points_per_second", bm.PointsPerSec, m.PointsPerSec, th.MinRateFrac)
+		r.checkMax(name+" step_latency.mean_ms", bm.StepLatency.MeanMS, m.StepLatency.MeanMS, th.MaxLatencyFactor)
+	}
+
+	r.checkMin("points_per_second", base.PointsPerSec, fresh.PointsPerSec, th.MinRateFrac)
+	r.checkMax("step_latency.mean_ms", base.StepLatency.MeanMS, fresh.StepLatency.MeanMS, th.MaxLatencyFactor)
+
+	names := make([]string, 0, len(base.Kernels))
+	for name := range base.Kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		bk := base.Kernels[name]
+		fk, ok := fresh.Kernels[name]
+		if !ok {
+			r.Checks++
+			r.fail("kernel %s present in baseline but absent from fresh run", name)
+			continue
+		}
+		r.checkMin("kernel "+name+" gflops", bk.GFLOPS, fk.GFLOPS, th.MinRateFrac)
+	}
+	return r
+}
+
+// CompareBenchNet diffs a fresh net record against the baseline.
+func CompareBenchNet(base, fresh BenchNetResult, th CompareThresholds) *CompareReport {
+	r := &CompareReport{Kind: "net"}
+	baseTr := map[string]BenchNetTransport{}
+	for _, tr := range base.Transports {
+		baseTr[tr.Transport] = tr
+	}
+	for _, tr := range fresh.Transports {
+		bt, ok := baseTr[tr.Transport]
+		if !ok {
+			r.note("transport %s not in baseline, skipped", tr.Transport)
+			continue
+		}
+		delete(baseTr, tr.Transport)
+		basePts := map[int]BenchNetPoint{}
+		for _, p := range bt.Points {
+			basePts[p.SizeBytes] = p
+		}
+		for _, p := range tr.Points {
+			bp, ok := basePts[p.SizeBytes]
+			if !ok {
+				r.Checks++
+				r.fail("%s sweep point %d B absent from baseline — sweep shape changed", tr.Transport, p.SizeBytes)
+				continue
+			}
+			delete(basePts, p.SizeBytes)
+			tag := fmt.Sprintf("%s %dB", tr.Transport, p.SizeBytes)
+			r.checkMin(tag+" bandwidth_mbps", bp.BWMBps, p.BWMBps, th.MinBWFrac)
+			r.checkMax(tag+" latency_p50_us", bp.P50US, p.P50US, th.MaxNetLatencyFactor)
+		}
+		for size := range basePts {
+			r.Checks++
+			r.fail("%s sweep point %d B present in baseline but absent from fresh run", tr.Transport, size)
+		}
+	}
+	for name := range baseTr {
+		r.Checks++
+		r.fail("transport %s present in baseline but absent from fresh run", name)
+	}
+	return r
+}
+
+// DetectBenchKind classifies a bench JSON payload by its discriminating
+// top-level key: "kernels" marks a sim record, "transports" a net record.
+func DetectBenchKind(data []byte) (string, error) {
+	var probe map[string]json.RawMessage
+	if err := json.Unmarshal(data, &probe); err != nil {
+		return "", fmt.Errorf("experiments: bench record: %w", err)
+	}
+	if _, ok := probe["kernels"]; ok {
+		return "sim", nil
+	}
+	if _, ok := probe["transports"]; ok {
+		return "net", nil
+	}
+	return "", fmt.Errorf("experiments: bench record has neither \"kernels\" nor \"transports\" — not a BENCH_sim.json or BENCH_net.json")
+}
+
+// CompareBenchFiles loads baseline and fresh records from disk, matches
+// their kinds and runs the corresponding comparison.
+func CompareBenchFiles(basePath, freshPath string, th CompareThresholds) (*CompareReport, error) {
+	baseData, err := os.ReadFile(basePath)
+	if err != nil {
+		return nil, err
+	}
+	freshData, err := os.ReadFile(freshPath)
+	if err != nil {
+		return nil, err
+	}
+	baseKind, err := DetectBenchKind(baseData)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", basePath, err)
+	}
+	freshKind, err := DetectBenchKind(freshData)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", freshPath, err)
+	}
+	if baseKind != freshKind {
+		return nil, fmt.Errorf("experiments: cannot compare %s record %s against %s record %s",
+			freshKind, freshPath, baseKind, basePath)
+	}
+	switch baseKind {
+	case "sim":
+		var base, fresh BenchSimResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, fmt.Errorf("%s: %w", basePath, err)
+		}
+		if err := json.Unmarshal(freshData, &fresh); err != nil {
+			return nil, fmt.Errorf("%s: %w", freshPath, err)
+		}
+		return CompareBenchSim(base, fresh, th), nil
+	default:
+		var base, fresh BenchNetResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, fmt.Errorf("%s: %w", basePath, err)
+		}
+		if err := json.Unmarshal(freshData, &fresh); err != nil {
+			return nil, fmt.Errorf("%s: %w", freshPath, err)
+		}
+		return CompareBenchNet(base, fresh, th), nil
+	}
+}
+
+// CompareAgainstBaseline reruns the benchmark matching the baseline's kind
+// with the baseline's own configuration (block size, steps, sweep) and
+// compares the fresh result. The fresh record is also written to freshPath
+// when non-empty, so CI can upload it as an artifact.
+func CompareAgainstBaseline(basePath, freshPath string, pipeline bool,
+	th CompareThresholds) (*CompareReport, error) {
+	baseData, err := os.ReadFile(basePath)
+	if err != nil {
+		return nil, err
+	}
+	kind, err := DetectBenchKind(baseData)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", basePath, err)
+	}
+	switch kind {
+	case "sim":
+		var base BenchSimResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, fmt.Errorf("%s: %w", basePath, err)
+		}
+		fresh, err := RunBenchSim(base.BlockSize, base.Steps, pipeline)
+		if err != nil {
+			return nil, err
+		}
+		if freshPath != "" {
+			if err := WriteBenchSimJSON(freshPath, fresh); err != nil {
+				return nil, err
+			}
+		}
+		return CompareBenchSim(base, fresh, th), nil
+	default:
+		var base BenchNetResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, fmt.Errorf("%s: %w", basePath, err)
+		}
+		iters, burst := base.Iters, base.Burst
+		if iters <= 0 {
+			iters = 40 // the BenchNet defaults, for hand-edited baselines
+		}
+		if burst <= 0 {
+			burst = 8
+		}
+		fresh, err := RunBenchNet(iters, burst)
+		if err != nil {
+			return nil, err
+		}
+		if freshPath != "" {
+			if err := WriteBenchNetJSON(freshPath, fresh); err != nil {
+				return nil, err
+			}
+		}
+		return CompareBenchNet(base, fresh, th), nil
+	}
+}

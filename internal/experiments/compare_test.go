@@ -1,0 +1,177 @@
+package experiments
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func simBaseline() BenchSimResult {
+	return BenchSimResult{
+		BlockSize: 8, RankDims: [3]int{2, 1, 1}, BlockDims: [3]int{2, 2, 2},
+		Steps: 5, Workers: 2, Pipeline: true,
+		GlobalCells: 32768, WallSeconds: 0.5, PointsPerSec: 2e6,
+		StepLatency:   BenchSimLatency{MeanMS: 10, P50MS: 9, P90MS: 12, P99MS: 14, MaxMS: 15},
+		StepImbalance: 0.05,
+		Kernels: map[string]BenchSimKernel{
+			"RHSUP": {Calls: 15, Seconds: 0.4, GFLOPS: 3.0, FlopPerByte: 1.2, Share: 0.8},
+			"DT":    {Calls: 5, Seconds: 0.1, GFLOPS: 1.0, FlopPerByte: 0.5, Share: 0.2},
+		},
+		Modes: []BenchSimMode{
+			{Pipeline: false, PointsPerSec: 1.8e6, StepLatency: BenchSimLatency{MeanMS: 11},
+				UPBytesPerValue: 12, StageBytesPerCell: 400, PoolWorkers: 2, WorkerSpawns: 2},
+			{Pipeline: true, PointsPerSec: 2e6, StepLatency: BenchSimLatency{MeanMS: 10},
+				UPBytesPerValue: 8, StageBytesPerCell: 360, PoolWorkers: 2, WorkerSpawns: 2},
+		},
+	}
+}
+
+func netBaseline() BenchNetResult {
+	return BenchNetResult{
+		Iters: 40, Burst: 8,
+		Transports: []BenchNetTransport{
+			{Transport: "inproc", Points: []BenchNetPoint{
+				{SizeBytes: 1024, MeanUS: 1, P50US: 1, BWMBps: 5000},
+				{SizeBytes: 65536, MeanUS: 3, P50US: 3, BWMBps: 8000},
+			}},
+			{Transport: "tcp", Points: []BenchNetPoint{
+				{SizeBytes: 1024, MeanUS: 30, P50US: 28, BWMBps: 300},
+				{SizeBytes: 65536, MeanUS: 90, P50US: 85, BWMBps: 900},
+			}},
+		},
+	}
+}
+
+func TestCompareSimIdenticalPasses(t *testing.T) {
+	th := DefaultThresholds(1)
+	r := CompareBenchSim(simBaseline(), simBaseline(), th)
+	if !r.OK() {
+		t.Fatalf("identical records regressed: %v", r.Regressions)
+	}
+	if r.Checks == 0 {
+		t.Fatal("no checks performed")
+	}
+}
+
+func TestCompareSimCatchesThroughputRegression(t *testing.T) {
+	fresh := simBaseline()
+	fresh.PointsPerSec *= 0.2 // below the 0.4 floor
+	r := CompareBenchSim(simBaseline(), fresh, DefaultThresholds(1))
+	if r.OK() {
+		t.Fatal("60%+ throughput loss not flagged")
+	}
+	found := false
+	for _, msg := range r.Regressions {
+		if strings.Contains(msg, "points_per_second") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("regression list does not name points_per_second: %v", r.Regressions)
+	}
+}
+
+func TestCompareSimToleratesNoise(t *testing.T) {
+	fresh := simBaseline()
+	fresh.PointsPerSec *= 0.7 // within the generous floor
+	fresh.StepLatency.MeanMS *= 1.5
+	for name, k := range fresh.Kernels {
+		k.GFLOPS *= 0.6
+		fresh.Kernels[name] = k
+	}
+	if r := CompareBenchSim(simBaseline(), fresh, DefaultThresholds(1)); !r.OK() {
+		t.Fatalf("machine noise flagged as regression: %v", r.Regressions)
+	}
+}
+
+func TestCompareSimStructuralIsExact(t *testing.T) {
+	fresh := simBaseline()
+	fresh.Modes[1].StageBytesPerCell += 16 // fused model now moves more memory
+	r := CompareBenchSim(simBaseline(), fresh, DefaultThresholds(100))
+	if r.OK() {
+		t.Fatal("analytic traffic change not flagged (must be slack-independent)")
+	}
+}
+
+func TestCompareSimSpawnOnceInvariant(t *testing.T) {
+	fresh := simBaseline()
+	fresh.Modes[1].WorkerSpawns = 100 // workers re-spawned per stage
+	if r := CompareBenchSim(simBaseline(), fresh, DefaultThresholds(1)); r.OK() {
+		t.Fatal("pool spawn-once violation not flagged")
+	}
+}
+
+func TestCompareSimMissingKernel(t *testing.T) {
+	fresh := simBaseline()
+	delete(fresh.Kernels, "DT")
+	if r := CompareBenchSim(simBaseline(), fresh, DefaultThresholds(1)); r.OK() {
+		t.Fatal("missing kernel not flagged")
+	}
+}
+
+func TestCompareSimConfigMismatch(t *testing.T) {
+	fresh := simBaseline()
+	fresh.BlockSize = 16
+	r := CompareBenchSim(simBaseline(), fresh, DefaultThresholds(1))
+	if r.OK() || !strings.Contains(r.Regressions[0], "configuration mismatch") {
+		t.Fatalf("config mismatch not flagged: %v", r.Regressions)
+	}
+}
+
+func TestCompareNetIdenticalPasses(t *testing.T) {
+	if r := CompareBenchNet(netBaseline(), netBaseline(), DefaultThresholds(1)); !r.OK() {
+		t.Fatalf("identical net records regressed: %v", r.Regressions)
+	}
+}
+
+func TestCompareNetCatchesBandwidthCollapse(t *testing.T) {
+	fresh := netBaseline()
+	fresh.Transports[1].Points[1].BWMBps = 50 // tcp 64K collapses
+	r := CompareBenchNet(netBaseline(), fresh, DefaultThresholds(1))
+	if r.OK() {
+		t.Fatal("bandwidth collapse not flagged")
+	}
+}
+
+func TestCompareNetSweepShape(t *testing.T) {
+	fresh := netBaseline()
+	fresh.Transports[0].Points = fresh.Transports[0].Points[:1] // inproc lost a size
+	if r := CompareBenchNet(netBaseline(), fresh, DefaultThresholds(1)); r.OK() {
+		t.Fatal("missing sweep point not flagged")
+	}
+	fresh = netBaseline()
+	fresh.Transports = fresh.Transports[:1] // tcp missing entirely
+	if r := CompareBenchNet(netBaseline(), fresh, DefaultThresholds(1)); r.OK() {
+		t.Fatal("missing transport not flagged")
+	}
+}
+
+func TestCompareBenchFiles(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	freshPath := filepath.Join(dir, "fresh.json")
+	if err := WriteBenchSimJSON(basePath, simBaseline()); err != nil {
+		t.Fatal(err)
+	}
+	fresh := simBaseline()
+	fresh.PointsPerSec *= 0.1
+	if err := WriteBenchSimJSON(freshPath, fresh); err != nil {
+		t.Fatal(err)
+	}
+	r, err := CompareBenchFiles(basePath, freshPath, DefaultThresholds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != "sim" || r.OK() {
+		t.Fatalf("file compare: kind %q ok %v, want sim/regressed", r.Kind, r.OK())
+	}
+
+	// Kind detection and mismatch handling.
+	netPath := filepath.Join(dir, "net.json")
+	if err := WriteBenchNetJSON(netPath, netBaseline()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := CompareBenchFiles(basePath, netPath, DefaultThresholds(1)); err == nil {
+		t.Fatal("sim-vs-net comparison did not error")
+	}
+}

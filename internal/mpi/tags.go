@@ -46,6 +46,40 @@ func TagStream(n int) int {
 // sequence number (internal; exported for the conformance tests).
 func TagColl(seq uint64) int { return classColl | int(seq&0xFFFF) }
 
+// Observatory channels sit at the top of the stream namespace, far above
+// the dump stream (channel 0) and the net-bench channels (1..4): telemetry
+// batches ride one channel, and the clock-sync ping-pong uses one channel
+// pair per sample index so a sync burst never reuses a (dst, tag) pair
+// within a tag epoch.
+const (
+	obsBatchChannel = 0xF000
+	obsPingChannel  = 0xF100
+	obsPongChannel  = 0xF200
+
+	// ObsMaxSyncSamples bounds the per-burst clock-sync sample count.
+	ObsMaxSyncSamples = 0x100
+)
+
+// TagObsBatch returns the tag carrying observatory telemetry batches from a
+// rank to the collector on rank 0.
+func TagObsBatch() int { return TagStream(obsBatchChannel) }
+
+// TagObsPing returns the root-to-peer tag of clock-sync sample k.
+func TagObsPing(k int) int {
+	if k < 0 || k >= ObsMaxSyncSamples {
+		panic(fmt.Sprintf("mpi: clock-sync sample index out of range (%d)", k))
+	}
+	return TagStream(obsPingChannel + k)
+}
+
+// TagObsPong returns the peer-to-root reply tag of clock-sync sample k.
+func TagObsPong(k int) int {
+	if k < 0 || k >= ObsMaxSyncSamples {
+		panic(fmt.Sprintf("mpi: clock-sync sample index out of range (%d)", k))
+	}
+	return TagStream(obsPongChannel + k)
+}
+
 // tagCheckOn enables the debug assertion that flags reuse of a (dst, tag)
 // pair within one epoch. Off by default (it costs a map insert per send);
 // enabled by SetTagCheck or MPCF_TAGCHECK=1.

@@ -72,6 +72,13 @@ type Config struct {
 	// the cluster and node layers (unless Cluster.Tracer is already set).
 	Telemetry *telemetry.Set
 
+	// Observe (optional) enables the cross-rank performance observatory:
+	// per-phase step samples (plus spans and counters on distributed
+	// worlds) stream to rank 0 at every step boundary, which writes a
+	// merged clock-aligned Chrome trace and a Table-4-shaped imbalance
+	// report. See ObserveConfig.
+	Observe *ObserveConfig
+
 	// World (optional) supplies a pre-built communication world — a
 	// distributed one from mpi.ConnectTCP, or a test's inproc world. Nil
 	// builds the default in-process world sized to Cluster.RankDims. Its
@@ -117,6 +124,9 @@ type Summary struct {
 	Kernels map[string]perf.Stats
 	// Report is rank 0's full perf table.
 	Report string
+	// Observatory is the cross-rank imbalance report, present when
+	// Config.Observe was set.
+	Observatory *telemetry.ImbalanceReport
 }
 
 // Run executes the campaign. onStep (may be nil) is invoked on rank 0 after
@@ -196,6 +206,14 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		root := comm.Rank() == 0
 		startStep := r.Step // non-zero after a checkpoint restore
 		prevKernel := map[string]time.Duration{}
+		var obs *observer
+		if cfg.Observe != nil {
+			obs = newObserver(*cfg.Observe, comm, cfg.Cluster.Tracer, reg,
+				world.Distributed())
+			// The first sync happens before any step, so even a run killed
+			// mid-step leaves clock-aligned spans in the partial artifacts.
+			obs.syncClocks()
+		}
 		if root {
 			cellsGauge.Set(float64(int64(r.G.Cells()) * int64(nRanks)))
 		}
@@ -266,6 +284,15 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 					info.Imbalance = (tmax - tmin) / avg
 				}
 			}
+			if obs != nil {
+				// Step-boundary observatory flush: the step's last ghost
+				// exchange already opened a fresh tag epoch, so the batch
+				// and sync tags cannot collide with halo traffic.
+				if err := obs.flush(r, info.Step, info.WallMS); err != nil {
+					runErr = err
+					return
+				}
+			}
 			if root {
 				if reg != nil {
 					stepHist.Observe(stepSec)
@@ -331,6 +358,15 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		if cfg.OnFinish != nil {
 			cfg.OnFinish(r)
 		}
+		var obsReport *telemetry.ImbalanceReport
+		if obs != nil {
+			rep, err := obs.finish()
+			if err != nil {
+				runErr = err
+				return
+			}
+			obsReport = rep
+		}
 		if root {
 			wall := time.Since(start)
 			cells := int64(r.G.Cells()) * int64(nRanks)
@@ -342,6 +378,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 				KernelShare: map[string]float64{},
 				Kernels:     map[string]perf.Stats{},
 				Report:      r.Mon.Report(),
+				Observatory: obsReport,
 			}
 			if wall > 0 && r.Step > startStep {
 				// Rate over the steps this run actually executed (a restored

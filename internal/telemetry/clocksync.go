@@ -1,0 +1,63 @@
+package telemetry
+
+// Clock-offset estimation between ranks, so spans recorded on a remote
+// rank's tracer clock can be re-based onto rank 0's timeline in the merged
+// trace. The protocol is the classic NTP ping-pong: rank 0 stamps a ping at
+// t0 (its clock), the peer stamps the receive at t1 and the reply at t2
+// (its clock), rank 0 stamps the reply arrival at t3. Then
+//
+//	offset θ = ((t1-t0) + (t2-t3)) / 2   (peer clock minus root clock)
+//	rtt    δ = (t3-t0) - (t2-t1)         (pure wire time, both directions)
+//
+// θ is exact when the forward and return paths are symmetric; an asymmetry
+// of Δ biases θ by Δ/2, which is bounded by δ/2. The estimator therefore
+// keeps the sample with the smallest δ seen so far — queuing noise only
+// ever inflates δ, so the minimum-δ sample is the one with the least room
+// for asymmetric error (Cristian's algorithm / NTP's clock filter).
+
+// ClockSample is one ping-pong measurement.
+type ClockSample struct {
+	OffsetNS int64 // peer clock minus root clock, at minimum observed RTT
+	RTTNS    int64 // round-trip time of that sample
+}
+
+// ClockEstimator accumulates ping-pong samples for one peer and exposes
+// the best (minimum-RTT) offset estimate. The zero value is ready to use.
+type ClockEstimator struct {
+	best ClockSample
+	n    int
+}
+
+// Add folds in one ping-pong: t0/t3 on the root clock, t1/t2 on the peer
+// clock (all nanoseconds). It returns the sample it derived.
+func (e *ClockEstimator) Add(t0, t1, t2, t3 int64) ClockSample {
+	s := ClockSample{
+		OffsetNS: ((t1 - t0) + (t2 - t3)) / 2,
+		RTTNS:    (t3 - t0) - (t2 - t1),
+	}
+	if e.n == 0 || s.RTTNS < e.best.RTTNS {
+		e.best = s
+	}
+	e.n++
+	return s
+}
+
+// Offset returns the current best estimate of (peer clock - root clock) in
+// nanoseconds; 0 before any sample.
+func (e *ClockEstimator) Offset() int64 { return e.best.OffsetNS }
+
+// RTT returns the round-trip time of the best sample in nanoseconds.
+func (e *ClockEstimator) RTT() int64 { return e.best.RTTNS }
+
+// Samples returns the number of samples folded in.
+func (e *ClockEstimator) Samples() int { return e.n }
+
+// ErrorBound returns the worst-case error of the current offset estimate
+// in nanoseconds: half the best sample's RTT (an adversarially asymmetric
+// path can hide at most that much).
+func (e *ClockEstimator) ErrorBound() int64 {
+	if e.best.RTTNS < 0 {
+		return 0
+	}
+	return e.best.RTTNS / 2
+}

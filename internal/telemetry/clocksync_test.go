@@ -1,0 +1,115 @@
+package telemetry
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// simClock models two clocks separated by a true offset plus asymmetric
+// per-direction delays, and produces the four NTP timestamps of one
+// ping-pong.
+type simClock struct {
+	trueOffsetNS int64 // peer = root + offset
+	rootNow      int64
+}
+
+// pingPong advances root time and returns (t0, t1, t2, t3) for a ping with
+// the given forward/return wire delays and peer turnaround time.
+func (c *simClock) pingPong(fwd, turn, back int64) (t0, t1, t2, t3 int64) {
+	t0 = c.rootNow
+	t1 = t0 + fwd + c.trueOffsetNS // arrival stamped on the peer clock
+	t2 = t1 + turn
+	t3 = t2 - c.trueOffsetNS + back // reply arrival back on the root clock
+	c.rootNow = t3 + 1000           // next ping a little later
+	return
+}
+
+func TestClockEstimatorExactWhenSymmetric(t *testing.T) {
+	c := simClock{trueOffsetNS: 123_456_789}
+	var e ClockEstimator
+	t0, t1, t2, t3 := c.pingPong(500, 200, 500)
+	e.Add(t0, t1, t2, t3)
+	if got := e.Offset(); got != c.trueOffsetNS {
+		t.Fatalf("symmetric path: offset = %d, want exactly %d", got, c.trueOffsetNS)
+	}
+	if e.RTT() != 1000 {
+		t.Fatalf("rtt = %d, want 1000 (turnaround excluded)", e.RTT())
+	}
+}
+
+// TestClockEstimatorConvergesUnderAsymmetricDelay injects heavily
+// asymmetric, jittery delays: most samples carry queueing noise biased to
+// one direction, but occasional near-quiet samples appear (as they do on a
+// real host). The min-RTT filter must converge to those quiet samples, and
+// the final error must respect the ErrorBound guarantee.
+func TestClockEstimatorConvergesUnderAsymmetricDelay(t *testing.T) {
+	const trueOffset = -987_654_321
+	c := simClock{trueOffsetNS: trueOffset}
+	rng := rand.New(rand.NewSource(7))
+	var e ClockEstimator
+
+	baseFwd, baseBack := int64(400), int64(600) // 200ns of standing asymmetry
+	var firstErr int64
+	for i := 0; i < 400; i++ {
+		// Asymmetric queueing: the forward path suffers up to 50us extra,
+		// the return path up to 5us. Roughly 1-in-40 samples are quiet.
+		fwd, back := baseFwd, baseBack
+		if rng.Intn(40) != 0 {
+			fwd += rng.Int63n(50_000)
+			back += rng.Int63n(5_000)
+		}
+		t0, t1, t2, t3 := c.pingPong(fwd, 100+rng.Int63n(300), back)
+		e.Add(t0, t1, t2, t3)
+		if i == 0 {
+			firstErr = abs64(e.Offset() - trueOffset)
+		}
+	}
+	finalErr := abs64(e.Offset() - trueOffset)
+	if finalErr > e.ErrorBound() {
+		t.Fatalf("final error %dns exceeds the RTT/2 bound %dns", finalErr, e.ErrorBound())
+	}
+	// Quiet samples have rtt = 1000ns and asymmetry 200ns, so the best
+	// estimate must land within 100ns of the truth.
+	if finalErr > 100 {
+		t.Fatalf("final error %dns, want <= 100ns (quiet-sample asymmetry/2)", finalErr)
+	}
+	if finalErr > firstErr {
+		t.Fatalf("estimate degraded: first error %dns, final %dns", firstErr, finalErr)
+	}
+	if e.Samples() != 400 {
+		t.Fatalf("samples = %d, want 400", e.Samples())
+	}
+}
+
+// TestClockEstimatorBoundHolds: for ANY delay asymmetry the estimate error
+// must stay within RTT/2 of the truth — the hard guarantee alignment relies
+// on.
+func TestClockEstimatorBoundHolds(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 100; trial++ {
+		trueOffset := rng.Int63n(2_000_000_000) - 1_000_000_000
+		c := simClock{trueOffsetNS: trueOffset}
+		var e ClockEstimator
+		for i := 0; i < 20; i++ {
+			t0, t1, t2, t3 := c.pingPong(1+rng.Int63n(100_000), rng.Int63n(1000), 1+rng.Int63n(100_000))
+			e.Add(t0, t1, t2, t3)
+		}
+		if err := abs64(e.Offset() - trueOffset); err > e.ErrorBound() {
+			t.Fatalf("trial %d: error %dns exceeds bound %dns (offset %d)", trial, err, e.ErrorBound(), trueOffset)
+		}
+	}
+}
+
+func TestClockEstimatorZeroValue(t *testing.T) {
+	var e ClockEstimator
+	if e.Offset() != 0 || e.RTT() != 0 || e.Samples() != 0 {
+		t.Fatalf("zero estimator not inert: offset %d rtt %d n %d", e.Offset(), e.RTT(), e.Samples())
+	}
+}
+
+func abs64(v int64) int64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

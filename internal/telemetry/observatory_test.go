@@ -1,0 +1,231 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRankBatchEncodeDecode(t *testing.T) {
+	b := RankBatch{
+		Rank: 3,
+		Steps: []PhaseSample{{
+			Step: 7, WallMS: 12.5,
+			PhaseMS: map[string]float64{"RHS": 10, "halo_wait": 2.5},
+		}},
+		Spans:    []SpanRecord{{Name: "rhs", Rank: 3, Worker: 1, StartNS: 1000, DurNS: 500}},
+		Counters: map[string]float64{"mpcf_net_bytes_sent": 4096},
+	}
+	got, err := DecodeBatch(b.Encode())
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if got.Rank != 3 || len(got.Steps) != 1 || len(got.Spans) != 1 {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	if got.Steps[0].PhaseMS["halo_wait"] != 2.5 {
+		t.Fatalf("phase lost: %+v", got.Steps[0])
+	}
+	if got.Spans[0] != b.Spans[0] {
+		t.Fatalf("span mismatch: %+v", got.Spans[0])
+	}
+	if got.Counters["mpcf_net_bytes_sent"] != 4096 {
+		t.Fatalf("counter lost: %+v", got.Counters)
+	}
+	if _, err := DecodeBatch([]byte("{nope")); err == nil {
+		t.Fatal("want error on malformed batch")
+	}
+}
+
+// TestMergedTraceTrackOrdering: the merged trace must carry one process
+// (pid) per rank with its metadata emitted before any events, threads
+// mapped from workers, and monotonic timestamps within each track —
+// regardless of the arrival order of remote batches.
+func TestMergedTraceTrackOrdering(t *testing.T) {
+	a := NewAggregator(3)
+	// Remote batches arrive out of order, rank 2 before rank 1, with spans
+	// unsorted inside each batch.
+	a.SetClockOffset(2, 1_000_000) // rank 2's clock runs 1ms ahead of rank 0
+	a.AddBatch(RankBatch{Rank: 2, Spans: []SpanRecord{
+		{Name: "rhs", Rank: 2, Worker: 1, StartNS: 5_000_000, DurNS: 100_000},
+		{Name: "step", Rank: 2, Worker: 0, StartNS: 4_000_000, DurNS: 2_000_000},
+	}})
+	a.AddBatch(RankBatch{Rank: 1, Spans: []SpanRecord{
+		{Name: "step", Rank: 1, Worker: 0, StartNS: 3_500_000, DurNS: 1_000_000},
+	}})
+	local := []SpanRecord{
+		{Name: "step", Rank: 0, Worker: 0, StartNS: 3_000_000, DurNS: 1_500_000},
+		{Name: "rhs", Rank: 0, Worker: 2, StartNS: 3_200_000, DurNS: 300_000},
+	}
+	tf := a.MergedTrace(local)
+
+	// Metadata first: a process_name per rank and a thread_name per track.
+	var metaEnd int
+	procs := map[int]string{}
+	threads := map[[2]int]string{}
+	for i, ev := range tf.TraceEvents {
+		if ev.Ph != "M" {
+			metaEnd = i
+			break
+		}
+		name, _ := ev.Args["name"].(string)
+		switch ev.Name {
+		case "process_name":
+			procs[ev.PID] = name
+		case "thread_name":
+			threads[[2]int{ev.PID, ev.TID}] = name
+		}
+	}
+	for _, ev := range tf.TraceEvents[metaEnd:] {
+		if ev.Ph == "M" {
+			t.Fatal("metadata interleaved with events")
+		}
+	}
+	for pid, want := range map[int]string{0: "rank 0", 1: "rank 1", 2: "rank 2"} {
+		if procs[pid] != want {
+			t.Fatalf("pid %d process_name = %q, want %q", pid, procs[pid], want)
+		}
+	}
+	for tr, want := range map[[2]int]string{
+		{0, 0}: "main", {0, 2}: "worker 2", {1, 0}: "main",
+		{2, 0}: "main", {2, 1}: "worker 1",
+	} {
+		if threads[tr] != want {
+			t.Fatalf("track %v thread_name = %q, want %q", tr, threads[tr], want)
+		}
+	}
+
+	// Events sorted by (pid, tid, ts); rank 2's spans re-based by -1ms.
+	events := tf.TraceEvents[metaEnd:]
+	if len(events) != 5 {
+		t.Fatalf("events = %d, want 5", len(events))
+	}
+	for i := 1; i < len(events); i++ {
+		a, b := events[i-1], events[i]
+		if a.PID > b.PID || (a.PID == b.PID && a.TID > b.TID) ||
+			(a.PID == b.PID && a.TID == b.TID && a.TS > b.TS) {
+			t.Fatalf("events out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	for _, ev := range events {
+		if ev.PID == 2 && ev.TID == 0 && ev.TS != 3000 { // 4ms - 1ms offset, in us
+			t.Fatalf("rank 2 span not clock-aligned: ts = %v us, want 3000", ev.TS)
+		}
+	}
+}
+
+func TestImbalanceSingleRankIsZero(t *testing.T) {
+	a := NewAggregator(1)
+	a.AddSample(0, PhaseSample{Step: 1, WallMS: 10, PhaseMS: map[string]float64{"RHS": 9}})
+	rep := a.Report()
+	if rep.StepsObserved != 1 {
+		t.Fatalf("steps observed = %d", rep.StepsObserved)
+	}
+	if got := rep.Run["RHS"].Imbalance; got != 0 {
+		t.Fatalf("single rank imbalance = %v, want 0", got)
+	}
+	if rep.Steps[0].WallImbalance != 0 {
+		t.Fatalf("single rank wall imbalance = %v, want 0", rep.Steps[0].WallImbalance)
+	}
+	if rep.Straggler != 0 {
+		t.Fatalf("straggler = %d, want 0 (the only rank)", rep.Straggler)
+	}
+}
+
+func TestImbalanceZeroDurationPhase(t *testing.T) {
+	a := NewAggregator(2)
+	for r := 0; r < 2; r++ {
+		a.AddSample(r, PhaseSample{Step: 0, WallMS: 5, PhaseMS: map[string]float64{"ENC": 0}})
+	}
+	rep := a.Report()
+	if got := rep.Run["ENC"].Imbalance; got != 0 {
+		t.Fatalf("zero-duration phase imbalance = %v, want 0 (no NaN/Inf)", got)
+	}
+}
+
+func TestImbalanceMaxOverAvg(t *testing.T) {
+	a := NewAggregator(2)
+	a.AddSample(0, PhaseSample{Step: 4, WallMS: 10, PhaseMS: map[string]float64{"RHS": 10, "halo_wait": 0}})
+	a.AddSample(1, PhaseSample{Step: 4, WallMS: 30, PhaseMS: map[string]float64{"RHS": 12, "halo_wait": 18}})
+	rep := a.Report()
+	// Wall: max 30, avg 20 -> 50%.
+	if got := rep.Steps[0].WallImbalance; got < 49.99 || got > 50.01 {
+		t.Fatalf("wall imbalance = %v, want 50", got)
+	}
+	if rep.Steps[0].Straggler != 1 {
+		t.Fatalf("straggler = %d, want 1", rep.Steps[0].Straggler)
+	}
+	if rep.Steps[0].StragglerWait != "halo_wait" {
+		t.Fatalf("straggler wait = %q, want halo_wait", rep.Steps[0].StragglerWait)
+	}
+	// halo_wait: max 18, avg 9 -> 100%.
+	if got := rep.Steps[0].Phases["halo_wait"].Imbalance; got < 99.99 || got > 100.01 {
+		t.Fatalf("halo_wait imbalance = %v, want 100", got)
+	}
+	if rep.Straggler != 1 || rep.StragglerWait != "halo_wait" {
+		t.Fatalf("run straggler = %d/%q, want 1/halo_wait", rep.Straggler, rep.StragglerWait)
+	}
+}
+
+// TestImbalanceMissingRankBatches: after a peer death the report must be
+// computed over the ranks that did report, and count what is missing.
+func TestImbalanceMissingRankBatches(t *testing.T) {
+	a := NewAggregator(3)
+	for _, r := range []int{0, 1} {
+		a.AddSample(r, PhaseSample{Step: 0, WallMS: 10 + float64(r)*10,
+			PhaseMS: map[string]float64{"RHS": 10}})
+	}
+	a.MarkMissing(2, 0)
+	rep := a.Report()
+	if rep.MissingBatches != 1 {
+		t.Fatalf("missing = %d, want 1", rep.MissingBatches)
+	}
+	if rep.Steps[0].Ranks != 2 {
+		t.Fatalf("reporting ranks = %d, want 2", rep.Steps[0].Ranks)
+	}
+	// max 20, avg 15 -> 33.3% over the surviving ranks.
+	if got := rep.Steps[0].WallImbalance; got < 33.3 || got > 33.4 {
+		t.Fatalf("wall imbalance over survivors = %v, want ~33.3", got)
+	}
+}
+
+func TestReportTextAndCounters(t *testing.T) {
+	a := NewAggregator(2)
+	a.AddSample(0, PhaseSample{Step: 0, WallMS: 10, PhaseMS: map[string]float64{"RHS": 8, "ghost_exchange": 2}})
+	a.AddSample(1, PhaseSample{Step: 0, WallMS: 14, PhaseMS: map[string]float64{"RHS": 8, "ghost_exchange": 6}})
+	a.AddBatch(RankBatch{Rank: 1, Counters: map[string]float64{"mpcf_net_bytes_sent": 1 << 20}})
+	var buf bytes.Buffer
+	if err := a.Report().WriteText(&buf); err != nil {
+		t.Fatalf("write text: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"2 ranks", "RHS", "ghost_exchange", "straggler: rank 1", "rank 1 net:"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report text missing %q:\n%s", want, out)
+		}
+	}
+	var js bytes.Buffer
+	if err := a.Report().WriteJSON(&js); err != nil {
+		t.Fatalf("write json: %v", err)
+	}
+	if !strings.Contains(js.String(), "\"imbalance_pct\"") {
+		t.Fatalf("json missing imbalance_pct:\n%s", js.String())
+	}
+}
+
+// TestAggregatorSpanLimit: the merge buffer must not grow without bound.
+func TestAggregatorSpanLimit(t *testing.T) {
+	a := NewAggregator(2)
+	a.limit = 4
+	spans := make([]SpanRecord, 6)
+	for i := range spans {
+		spans[i] = SpanRecord{Name: "s", Rank: 1, StartNS: int64(i)}
+	}
+	a.AddBatch(RankBatch{Rank: 1, Spans: spans})
+	if len(a.spans) != 4 {
+		t.Fatalf("buffered spans = %d, want 4", len(a.spans))
+	}
+	if a.Dropped() == 0 {
+		t.Fatal("dropped counter not incremented")
+	}
+}

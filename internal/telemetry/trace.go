@@ -108,6 +108,69 @@ func (t *Tracer) Len() int {
 	return len(t.events)
 }
 
+// SpanRecord is one completed span in transportable form: timestamps are
+// nanoseconds since the recording tracer's epoch. It is the exchange unit
+// of the cross-rank observatory — remote ranks drain their tracer into
+// records, ship them to rank 0, and the aggregator re-bases StartNS onto
+// rank 0's clock before merging (see observatory.go).
+type SpanRecord struct {
+	Name    string `json:"name"`
+	Rank    int32  `json:"rank"`
+	Worker  int32  `json:"worker"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+// Now returns the current time on this tracer's clock (nanoseconds since
+// its epoch) — the clock basis of every SpanRecord it emits. The
+// clock-offset handshake exchanges these values across ranks.
+func (t *Tracer) Now() int64 {
+	if t == nil {
+		return 0
+	}
+	return int64(time.Since(t.epoch))
+}
+
+// Records snapshots the buffered spans as SpanRecords without removing
+// them.
+func (t *Tracer) Records() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return toRecords(t.events)
+}
+
+// Drain removes and returns the buffered spans as SpanRecords. Remote ranks
+// of a distributed run drain at every observatory flush, so the local
+// buffer stays small and each batch carries only new spans. The dropped
+// counter is cumulative and unaffected.
+func (t *Tracer) Drain() []SpanRecord {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	recs := toRecords(t.events)
+	t.events = t.events[:0]
+	return recs
+}
+
+func toRecords(events []spanEvent) []SpanRecord {
+	if len(events) == 0 {
+		return nil
+	}
+	recs := make([]SpanRecord, len(events))
+	for i, ev := range events {
+		recs[i] = SpanRecord{
+			Name: ev.name, Rank: ev.rank, Worker: ev.worker,
+			StartNS: int64(ev.start), DurNS: int64(ev.dur),
+		}
+	}
+	return recs
+}
+
 // TraceEvent is one entry of the exported trace_event array. Complete
 // spans use ph "X" with microsecond ts/dur; track names use ph "M".
 type TraceEvent struct {
@@ -132,23 +195,30 @@ type TraceFile struct {
 // (pid, tid, ts) so timestamps are monotonic within each track, and each
 // track carries process/thread-name metadata.
 func (t *Tracer) Export() TraceFile {
-	if t == nil {
+	return BuildTrace(t.Records())
+}
+
+// BuildTrace renders span records as a TraceFile: ranks map to trace
+// processes (pid), workers to threads (tid), events are sorted by
+// (pid, tid, ts) so timestamps are monotonic within each track, and each
+// track carries process/thread-name metadata. The records may come from one
+// tracer (Export) or from many ranks' tracers merged onto a common clock
+// (the observatory's merged trace).
+func BuildTrace(records []SpanRecord) TraceFile {
+	if len(records) == 0 {
 		return TraceFile{TraceEvents: []TraceEvent{}, DisplayTimeUnit: "ms"}
 	}
-	t.mu.Lock()
-	events := make([]spanEvent, len(t.events))
-	copy(events, t.events)
-	t.mu.Unlock()
-
+	events := make([]SpanRecord, len(records))
+	copy(events, records)
 	sort.SliceStable(events, func(i, j int) bool {
 		a, b := events[i], events[j]
-		if a.rank != b.rank {
-			return a.rank < b.rank
+		if a.Rank != b.Rank {
+			return a.Rank < b.Rank
 		}
-		if a.worker != b.worker {
-			return a.worker < b.worker
+		if a.Worker != b.Worker {
+			return a.Worker < b.Worker
 		}
-		return a.start < b.start
+		return a.StartNS < b.StartNS
 	})
 
 	type track struct{ pid, tid int32 }
@@ -156,30 +226,30 @@ func (t *Tracer) Export() TraceFile {
 	out := TraceFile{DisplayTimeUnit: "ms"}
 	var meta []TraceEvent
 	for _, ev := range events {
-		tr := track{ev.rank, ev.worker}
+		tr := track{ev.Rank, ev.Worker}
 		if !seen[tr] {
 			seen[tr] = true
-			if ev.worker == 0 {
+			if ev.Worker == 0 {
 				meta = append(meta, TraceEvent{
-					Name: "process_name", Ph: "M", PID: int(ev.rank), TID: 0,
-					Args: map[string]any{"name": fmt.Sprintf("rank %d", ev.rank)},
+					Name: "process_name", Ph: "M", PID: int(ev.Rank), TID: 0,
+					Args: map[string]any{"name": fmt.Sprintf("rank %d", ev.Rank)},
 				})
 				meta = append(meta, TraceEvent{
-					Name: "thread_name", Ph: "M", PID: int(ev.rank), TID: 0,
+					Name: "thread_name", Ph: "M", PID: int(ev.Rank), TID: 0,
 					Args: map[string]any{"name": "main"},
 				})
 			} else {
 				meta = append(meta, TraceEvent{
-					Name: "thread_name", Ph: "M", PID: int(ev.rank), TID: int(ev.worker),
-					Args: map[string]any{"name": fmt.Sprintf("worker %d", ev.worker)},
+					Name: "thread_name", Ph: "M", PID: int(ev.Rank), TID: int(ev.Worker),
+					Args: map[string]any{"name": fmt.Sprintf("worker %d", ev.Worker)},
 				})
 			}
 		}
 		out.TraceEvents = append(out.TraceEvents, TraceEvent{
-			Name: ev.name, Cat: "solver", Ph: "X",
-			TS:  float64(ev.start.Nanoseconds()) / 1e3,
-			Dur: float64(ev.dur.Nanoseconds()) / 1e3,
-			PID: int(ev.rank), TID: int(ev.worker),
+			Name: ev.Name, Cat: "solver", Ph: "X",
+			TS:  float64(ev.StartNS) / 1e3,
+			Dur: float64(ev.DurNS) / 1e3,
+			PID: int(ev.Rank), TID: int(ev.Worker),
 		})
 	}
 	out.TraceEvents = append(meta, out.TraceEvents...)
