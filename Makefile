@@ -49,13 +49,14 @@ bench-net:
 bench-snapshot:
 	$(GO) run ./cmd/mpcf-bench -exp sim -n 8 -steps 20 -json bench/BENCH_sim.json
 	$(GO) run ./cmd/mpcf-bench -exp net -net-json bench/BENCH_net.json
+	$(GO) run ./cmd/mpcf-bench -exp cloud -cloud-json bench/BENCH_cloud.json
 
 # The regression gate: rerun both benchmarks at the baselines' own
 # configuration and fail on structural changes or rate collapse
 # (docs/observability.md). SLACK widens the thresholds for noisy hosts.
 SLACK ?= 1
 bench-compare:
-	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json -compare-slack $(SLACK)
+	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json,bench/BENCH_cloud.json -compare-slack $(SLACK)
 
 # CI perf smoke: a 2-rank TCP run through the observatory (merged trace +
 # imbalance report artifacts) plus the bench gate in report-only mode.
@@ -69,7 +70,7 @@ perf-smoke: bin
 	@test -s perf-smoke.tmp/trace_merged.json
 	@test -s perf-smoke.tmp/imbalance.txt
 	cat perf-smoke.tmp/imbalance.txt
-	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json -compare-warn
+	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json,bench/BENCH_cloud.json -compare-warn
 	@echo "perf-smoke: merged trace, imbalance report and compare gate all ran"
 
 # End-to-end transport correctness: the same small Sod problem through two

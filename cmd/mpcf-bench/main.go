@@ -9,7 +9,7 @@
 //	mpcf-bench -n 32 -dur 2s    # production block size, longer timing
 //
 // Experiments: table3 table4 table5 table6 table7 table8 table9 table10
-// fig5 fig7 fig9 compression throughput io sim net all
+// fig5 fig7 fig9 compression throughput io sim net cloud all
 //
 // The net experiment sweeps wire-transport message sizes (1 KiB – 4 MiB)
 // on both the inproc and tcp transports, emitting BENCH_net.json with
@@ -18,6 +18,13 @@
 // The sim experiment also emits a machine-readable BENCH_sim.json (per-kernel
 // GFLOP/s, step latency percentiles, cross-rank imbalance) next to the
 // human-readable report, so the perf trajectory across PRs is diffable.
+//
+// The cloud experiment runs the scenario engine's default cloud-collapse
+// case (internal/scenario) at the fixed benchmark configuration (32³,
+// 40 steps) and emits BENCH_cloud.json: throughput and step latency plus
+// the deterministic Figure-5 observables (peak/wall pressure amplification,
+// equivalent-radius collapse, kinetic energy, β), which the -compare gate
+// holds to a tight relative tolerance.
 //
 // The regression gate diffs fresh results against checked-in baselines:
 //
@@ -42,12 +49,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table3..table10, fig5, fig7, fig9, compression, throughput, io, sim, all)")
+	exp := flag.String("exp", "all", "experiment id (table3..table10, fig5, fig7, fig9, compression, throughput, io, sim, net, cloud, all)")
 	n := flag.Int("n", 16, "block edge in cells (paper production: 32)")
 	dur := flag.Duration("dur", 500*time.Millisecond, "minimum timing window per kernel measurement")
 	steps := flag.Int("steps", 100, "time steps for the simulation-driven experiments")
 	jsonPath := flag.String("json", "BENCH_sim.json", "machine-readable output path of the sim experiment (empty: skip)")
 	netJSONPath := flag.String("net-json", "BENCH_net.json", "machine-readable output path of the net experiment (empty: skip)")
+	cloudJSONPath := flag.String("cloud-json", "BENCH_cloud.json", "machine-readable output path of the cloud experiment (empty: skip)")
 	pipeline := flag.Bool("pipeline", true, "primary sim-experiment mode: dependency-driven fused RHS+UP pipeline (false: bulk-synchronous staged baseline); both modes are always measured")
 	compare := flag.String("compare", "", "comma-separated baseline BENCH_*.json paths; rerun the matching benchmarks and exit 1 on regression")
 	compareCurrent := flag.String("compare-current", "", "comma-separated fresh BENCH_*.json paths paired with -compare by position: diff files instead of rerunning")
@@ -76,10 +84,11 @@ func main() {
 		"io":          func() { experiments.IO(w, *n) },
 		"sim":         func() { experiments.BenchSim(w, *n, *steps, *jsonPath, *pipeline) },
 		"net":         func() { experiments.BenchNet(w, *netJSONPath) },
+		"cloud":       func() { experiments.BenchCloud(w, "cloud", 0, *cloudJSONPath) },
 	}
 	order := []string{
 		"table3", "table4", "table5", "table6", "table7", "table8",
-		"table9", "table10", "fig5", "fig7", "fig9", "compression", "throughput", "io", "sim", "net",
+		"table9", "table10", "fig5", "fig7", "fig9", "compression", "throughput", "io", "sim", "net", "cloud",
 	}
 	if *exp == "all" {
 		for _, id := range order {

@@ -5,6 +5,9 @@
 // Usage examples:
 //
 //	mpcf-sim -steps 200                          # default small cloud
+//	mpcf-sim -scenario cloud                     # registry case with wall + β
+//	mpcf-sim -scenario cloud -beta 3             # target interaction parameter
+//	mpcf-sim -scenario shockbubble               # shock-induced collapse
 //	mpcf-sim -ranks 2,2,2 -blocks 2,2,2 -n 16    # 8 simulated MPI ranks
 //	mpcf-sim -bubbles 40 -wall -dump-every 100 -dump-dir out/
 //	mpcf-sim -case sod                           # validation case
@@ -51,6 +54,8 @@ func parseTriple(s string, def [3]int) [3]int {
 
 func main() {
 	caseName := flag.String("case", "cloud", "initial condition: cloud, sod, bubble")
+	scenarioName := flag.String("scenario", "", "named scenario from the registry (cloud, shockbubble, array); replaces -case and hand-rolled init")
+	beta := flag.Float64("beta", 0, "target cloud interaction parameter β for -scenario cloud (picks the bubble count; mutually exclusive with -bubbles)")
 	ranks := flag.String("ranks", "", "rank grid, e.g. 2,2,2 (default 1,1,1)")
 	blocks := flag.String("blocks", "", "blocks per rank, e.g. 4,4,4")
 	n := flag.Int("n", 16, "block edge in cells (paper production: 32)")
@@ -237,28 +242,70 @@ func main() {
 		log.Fatalf("unknown transport %q (want inproc or tcp)", *transportName)
 	}
 
-	switch *caseName {
-	case "sod":
-		cfg.Init = cubism.SodInit
-	case "bubble":
-		cfg.Init = cubism.CloudField([]cubism.Bubble{{X: 0.5, Y: 0.5, Z: 0.5, R: 0.15}}, 0.02)
-	case "cloud":
-		cloudBubbles, err := cubism.GenerateCloud(cubism.CloudSpec{
-			Center: [3]float64{0.5, 0.5, 0.55},
-			Radius: 0.3,
-			N:      *bubbles,
-			RMin:   0.04, RMax: 0.09,
-			Seed: *seed,
-		})
+	if *scenarioName != "" {
+		// Registry-backed setup: the scenario provides the initial condition,
+		// boundary conditions and wall diagnostics; the CLI decomposition and
+		// step flags override its laptop-scale defaults.
+		setFlags := map[string]bool{}
+		flag.Visit(func(f *flag.Flag) { setFlags[f.Name] = true })
+		sp := cubism.ScenarioParams{
+			Ranks:     cfg.Ranks,
+			Blocks:    cfg.Blocks,
+			BlockSize: *n,
+			Steps:     *steps,
+			Workers:   *workers,
+			Seed:      *seed,
+			DiagEvery: *diagEvery,
+			Beta:      *beta,
+		}
+		if setFlags["bubbles"] {
+			// Only forward an explicit count: the array scenario reads it as
+			// the lattice edge, and -beta computes the cloud count itself.
+			sp.Bubbles = *bubbles
+		}
+		c, err := cubism.BuildScenario(*scenarioName, sp)
 		if err != nil {
 			log.Fatal(err)
 		}
+		sc := cubism.ScenarioConfig(c)
+		cfg.Init = sc.Init
+		cfg.Boundaries = sc.Boundaries
+		cfg.Wall = sc.Wall
+		cfg.HasWall = sc.HasWall
 		if !*quiet {
-			fmt.Fprintf(os.Stderr, "generated %d bubbles\n", len(cloudBubbles))
+			fmt.Fprintf(os.Stderr, "scenario %s: %d bubbles", c.Name, len(c.Bubbles))
+			if c.Beta > 0 {
+				fmt.Fprintf(os.Stderr, ", beta=%.3f, alpha0=%.4f", c.Beta, c.VoidFraction)
+			}
+			if c.RayleighTau > 0 {
+				fmt.Fprintf(os.Stderr, ", rayleigh tau=%.3e", c.RayleighTau)
+			}
+			fmt.Fprintln(os.Stderr)
 		}
-		cfg.Init = cubism.CloudField(cloudBubbles, 0.015)
-	default:
-		log.Fatalf("unknown case %q", *caseName)
+	} else {
+		switch *caseName {
+		case "sod":
+			cfg.Init = cubism.SodInit
+		case "bubble":
+			cfg.Init = cubism.CloudField([]cubism.Bubble{{X: 0.5, Y: 0.5, Z: 0.5, R: 0.15}}, 0.02)
+		case "cloud":
+			cloudBubbles, err := cubism.GenerateCloud(cubism.CloudSpec{
+				Center: [3]float64{0.5, 0.5, 0.55},
+				Radius: 0.3,
+				N:      *bubbles,
+				RMin:   0.04, RMax: 0.09,
+				Seed: *seed,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if !*quiet {
+				fmt.Fprintf(os.Stderr, "generated %d bubbles\n", len(cloudBubbles))
+			}
+			cfg.Init = cubism.CloudField(cloudBubbles, 0.015)
+		default:
+			log.Fatalf("unknown case %q", *caseName)
+		}
 	}
 	if *wall {
 		cfg.Boundaries = cubism.WallBC(cubism.ZLo)

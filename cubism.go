@@ -46,6 +46,7 @@ import (
 	"cubism/internal/grid"
 	"cubism/internal/mpi"
 	"cubism/internal/physics"
+	"cubism/internal/scenario"
 	"cubism/internal/sim"
 	"cubism/internal/telemetry"
 	"cubism/internal/transport"
@@ -120,6 +121,58 @@ func CloudField(bubbles []Bubble, eps float64) func(x, y, z float64) State {
 
 // SodInit is the classic Sod shock-tube initial condition along x.
 var SodInit = sim.SodInit
+
+// ScenarioParams overrides a named scenario's laptop-scale defaults; the
+// zero value keeps every default.
+type ScenarioParams = scenario.Params
+
+// ScenarioCase is a fully initialized simulation setup from the scenario
+// registry, with the analytic references (interaction parameter β, Rayleigh
+// collapse time) its observables are judged against.
+type ScenarioCase = scenario.Case
+
+// ScenarioObserver reduces a scenario run to the paper's Figure-5 collapse
+// observables (peak/wall pressure amplification, kinetic energy, equivalent
+// cloud radius, collapse time vs the Rayleigh prediction).
+type ScenarioObserver = scenario.Observer
+
+// ScenarioNames lists the registered scenario names (sorted): seeded
+// lognormal bubble clouds ("cloud"), shock-induced single-bubble collapse
+// ("shockbubble") and regular bubble arrays ("array").
+func ScenarioNames() []string { return scenario.Names() }
+
+// BuildScenario builds a named scenario from the registry.
+func BuildScenario(name string, p ScenarioParams) (*ScenarioCase, error) {
+	return scenario.Build(name, p)
+}
+
+// NewScenarioObserver attaches the observables pipeline to a built case;
+// feed it as (or from) the Run step callback and call Metrics() afterwards.
+func NewScenarioObserver(c *ScenarioCase) *ScenarioObserver {
+	return scenario.NewObserver(c)
+}
+
+// ScenarioConfig converts a built case into a Config ready for Run, carrying
+// the decomposition, initial condition, boundary conditions and wall
+// diagnostics of the case. Dumps, telemetry and transports can be layered on
+// the returned Config before running.
+func ScenarioConfig(c *ScenarioCase) Config {
+	cc := c.Config.Cluster
+	return Config{
+		Ranks:      cc.RankDims,
+		Blocks:     cc.BlockDims,
+		BlockSize:  cc.BlockSize,
+		Extent:     cc.Extent,
+		Boundaries: cc.BC,
+		Workers:    cc.Workers,
+		CFL:        cc.CFL,
+		Init:       cc.Init,
+		Steps:      c.Config.Steps,
+		DiagEvery:  c.Config.DiagEvery,
+		Wall:       c.Config.Wall,
+		HasWall:    c.Config.HasWall,
+	}
+}
 
 // Config describes a simulation campaign.
 type Config struct {

@@ -1,11 +1,12 @@
 // Cloud cavitation collapse near a solid wall — a laptop-scale version of
-// the paper's production run (§7): spherical vapor bubbles with lognormal
-// radii inside liquid pressurized at 100 bar, a reflecting wall at z=0,
-// compressed data dumps of p and Γ, and the Figure 5 diagnostics (maximum
-// pressure in the field and on the wall, kinetic energy, equivalent cloud
-// radius) printed as CSV.
+// the paper's production run (§7), driven through the scenario registry: the
+// same named case cmd/mpcf-sim (-scenario), cmd/mpcf-verify and
+// cmd/mpcf-bench (-exp cloud) run. The example prints the Figure 5
+// diagnostics (maximum pressure in the field and on the wall, kinetic
+// energy, equivalent cloud radius) as CSV while the run advances, and the
+// reduced collapse observables when it finishes.
 //
-//	go run ./examples/cloudcollapse [-bubbles N] [-steps N] [-dumps]
+//	go run ./examples/cloudcollapse [-scenario cloud] [-bubbles N] [-beta B] [-dumps]
 package main
 
 import (
@@ -13,45 +14,38 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 
 	"cubism"
 )
 
 func main() {
-	nb := flag.Int("bubbles", 12, "number of bubbles in the cloud")
-	steps := flag.Int("steps", 150, "number of time steps")
+	name := flag.String("scenario", "cloud", fmt.Sprintf("named scenario, one of %v", cubism.ScenarioNames()))
+	nb := flag.Int("bubbles", 0, "bubble count (cloud) or lattice edge (array); 0: scenario default")
+	beta := flag.Float64("beta", 0, "target interaction parameter β — picks the cloud bubble count (0: off)")
+	steps := flag.Int("steps", 0, "number of time steps (0: scenario default)")
 	n := flag.Int("n", 16, "block edge in cells")
 	blocks := flag.Int("blocks", 4, "blocks per dimension")
 	dumps := flag.Bool("dumps", false, "write compressed p and Γ snapshots")
-	seed := flag.Int64("seed", 42, "cloud random seed")
+	seed := flag.Int64("seed", 0, "cloud random seed (0: scenario default)")
 	flag.Parse()
 
-	// Cloud of bubbles above the wall, radii 50-200 (in units of 1e-3 of
-	// the domain; the paper's 50-200 micron range scaled to the box).
-	spec := cubism.CloudSpec{
-		Center: [3]float64{0.5, 0.5, 0.55},
-		Radius: 0.3,
-		N:      *nb,
-		RMin:   0.04, RMax: 0.09,
-		Seed: *seed,
-	}
-	bubbles, err := cubism.GenerateCloud(spec)
+	c, err := cubism.BuildScenario(*name, cubism.ScenarioParams{
+		Blocks:    [3]int{*blocks, *blocks, *blocks},
+		BlockSize: *n,
+		Steps:     *steps,
+		Bubbles:   *nb,
+		Seed:      *seed,
+		Beta:      *beta,
+		DiagEvery: 5,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "cloud: %d bubbles generated\n", len(bubbles))
+	fmt.Fprintf(os.Stderr, "%s: %d bubbles, β=%.3f, α₀=%.4f, Rayleigh τ=%.3e\n",
+		c.Name, len(c.Bubbles), c.Beta, c.VoidFraction, c.RayleighTau)
 
-	cfg := cubism.Config{
-		Blocks:     [3]int{*blocks, *blocks, *blocks},
-		BlockSize:  *n,
-		Extent:     1.0,
-		Boundaries: cubism.WallBC(cubism.ZLo),
-		Init:       cubism.CloudField(bubbles, 0.015),
-		Steps:      *steps,
-		DiagEvery:  5,
-		Wall:       cubism.ZLo,
-		HasWall:    true,
-	}
+	cfg := cubism.ScenarioConfig(c)
 	if *dumps {
 		dir, err := os.MkdirTemp("", "mpcf-dumps-*")
 		if err != nil {
@@ -62,12 +56,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "dumps: %s (p at eps=1e-2, Γ at eps=1e-3)\n", dir)
 	}
 
-	const ambient = 100e5
+	obs := cubism.NewScenarioObserver(c)
 	fmt.Println("time,dt,max_p_over_ambient,wall_p_over_ambient,kinetic_energy,equiv_radius")
 	summary, err := cubism.Run(cfg, func(s cubism.StepInfo) {
+		obs.OnStep(s)
 		if s.HasDiag {
 			fmt.Printf("%.4e,%.3e,%.3f,%.3f,%.4e,%.4f\n",
-				s.Time, s.DT, s.Diag.MaxPressure/ambient, s.Diag.WallPressure/ambient,
+				s.Time, s.DT, s.Diag.MaxPressure/c.AmbientP, s.Diag.WallPressure/c.AmbientP,
 				s.Diag.KineticEnergy, s.Diag.EquivRadius)
 		}
 		for q, rate := range s.DumpRates {
@@ -76,6 +71,17 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	metrics := obs.Metrics()
+	keys := make([]string, 0, len(metrics))
+	for k := range metrics {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Fprintf(os.Stderr, "\nobservables:\n")
+	for _, k := range keys {
+		fmt.Fprintf(os.Stderr, "  %-14s %.6g\n", k, metrics[k])
 	}
 	fmt.Fprintf(os.Stderr, "\n%d steps in %v (%.2f Mpoints/s)\n%s",
 		summary.Steps, summary.WallTime.Round(1e6), summary.PointsPerSec/1e6, summary.Report)

@@ -179,6 +179,138 @@ func VaporVolume(bubbles []Bubble) float64 {
 	return v
 }
 
+// VoidFraction is the gas volume fraction α₀ of a bubble set inside a
+// spherical cloud region of the given radius: Σ(4/3 π r³) / (4/3 π R_C³).
+func VoidFraction(bubbles []Bubble, cloudRadius float64) float64 {
+	if cloudRadius <= 0 {
+		return 0
+	}
+	return VaporVolume(bubbles) / (4.0 / 3.0 * math.Pi * cloudRadius * cloudRadius * cloudRadius)
+}
+
+// MeanRadius is the arithmetic mean bubble radius R₀ of the set.
+func MeanRadius(bubbles []Bubble) float64 {
+	if len(bubbles) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, b := range bubbles {
+		sum += b.R
+	}
+	return sum / float64(len(bubbles))
+}
+
+// InteractionParameter is the cloud interaction parameter
+//
+//	β = α₀ (1 − α₀) (R_C / R₀)²
+//
+// of d'Agostino & Brennen, the dimensionless coupling strength Rasthofer et
+// al. use to characterize their 12'500-bubble clouds: β ≪ 1 means bubbles
+// collapse as isolated Rayleigh bubbles, β ≳ 1 means the cloud collapses
+// collectively from the outside in, focusing pressure at the center. α₀ is
+// the gas void fraction of the cloud sphere and R₀ the mean bubble radius.
+func InteractionParameter(bubbles []Bubble, cloudRadius float64) float64 {
+	r0 := MeanRadius(bubbles)
+	if r0 <= 0 || cloudRadius <= 0 {
+		return 0
+	}
+	a := VoidFraction(bubbles, cloudRadius)
+	x := cloudRadius / r0
+	return a * (1 - a) * x * x
+}
+
+// RadiusForBeta solves for the cloud radius that yields a target
+// interaction parameter β for n bubbles of mean radius r0, inverting the
+// monodisperse relation β(R_C) = α₀(1−α₀)(R_C/R₀)² with α₀ = n(R₀/R_C)³.
+// β decreases monotonically in R_C on the physical branch α₀ < 1/2, so the
+// solution is a bisection; the realized β of a sampled cloud then deviates
+// only by the spread of the lognormal radii around their mean.
+func RadiusForBeta(n int, r0, beta float64) (float64, error) {
+	if n <= 0 || r0 <= 0 || beta <= 0 {
+		return 0, fmt.Errorf("cloud: RadiusForBeta needs positive n, r0 and beta")
+	}
+	betaAt := func(rc float64) float64 {
+		a := float64(n) * (r0 / rc) * (r0 / rc) * (r0 / rc)
+		return a * (1 - a) * (rc / r0) * (rc / r0)
+	}
+	// Bracket on the dilute branch: α₀ = 1/2 at lo (β maximal there for the
+	// branch), β → 0 as R_C → ∞.
+	lo := r0 * math.Cbrt(2*float64(n))
+	if beta >= betaAt(lo) {
+		return 0, fmt.Errorf("cloud: target β=%.3g unreachable with %d bubbles of mean radius %.3g (max %.3g)",
+			beta, n, r0, betaAt(lo))
+	}
+	hi := lo
+	for betaAt(hi) > beta {
+		hi *= 2
+		if hi > 1e9*r0 {
+			return 0, fmt.Errorf("cloud: target β=%.3g too small to bracket", beta)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		mid := 0.5 * (lo + hi)
+		if betaAt(mid) > beta {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// CountForBeta solves for the bubble count that yields a target interaction
+// parameter β for bubbles of mean radius r0 inside a cloud of radius rc,
+// inverting β = α₀(1−α₀)(rc/r0)² with α₀ = n(r0/rc)³ on the dilute branch
+// α₀ < 1/2. This is the practical knob at fixed domain size — β scales
+// almost linearly with n while the geometry stays resolvable — whereas
+// RadiusForBeta holds the count and moves the cloud boundary.
+func CountForBeta(r0, rc, beta float64) (int, error) {
+	if r0 <= 0 || rc <= r0 || beta <= 0 {
+		return 0, fmt.Errorf("cloud: CountForBeta needs 0 < r0 < rc and beta > 0")
+	}
+	c := beta * (r0 / rc) * (r0 / rc)
+	if c > 0.25 {
+		return 0, fmt.Errorf("cloud: target β=%.3g unreachable at rc/r0=%.3g (max %.3g at α₀=1/2)",
+			beta, rc/r0, 0.25*(rc/r0)*(rc/r0))
+	}
+	alpha := 0.5 * (1 - math.Sqrt(1-4*c))
+	n := int(math.Round(alpha * (rc / r0) * (rc / r0) * (rc / r0)))
+	if n < 1 {
+		n = 1
+	}
+	return n, nil
+}
+
+// Lattice places a regular kx × ky × kz array of equal bubbles of radius r,
+// cell-centered inside the axis-aligned box [lo, hi] — the regular-array
+// configuration used by cloud studies to isolate bubble-bubble interaction
+// from statistical geometry (and the §7 "simulation unit" building block).
+func Lattice(kx, ky, kz int, r float64, lo, hi [3]float64) []Bubble {
+	if kx <= 0 || ky <= 0 || kz <= 0 {
+		return nil
+	}
+	k := [3]int{kx, ky, kz}
+	var step, base [3]float64
+	for d := 0; d < 3; d++ {
+		step[d] = (hi[d] - lo[d]) / float64(k[d])
+		base[d] = lo[d] + 0.5*step[d]
+	}
+	out := make([]Bubble, 0, kx*ky*kz)
+	for iz := 0; iz < kz; iz++ {
+		for iy := 0; iy < ky; iy++ {
+			for ix := 0; ix < kx; ix++ {
+				out = append(out, Bubble{
+					X: base[0] + float64(ix)*step[0],
+					Y: base[1] + float64(iy)*step[1],
+					Z: base[2] + float64(iz)*step[2],
+					R: r,
+				})
+			}
+		}
+	}
+	return out
+}
+
 // Tile replicates a bubble set across a kx x ky x kz array of simulation
 // units, offsetting positions by the unit extent — the paper's §7 assembly:
 // "the target physical system is assembled by piecing together the

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"cubism/internal/physics"
 )
@@ -158,6 +159,216 @@ func TestFieldPropertyBounds(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+// --- property-based coverage of Generate (testing/quick) ------------------
+
+// genSpec maps three raw quick inputs onto a feasible-ish spec space:
+// 5-25 bubbles, radii within [0.01, 0.1], cloud radius 0.2-0.45.
+func genSpec(seed int64, nRaw, rRaw uint8) Spec {
+	n := 5 + int(nRaw%21)
+	rMin := 0.01 + float64(rRaw%5)*0.005
+	return Spec{
+		Center: [3]float64{0.5, 0.5, 0.5},
+		Radius: 0.2 + float64(rRaw%6)*0.05,
+		N:      n,
+		RMin:   rMin,
+		RMax:   rMin * (2 + float64(rRaw%3)),
+		Seed:   seed,
+	}
+}
+
+func TestGeneratePropertyRadiiClipped(t *testing.T) {
+	prop := func(seed int64, nRaw, rRaw uint8) bool {
+		spec := genSpec(seed, nRaw, rRaw)
+		bubbles, err := spec.Generate()
+		if err != nil {
+			return true // infeasible packings are covered below
+		}
+		for _, b := range bubbles {
+			if b.R < spec.RMin || b.R > spec.RMax {
+				t.Logf("seed %d: radius %g outside [%g, %g]", seed, b.R, spec.RMin, spec.RMax)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratePropertyMinGap(t *testing.T) {
+	prop := func(seed int64, nRaw, rRaw uint8) bool {
+		spec := genSpec(seed, nRaw, rRaw)
+		spec.MinGap = 0.2
+		bubbles, err := spec.Generate()
+		if err != nil {
+			return true
+		}
+		for i := range bubbles {
+			for j := i + 1; j < len(bubbles); j++ {
+				a, b := bubbles[i], bubbles[j]
+				d := math.Sqrt((a.X-b.X)*(a.X-b.X) + (a.Y-b.Y)*(a.Y-b.Y) + (a.Z-b.Z)*(a.Z-b.Z))
+				if min := a.R + b.R + spec.MinGap*math.Min(a.R, b.R); d < min {
+					t.Logf("seed %d: bubbles %d,%d at distance %g violate min %g", seed, i, j, d, min)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratePropertySeedDeterminism(t *testing.T) {
+	prop := func(seed int64, nRaw, rRaw uint8) bool {
+		spec := genSpec(seed, nRaw, rRaw)
+		a, errA := spec.Generate()
+		b, errB := spec.Generate()
+		if (errA == nil) != (errB == nil) || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] { // bitwise: same seed must give the same cloud
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratePropertyInfeasibleErrors(t *testing.T) {
+	// Packings that cannot fit must return an error promptly (the attempt
+	// budget is finite), never hang. The volume of N bubbles at RMin
+	// exceeds the cloud volume, so the rejection loop can never succeed.
+	prop := func(seed int64) bool {
+		spec := Spec{
+			Center: [3]float64{0.5, 0.5, 0.5},
+			Radius: 0.08,
+			N:      500,
+			RMin:   0.04, RMax: 0.06,
+			Seed: seed,
+		}
+		done := make(chan error, 1)
+		go func() {
+			_, err := spec.Generate()
+			done <- err
+		}()
+		select {
+		case err := <-done:
+			return err != nil
+		case <-time.After(30 * time.Second):
+			t.Log("Generate hung on an infeasible packing")
+			return false
+		}
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 5}); err != nil {
+		t.Error(err)
+	}
+}
+
+// --- interaction parameter & lattice ---------------------------------------
+
+func TestVoidFractionAndBeta(t *testing.T) {
+	// One bubble of half the cloud radius: α₀ = (1/2)³ = 1/8,
+	// β = 1/8 · 7/8 · 2² = 7/16.
+	bubbles := []Bubble{{R: 0.5}}
+	if a := VoidFraction(bubbles, 1.0); math.Abs(a-0.125) > 1e-12 {
+		t.Errorf("void fraction = %g, want 0.125", a)
+	}
+	if beta := InteractionParameter(bubbles, 1.0); math.Abs(beta-7.0/16.0) > 1e-12 {
+		t.Errorf("beta = %g, want %g", beta, 7.0/16.0)
+	}
+	if beta := InteractionParameter(nil, 1.0); beta != 0 {
+		t.Errorf("beta of empty cloud = %g, want 0", beta)
+	}
+}
+
+func TestRadiusForBetaRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		r0   float64
+		beta float64
+	}{{12, 0.05, 0.5}, {50, 0.02, 2}, {8, 0.06, 0.1}} {
+		rc, err := RadiusForBeta(tc.n, tc.r0, tc.beta)
+		if err != nil {
+			t.Fatalf("n=%d: %v", tc.n, err)
+		}
+		// A monodisperse cloud of that radius must realize the target β.
+		bubbles := make([]Bubble, tc.n)
+		for i := range bubbles {
+			bubbles[i].R = tc.r0
+		}
+		if got := InteractionParameter(bubbles, rc); math.Abs(got-tc.beta)/tc.beta > 1e-9 {
+			t.Errorf("n=%d r0=%g: β(R_C=%g) = %g, want %g", tc.n, tc.r0, rc, got, tc.beta)
+		}
+	}
+	if _, err := RadiusForBeta(0, 0.05, 1); err == nil {
+		t.Error("n=0 should error")
+	}
+	if _, err := RadiusForBeta(5, 0.05, 1e9); err == nil {
+		t.Error("unreachable β should error")
+	}
+}
+
+func TestCountForBetaRoundTrip(t *testing.T) {
+	for _, tc := range []struct {
+		r0, rc, beta float64
+	}{{0.06, 0.3, 0.5}, {0.06, 0.3, 2}, {0.02, 0.4, 10}} {
+		n, err := CountForBeta(tc.r0, tc.rc, tc.beta)
+		if err != nil {
+			t.Fatalf("beta=%g: %v", tc.beta, err)
+		}
+		// A monodisperse cloud of that count must land near the target; the
+		// only error is the rounding of n, so a few percent.
+		bubbles := make([]Bubble, n)
+		for i := range bubbles {
+			bubbles[i].R = tc.r0
+		}
+		if got := InteractionParameter(bubbles, tc.rc); math.Abs(got-tc.beta)/tc.beta > 0.35 {
+			t.Errorf("r0=%g rc=%g: β(n=%d) = %g, want ≈ %g", tc.r0, tc.rc, n, got, tc.beta)
+		}
+	}
+	if _, err := CountForBeta(0.06, 0.3, 100); err == nil {
+		t.Error("β above the α₀=1/2 branch maximum should error")
+	}
+	if _, err := CountForBeta(0.3, 0.06, 1); err == nil {
+		t.Error("rc < r0 should error")
+	}
+}
+
+func TestLattice(t *testing.T) {
+	bubbles := Lattice(2, 3, 1, 0.05, [3]float64{0, 0, 0}, [3]float64{1, 1, 1})
+	if len(bubbles) != 6 {
+		t.Fatalf("lattice has %d bubbles, want 6", len(bubbles))
+	}
+	for _, b := range bubbles {
+		if b.R != 0.05 {
+			t.Errorf("radius %g, want 0.05", b.R)
+		}
+		if b.X < 0.25-1e-12 || b.X > 0.75+1e-12 || b.Z != 0.5 {
+			t.Errorf("bubble at (%g,%g,%g) off the cell centers", b.X, b.Y, b.Z)
+		}
+	}
+	// No pair overlaps: the cell pitch exceeds the diameter.
+	for i := range bubbles {
+		for j := i + 1; j < len(bubbles); j++ {
+			a, b := bubbles[i], bubbles[j]
+			d2 := (a.X-b.X)*(a.X-b.X) + (a.Y-b.Y)*(a.Y-b.Y) + (a.Z-b.Z)*(a.Z-b.Z)
+			if d2 < (a.R+b.R)*(a.R+b.R) {
+				t.Fatalf("lattice bubbles %d and %d overlap", i, j)
+			}
+		}
+	}
+	if Lattice(0, 1, 1, 0.1, [3]float64{}, [3]float64{1, 1, 1}) != nil {
+		t.Error("degenerate lattice should be nil")
 	}
 }
 

@@ -1,0 +1,144 @@
+package experiments
+
+// The cloud benchmark: run the scenario engine's default cloud-collapse
+// case at a fixed laptop-scale configuration and record both the machine
+// performance (throughput, step-latency percentiles) and the physics
+// observables (Figure-5 diagnostics from the scenario observables pipeline).
+// The observables are deterministic for a fixed configuration — the cloud
+// geometry is seeded and the step loop has no order-dependent reductions —
+// so the compare gate can hold them to a tight relative tolerance while the
+// rate checks stay as generous as the sim/net gates.
+
+import (
+	"encoding/json"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+
+	"cubism/internal/scenario"
+	"cubism/internal/sim"
+)
+
+// BenchCloudResult is the machine-readable record of the cloud experiment
+// (BENCH_cloud.json). The "observables" key doubles as the kind
+// discriminator for DetectBenchKind, like "kernels" (sim) and
+// "transports" (net).
+type BenchCloudResult struct {
+	Scenario  string `json:"scenario"`
+	BlockSize int    `json:"block_size"`
+	RankDims  [3]int `json:"rank_dims"`
+	BlockDims [3]int `json:"block_dims"`
+	Steps     int    `json:"steps"`
+	Workers   int    `json:"workers_per_rank"`
+
+	// Structural geometry of the case: seeded, so machine-independent.
+	Bubbles      int     `json:"bubbles"`
+	Beta         float64 `json:"beta"`
+	VoidFraction float64 `json:"void_fraction"`
+	RayleighTau  float64 `json:"rayleigh_tau"`
+
+	GlobalCells  int64           `json:"global_cells"`
+	WallSeconds  float64         `json:"wall_seconds"`
+	PointsPerSec float64         `json:"points_per_second"`
+	StepLatency  BenchSimLatency `json:"step_latency"`
+
+	// Observables is the scenario metric map (peak_amp, wall_amp, ke_peak,
+	// min_ratio, final_ratio, collapse_frac, r0_rel_err, mass_drift,
+	// non_finite, beta, ...).
+	Observables map[string]float64 `json:"observables"`
+}
+
+// RunBenchCloud executes the named scenario once and assembles the record.
+// Zero blocks/blockSize/steps take the benchmark defaults (32³, 40 steps —
+// the same configuration the short verify bands were measured at).
+func RunBenchCloud(name string, blocks [3]int, blockSize, steps int) (BenchCloudResult, error) {
+	if blocks == ([3]int{}) {
+		blocks = [3]int{2, 2, 2}
+	}
+	if blockSize == 0 {
+		blockSize = 16
+	}
+	if steps == 0 {
+		steps = 40
+	}
+	workers := max(runtime.NumCPU()/2, 1)
+	c, err := scenario.Build(name, scenario.Params{
+		Blocks:    blocks,
+		BlockSize: blockSize,
+		Steps:     steps,
+		Workers:   workers,
+	})
+	if err != nil {
+		return BenchCloudResult{}, err
+	}
+	obs := scenario.NewObserver(c)
+	var lats []float64
+	summary, err := sim.Run(c.Config, func(s sim.StepInfo) {
+		obs.OnStep(s)
+		lats = append(lats, s.WallMS)
+	})
+	if err != nil {
+		return BenchCloudResult{}, err
+	}
+	return BenchCloudResult{
+		Scenario:     name,
+		BlockSize:    blockSize,
+		RankDims:     c.Config.Cluster.RankDims,
+		BlockDims:    blocks,
+		Steps:        summary.Steps,
+		Workers:      workers,
+		Bubbles:      len(c.Bubbles),
+		Beta:         c.Beta,
+		VoidFraction: c.VoidFraction,
+		RayleighTau:  c.RayleighTau,
+		GlobalCells:  summary.GlobalCells,
+		WallSeconds:  summary.WallTime.Seconds(),
+		PointsPerSec: summary.PointsPerSec,
+		StepLatency:  stepLatency(lats),
+		Observables:  obs.Metrics(),
+	}, nil
+}
+
+// BenchCloud runs the cloud experiment, prints the human summary and writes
+// the BENCH_cloud.json record (skipped when jsonPath is empty).
+func BenchCloud(w io.Writer, name string, steps int, jsonPath string) {
+	header(w, "Cloud cavitation collapse benchmark")
+	res, err := RunBenchCloud(name, [3]int{}, 0, steps)
+	if err != nil {
+		panic(err)
+	}
+	line(w, "scenario %s: %d ranks x %v blocks, N=%d, %d workers/rank, %d steps",
+		res.Scenario, res.RankDims[0]*res.RankDims[1]*res.RankDims[2],
+		res.BlockDims, res.BlockSize, res.Workers, res.Steps)
+	line(w, "cloud: %d bubbles, beta=%.3f, alpha0=%.4f, rayleigh tau=%.3e",
+		res.Bubbles, res.Beta, res.VoidFraction, res.RayleighTau)
+	line(w, "throughput:      %10.2f Mpoints/s", res.PointsPerSec/1e6)
+	line(w, "step latency ms: mean %.2f  p50 %.2f  p90 %.2f  p99 %.2f  max %.2f",
+		res.StepLatency.MeanMS, res.StepLatency.P50MS, res.StepLatency.P90MS,
+		res.StepLatency.P99MS, res.StepLatency.MaxMS)
+	names := make([]string, 0, len(res.Observables))
+	for n := range res.Observables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		line(w, "  %-14s %.6g", n, res.Observables[n])
+	}
+	if jsonPath == "" {
+		return
+	}
+	if err := WriteBenchCloudJSON(jsonPath, res); err != nil {
+		panic(err)
+	}
+	line(w, "wrote %s", jsonPath)
+}
+
+// WriteBenchCloudJSON writes the record as indented JSON.
+func WriteBenchCloudJSON(path string, res BenchCloudResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

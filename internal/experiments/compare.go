@@ -35,6 +35,12 @@ type CompareThresholds struct {
 	// MaxNetLatencyFactor: fresh per-size p50 wire latency must stay below
 	// this factor of baseline.
 	MaxNetLatencyFactor float64
+	// MaxObsRelDev: cloud-collapse observables must stay within this
+	// relative deviation of baseline. Observables are deterministic for a
+	// fixed configuration, so this is much tighter than the rate checks —
+	// it only absorbs math-library and FP-contraction spread across
+	// platforms — and a violation means the physics changed.
+	MaxObsRelDev float64
 }
 
 // DefaultThresholds returns the standard tolerances widened by slack
@@ -48,6 +54,7 @@ func DefaultThresholds(slack float64) CompareThresholds {
 		MaxLatencyFactor:    2.5 * slack,
 		MinBWFrac:           0.25 / slack,
 		MaxNetLatencyFactor: 4 * slack,
+		MaxObsRelDev:        1e-6 * slack,
 	}
 }
 
@@ -162,6 +169,73 @@ func CompareBenchSim(base, fresh BenchSimResult, th CompareThresholds) *CompareR
 	return r
 }
 
+// CompareBenchCloud diffs a fresh cloud-collapse record against the
+// baseline. Geometry (bubble count, β, void fraction, Rayleigh time) and
+// observables are deterministic for a fixed configuration and held to
+// MaxObsRelDev; throughput and latency use the generous rate thresholds.
+func CompareBenchCloud(base, fresh BenchCloudResult, th CompareThresholds) *CompareReport {
+	r := &CompareReport{Kind: "cloud"}
+	if base.Scenario != fresh.Scenario || base.BlockSize != fresh.BlockSize ||
+		base.RankDims != fresh.RankDims || base.BlockDims != fresh.BlockDims ||
+		base.Steps != fresh.Steps {
+		r.fail("configuration mismatch: baseline %s N=%d ranks=%v blocks=%v steps=%d, fresh %s N=%d ranks=%v blocks=%v steps=%d — regenerate the baseline (make bench-snapshot)",
+			base.Scenario, base.BlockSize, base.RankDims, base.BlockDims, base.Steps,
+			fresh.Scenario, fresh.BlockSize, fresh.RankDims, fresh.BlockDims, fresh.Steps)
+		return r
+	}
+
+	checkRel := func(name string, b, f float64) {
+		r.Checks++
+		scale := b
+		if scale < 0 {
+			scale = -scale
+		}
+		if scale == 0 {
+			if f != 0 {
+				r.fail("%s changed: %.6g vs baseline 0 (deterministic observable)", name, f)
+			}
+			return
+		}
+		dev := (f - b) / scale
+		if dev < 0 {
+			dev = -dev
+		}
+		if dev > th.MaxObsRelDev {
+			r.fail("%s changed: %.6g vs baseline %.6g (rel dev %.2e > %.2e — the physics changed, not the machine)",
+				name, f, b, dev, th.MaxObsRelDev)
+		}
+	}
+
+	r.checkExact("bubbles", int64(base.Bubbles), int64(fresh.Bubbles))
+	checkRel("beta", base.Beta, fresh.Beta)
+	checkRel("void_fraction", base.VoidFraction, fresh.VoidFraction)
+	checkRel("rayleigh_tau", base.RayleighTau, fresh.RayleighTau)
+
+	names := make([]string, 0, len(base.Observables))
+	for name := range base.Observables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		f, ok := fresh.Observables[name]
+		if !ok {
+			r.Checks++
+			r.fail("observable %s present in baseline but absent from fresh run", name)
+			continue
+		}
+		checkRel("observable "+name, base.Observables[name], f)
+	}
+	for name := range fresh.Observables {
+		if _, ok := base.Observables[name]; !ok {
+			r.note("observable %s not in baseline, skipped", name)
+		}
+	}
+
+	r.checkMin("points_per_second", base.PointsPerSec, fresh.PointsPerSec, th.MinRateFrac)
+	r.checkMax("step_latency.mean_ms", base.StepLatency.MeanMS, fresh.StepLatency.MeanMS, th.MaxLatencyFactor)
+	return r
+}
+
 // CompareBenchNet diffs a fresh net record against the baseline.
 func CompareBenchNet(base, fresh BenchNetResult, th CompareThresholds) *CompareReport {
 	r := &CompareReport{Kind: "net"}
@@ -205,7 +279,8 @@ func CompareBenchNet(base, fresh BenchNetResult, th CompareThresholds) *CompareR
 }
 
 // DetectBenchKind classifies a bench JSON payload by its discriminating
-// top-level key: "kernels" marks a sim record, "transports" a net record.
+// top-level key: "kernels" marks a sim record, "transports" a net record,
+// "observables" a cloud-collapse record.
 func DetectBenchKind(data []byte) (string, error) {
 	var probe map[string]json.RawMessage
 	if err := json.Unmarshal(data, &probe); err != nil {
@@ -217,7 +292,10 @@ func DetectBenchKind(data []byte) (string, error) {
 	if _, ok := probe["transports"]; ok {
 		return "net", nil
 	}
-	return "", fmt.Errorf("experiments: bench record has neither \"kernels\" nor \"transports\" — not a BENCH_sim.json or BENCH_net.json")
+	if _, ok := probe["observables"]; ok {
+		return "cloud", nil
+	}
+	return "", fmt.Errorf("experiments: bench record has none of \"kernels\", \"transports\" or \"observables\" — not a BENCH_sim.json, BENCH_net.json or BENCH_cloud.json")
 }
 
 // CompareBenchFiles loads baseline and fresh records from disk, matches
@@ -253,6 +331,15 @@ func CompareBenchFiles(basePath, freshPath string, th CompareThresholds) (*Compa
 			return nil, fmt.Errorf("%s: %w", freshPath, err)
 		}
 		return CompareBenchSim(base, fresh, th), nil
+	case "cloud":
+		var base, fresh BenchCloudResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, fmt.Errorf("%s: %w", basePath, err)
+		}
+		if err := json.Unmarshal(freshData, &fresh); err != nil {
+			return nil, fmt.Errorf("%s: %w", freshPath, err)
+		}
+		return CompareBenchCloud(base, fresh, th), nil
 	default:
 		var base, fresh BenchNetResult
 		if err := json.Unmarshal(baseData, &base); err != nil {
@@ -295,6 +382,21 @@ func CompareAgainstBaseline(basePath, freshPath string, pipeline bool,
 			}
 		}
 		return CompareBenchSim(base, fresh, th), nil
+	case "cloud":
+		var base BenchCloudResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, fmt.Errorf("%s: %w", basePath, err)
+		}
+		fresh, err := RunBenchCloud(base.Scenario, base.BlockDims, base.BlockSize, base.Steps)
+		if err != nil {
+			return nil, err
+		}
+		if freshPath != "" {
+			if err := WriteBenchCloudJSON(freshPath, fresh); err != nil {
+				return nil, err
+			}
+		}
+		return CompareBenchCloud(base, fresh, th), nil
 	default:
 		var base BenchNetResult
 		if err := json.Unmarshal(baseData, &base); err != nil {

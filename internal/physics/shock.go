@@ -1,0 +1,35 @@
+package physics
+
+import "math"
+
+// ShockedLiquid returns the post-shock state of the pressurized liquid for
+// a planar pressure wave carrying pShock, the driver of shock-induced
+// bubble collapse (the predecessor software's SC12 configuration and the
+// elementary mechanism inside a collapsing cloud).
+//
+// The state follows the weak-shock approximation the examples have used
+// since the seed: density compressed by the fixed ratio 1.1 of the §7
+// shock-bubble setup, and the particle velocity from the mass/momentum
+// jump conditions at that compression,
+//
+//	u = sqrt((p_s - p_∞)(1/ρ_∞ - 1/ρ_s)),
+//
+// directed along +x. For the pressure ratios of interest (≤ ~10× ambient,
+// far below the liquid's stiffening pressure p_c = 4096 bar) the liquid is
+// nearly incompressible and this closes the state without a full Hugoniot.
+func ShockedLiquid(pShock float64) Prim {
+	const compression = 1.1
+	rho0, p0 := LiquidInit.Rho, LiquidInit.P
+	rho := rho0 * compression
+	u := 0.0
+	if pShock > p0 {
+		u = math.Sqrt((pShock - p0) * (1/rho0 - 1/rho))
+	}
+	return Prim{
+		Rho: rho,
+		U:   u,
+		P:   pShock,
+		G:   Liquid.G(),
+		Pi:  Liquid.P(),
+	}
+}

@@ -1,0 +1,68 @@
+package scenario
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"cubism/internal/cluster"
+	"cubism/internal/mpi"
+	"cubism/internal/transport"
+	"cubism/internal/transport/faulty"
+)
+
+// countingFaults gives each rank its own deterministic injector while
+// funneling all ranks' hits into one shared counter, proving the chaos run
+// actually injected faults.
+type countingFaults struct {
+	inner transport.FaultInjector
+	hits  *atomic.Int64
+}
+
+func (c *countingFaults) Outgoing(dst, tag, size int) transport.FaultDecision {
+	d := c.inner.Outgoing(dst, tag, size)
+	if d.Action != transport.FaultPass {
+		c.hits.Add(1)
+	}
+	return d
+}
+
+// TestCloudBitwiseUnderChaos is the scenario-level chaos keystone: the cloud
+// collapse advanced over a tcp wire that drops, duplicates and resets frames
+// (seeded, so the run reproduces) must still land on the clean in-process
+// run's bits — totals and observables both. The reliability layer has to
+// mask every injected fault; a leaked halo byte or a replayed reduction
+// flips a float64 bit here.
+func TestCloudBitwiseUnderChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rank scenario run")
+	}
+	refCase, err := Build("cloud", netParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refTot cluster.Totals
+	refCase.Config = totalsOn(refCase.Config, &refTot)
+	refMetrics, _, _, err := refCase.Run(nil)
+	if err != nil {
+		t.Fatalf("inproc run: %v", err)
+	}
+
+	plan := faulty.Plan{Seed: 2013, Drop: 0.06, Dup: 0.06, Reset: 0.01}
+	var hits atomic.Int64
+	worlds := connectLoopback(t, func(rank int, cfg *mpi.TCPConfig) {
+		cfg.HeartbeatInterval = 50 * time.Millisecond
+		cfg.RetransmitTimeout = 150 * time.Millisecond
+		cfg.PeerTimeout = 20 * time.Second
+		cfg.Fault = &countingFaults{inner: faulty.New(plan), hits: &hits}
+	})
+	var gotTot cluster.Totals
+	gotMetrics := runCloudTCP(t, worlds, &gotTot)
+
+	assertTotalsBitwise(t, "cloud chaos tcp vs inproc", refTot, gotTot)
+	assertMetricsBitwise(t, "cloud chaos tcp vs inproc", refMetrics, gotMetrics)
+	if hits.Load() == 0 {
+		t.Fatalf("plan %q injected no faults; the run proved nothing", plan.String())
+	}
+	t.Logf("faults injected: %d", hits.Load())
+}

@@ -1,0 +1,195 @@
+package scenario
+
+import (
+	"math"
+	"net"
+	"sync"
+	"testing"
+
+	"cubism/internal/cluster"
+	"cubism/internal/mpi"
+	"cubism/internal/sim"
+)
+
+// netParams is the 2-rank cloud decomposition the wire tests share: the same
+// 32³ short-verify resolution split across two ranks in x, with per-step
+// diagnostics so the wall-pressure and radius reductions cross the wire too.
+func netParams() Params {
+	return Params{
+		Ranks:     [3]int{2, 1, 1},
+		Blocks:    [3]int{1, 2, 2},
+		BlockSize: 16,
+		Steps:     3,
+		Workers:   2,
+		DiagEvery: 1,
+	}
+}
+
+// totalsOn attaches the collective conserved-totals sample to a config; the
+// sink is written on rank 0 only.
+func totalsOn(cfg sim.Config, sink *cluster.Totals) sim.Config {
+	cfg.OnFinish = func(r *cluster.Rank) {
+		tot := r.ConservedTotals() // collective: every rank participates
+		if r.Cart.Rank() == 0 {
+			*sink = tot
+		}
+	}
+	return cfg
+}
+
+func totalsFields(tot cluster.Totals) []struct {
+	name string
+	v    float64
+} {
+	return []struct {
+		name string
+		v    float64
+	}{
+		{"mass", tot.Mass},
+		{"mom_x", tot.MomX},
+		{"mom_y", tot.MomY},
+		{"mom_z", tot.MomZ},
+		{"energy", tot.Energy},
+		{"gamma_min", tot.GammaMin},
+		{"gamma_max", tot.GammaMax},
+		{"pi_min", tot.PiMin},
+		{"pi_max", tot.PiMax},
+		{"time", tot.Time},
+	}
+}
+
+func assertTotalsBitwise(t *testing.T, label string, ref, got cluster.Totals) {
+	t.Helper()
+	rf, gf := totalsFields(ref), totalsFields(got)
+	for i := range rf {
+		if math.Float64bits(rf[i].v) != math.Float64bits(gf[i].v) {
+			t.Errorf("%s: %s diverged: %016x (%v) vs %016x (%v)", label, rf[i].name,
+				math.Float64bits(rf[i].v), rf[i].v, math.Float64bits(gf[i].v), gf[i].v)
+		}
+	}
+	if ref.Step != got.Step {
+		t.Errorf("%s: step count diverged: %d vs %d", label, ref.Step, got.Step)
+	}
+}
+
+func assertMetricsBitwise(t *testing.T, label string, ref, got map[string]float64) {
+	t.Helper()
+	if len(got) != len(ref) {
+		t.Errorf("%s: metric sets differ: %d vs %d keys", label, len(ref), len(got))
+	}
+	for k, rv := range ref {
+		gv, ok := got[k]
+		if !ok {
+			t.Errorf("%s: metric %s missing", label, k)
+			continue
+		}
+		if math.Float64bits(rv) != math.Float64bits(gv) {
+			t.Errorf("%s: %s diverged: %016x (%v) vs %016x (%v)", label, k,
+				math.Float64bits(rv), rv, math.Float64bits(gv), gv)
+		}
+	}
+}
+
+// connectLoopback builds a 2-rank tcp world over the loopback interface —
+// exactly what two mpcf-sim processes do, compressed into one test process.
+// tweak customizes each rank's wire config (fault injection, timeouts).
+func connectLoopback(t *testing.T, tweak func(rank int, cfg *mpi.TCPConfig)) [2]*mpi.World {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord := ln.Addr().String()
+	var worlds [2]*mpi.World
+	connErrs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			cfg := mpi.TCPConfig{
+				Rank: rank, Size: 2, Coord: coord,
+				OnError: func(err error) { t.Errorf("rank %d wire: %v", rank, err) },
+			}
+			if rank == 0 {
+				cfg.CoordListener = ln
+			}
+			if tweak != nil {
+				tweak(rank, &cfg)
+			}
+			worlds[rank], connErrs[rank] = mpi.ConnectTCP(cfg)
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range connErrs {
+		if err != nil {
+			t.Fatalf("rank %d connect: %v", r, err)
+		}
+	}
+	return worlds
+}
+
+// runCloudTCP advances the cloud scenario on a pre-built 2-rank world, one
+// sim.Run per rank, and returns rank 0's observable map.
+func runCloudTCP(t *testing.T, worlds [2]*mpi.World, sink *cluster.Totals) map[string]float64 {
+	t.Helper()
+	var metrics map[string]float64
+	runErrs := make([]error, 2)
+	var wg sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c, err := Build("cloud", netParams())
+			if err != nil {
+				runErrs[rank] = err
+				return
+			}
+			c.Config = totalsOn(c.Config, sink)
+			c.Config.World = worlds[rank]
+			m, _, _, err := c.Run(nil)
+			if err != nil {
+				runErrs[rank] = err
+				return
+			}
+			if rank == 0 {
+				metrics = m
+			}
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range runErrs {
+		if err != nil {
+			t.Fatalf("rank %d run: %v", r, err)
+		}
+	}
+	return metrics
+}
+
+// TestCloudTCPBitwiseMatchesInproc extends the transport-correctness keystone
+// to the headline workload: the seeded cloud-collapse scenario advanced on
+// two ranks over the tcp wire must reproduce the in-process run bit for bit —
+// both the conserved totals and every Figure-5 observable the verify bands
+// and the cloud bench record consume.
+func TestCloudTCPBitwiseMatchesInproc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-rank scenario run")
+	}
+	refCase, err := Build("cloud", netParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refTot cluster.Totals
+	refCase.Config = totalsOn(refCase.Config, &refTot)
+	refMetrics, _, _, err := refCase.Run(nil)
+	if err != nil {
+		t.Fatalf("inproc run: %v", err)
+	}
+
+	worlds := connectLoopback(t, nil)
+	var gotTot cluster.Totals
+	gotMetrics := runCloudTCP(t, worlds, &gotTot)
+
+	assertTotalsBitwise(t, "cloud tcp vs inproc", refTot, gotTot)
+	assertMetricsBitwise(t, "cloud tcp vs inproc", refMetrics, gotMetrics)
+}

@@ -1,0 +1,154 @@
+// Observables pipeline: consumes the per-step diagnostics of a scenario run
+// and reduces them to the Figure-5 collapse metrics — peak field/wall
+// pressure amplification, kinetic energy, equivalent cloud radius trajectory,
+// and collapse time against the Rayleigh prediction — as a flat metric map
+// the verify bands and the cloud bench record both consume.
+package scenario
+
+import (
+	"math"
+
+	"cubism/internal/sim"
+)
+
+// Sample is one diagnostics point of the equivalent-radius trajectory.
+type Sample struct {
+	Step          int
+	Time          float64
+	MaxPressure   float64
+	WallPressure  float64
+	KineticEnergy float64
+	EquivRadius   float64
+}
+
+// Observer accumulates the collapse observables of one scenario run. Use it
+// as the sim.Run step callback (rank 0 only — sim delivers StepInfo there):
+//
+//	obs := scenario.NewObserver(c)
+//	sum, err := sim.Run(c.Config, obs.OnStep)
+//	metrics := obs.Metrics()
+type Observer struct {
+	c *Case
+
+	// Series is the diagnostics trajectory (DiagEvery cadence).
+	Series []Sample
+
+	r0           float64 // initial equivalent radius (first diagnostics point)
+	peakP        float64
+	peakWallP    float64
+	peakKE       float64
+	minRadius    float64
+	finalT       float64
+	nonFinite    int
+	mass0, massN float64
+	hasTotals    bool
+}
+
+// NewObserver builds the pipeline for a built case.
+func NewObserver(c *Case) *Observer {
+	return &Observer{c: c, minRadius: math.Inf(1)}
+}
+
+// OnStep is the sim.Run callback.
+func (o *Observer) OnStep(s sim.StepInfo) {
+	o.finalT = s.Time
+	if s.HasTotals {
+		if !o.hasTotals {
+			o.mass0 = s.Totals.Mass
+			o.hasTotals = true
+		}
+		o.massN = s.Totals.Mass
+		o.nonFinite += s.Totals.NonFinite
+	}
+	if !s.HasDiag {
+		return
+	}
+	d := s.Diag
+	o.Series = append(o.Series, Sample{
+		Step: s.Step, Time: s.Time,
+		MaxPressure:   d.MaxPressure,
+		WallPressure:  d.WallPressure,
+		KineticEnergy: d.KineticEnergy,
+		EquivRadius:   d.EquivRadius,
+	})
+	if o.r0 == 0 {
+		o.r0 = d.EquivRadius
+	}
+	o.peakP = math.Max(o.peakP, d.MaxPressure)
+	o.peakWallP = math.Max(o.peakWallP, d.WallPressure)
+	o.peakKE = math.Max(o.peakKE, d.KineticEnergy)
+	if d.EquivRadius < o.minRadius {
+		o.minRadius = d.EquivRadius
+	}
+}
+
+// Metrics reduces the run to the flat observable map the tolerance bands
+// check. All pressures are normalized by the driving ambient pressure, radii
+// by the analytic initial equivalent radius, so the bands are resolution-
+// and unit-robust:
+//
+//	peak_amp      max field pressure / ambient driving pressure
+//	wall_amp      max wall pressure / ambient (wall cases only)
+//	ke_peak       maximum kinetic energy
+//	r0_rel_err    |measured initial equiv radius − analytic| / analytic
+//	min_ratio     min equiv radius / initial (collapse depth so far)
+//	final_ratio   final equiv radius / initial
+//	collapse_frac simulated end time / Rayleigh collapse time of the mean bubble
+//	mass_drift    |final mass − initial| / initial (audit cadence)
+//	non_finite    accumulated non-finite cell count (must stay 0)
+func (o *Observer) Metrics() map[string]float64 {
+	m := map[string]float64{
+		"non_finite": float64(o.nonFinite),
+	}
+	if o.c.AmbientP > 0 {
+		m["peak_amp"] = o.peakP / o.c.AmbientP
+		if o.c.HasWall {
+			m["wall_amp"] = o.peakWallP / o.c.AmbientP
+		}
+	}
+	m["ke_peak"] = o.peakKE
+	if len(o.Series) > 0 && o.r0 > 0 {
+		m["min_ratio"] = o.minRadius / o.r0
+		m["final_ratio"] = o.Series[len(o.Series)-1].EquivRadius / o.r0
+	}
+	if exact := o.c.analyticR0(); exact > 0 && o.r0 > 0 {
+		m["r0_rel_err"] = math.Abs(o.r0-exact) / exact
+	}
+	if o.c.RayleighTau > 0 {
+		m["collapse_frac"] = o.finalT / o.c.RayleighTau
+	}
+	if o.hasTotals && o.mass0 != 0 {
+		m["mass_drift"] = math.Abs(o.massN-o.mass0) / math.Abs(o.mass0)
+	}
+	return m
+}
+
+// analyticR0 is the equivalent radius of the case's initial bubble set,
+// (3V/4π)^(1/3) for the analytic (unsmeared) vapor volume.
+func (c *Case) analyticR0() float64 {
+	v := 0.0
+	for _, b := range c.Bubbles {
+		v += 4.0 / 3.0 * math.Pi * b.R * b.R * b.R
+	}
+	if v <= 0 {
+		return 0
+	}
+	return math.Cbrt(3 * v / (4 * math.Pi))
+}
+
+// Run builds nothing new: it executes the case with the observables pipeline
+// attached and returns the metric map plus the sim summary. Extra per-step
+// callbacks can be layered by the caller via cfg before calling.
+func (c *Case) Run(onStep func(sim.StepInfo)) (map[string]float64, *Observer, sim.Summary, error) {
+	obs := NewObserver(c)
+	sum, err := sim.Run(c.Config, func(s sim.StepInfo) {
+		obs.OnStep(s)
+		if onStep != nil {
+			onStep(s)
+		}
+	})
+	if err != nil {
+		return nil, nil, sum, err
+	}
+	return obs.Metrics(), obs, sum, nil
+}

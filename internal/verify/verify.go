@@ -93,6 +93,9 @@ func Registry() []Scenario {
 		sodScenario(),
 		ifaceScenario(),
 		rayleighScenario(),
+		cloudCollapseScenario(),
+		shockBubbleScenario(),
+		bubbleArrayScenario(),
 	}
 }
 
