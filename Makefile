@@ -25,7 +25,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/telemetry ./internal/sim ./internal/cluster ./internal/node ./internal/transport ./internal/mpi
+	$(GO) test -race ./internal/telemetry ./internal/sim ./internal/cluster ./internal/layout ./internal/node ./internal/transport ./internal/mpi
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -89,7 +89,13 @@ smoke-net: bin
 		-net-chaos "drop=0.05,dup=0.05,reset=0.01,seed=11" \
 		-net-heartbeat 50ms -net-retransmit 150ms -net-peer-timeout 20s
 	cmp smoke-net.tmp/inproc.sums smoke-net.tmp/chaos.sums
-	@echo "smoke-net: checksums bitwise identical across transports (clean + chaos)"
+	./bin/mpcf-launch -n 2 -- -case sod -ranks 2,1,1 -blocks 2,2,2 -n 8 -steps 5 \
+		-quiet -diag-every 0 -sums smoke-net.tmp/migrate.sums \
+		-layout hilbert -rebalance-force-step 2 \
+		-net-chaos "drop=0.05,dup=0.05,reset=0.01,seed=11" \
+		-net-heartbeat 50ms -net-retransmit 150ms -net-peer-timeout 20s
+	cmp smoke-net.tmp/inproc.sums smoke-net.tmp/migrate.sums
+	@echo "smoke-net: checksums bitwise identical across transports (clean + chaos + hilbert migration)"
 	@rm -rf smoke-net.tmp
 
 # The chaos suite under the race detector: fault-injected transport
@@ -97,7 +103,7 @@ smoke-net: bin
 # sim-level bitwise-under-chaos and checkpoint-restart proofs.
 chaos:
 	$(GO) test -race -count=1 ./internal/transport ./internal/transport/faulty ./internal/mpi
-	$(GO) test -race -count=1 -run 'TestSimBitwiseUnderChaos|TestRestoreResumesBitwise' ./internal/sim
+	$(GO) test -race -count=1 -run 'TestSimBitwiseUnderChaos|TestRestoreResumesBitwise|TestSimMigrationBitwiseOverTCPChaos' ./internal/sim
 	$(GO) test -race -count=1 ./cmd/mpcf-launch
 
 # Full-ladder verification: convergence orders, conservation audit and the

@@ -63,6 +63,10 @@ func main() {
 	workers := flag.Int("workers", 0, "workers per rank (0: NumCPU)")
 	vector := flag.Bool("vector", false, "use the QPX-model vector kernels")
 	pipeline := flag.Bool("pipeline", true, "dependency-driven fused RHS+UP pipeline (false: bulk-synchronous staged baseline)")
+	layoutName := flag.String("layout", "", "block-to-rank layout: cartesian (default), hilbert, morton or rowmajor (see docs/sharding.md)")
+	rebalanceEvery := flag.Int("rebalance-every", 0, "measure load imbalance every so many steps and migrate blocks on SFC layouts when it exceeds the threshold (0: never)")
+	rebalanceThreshold := flag.Float64("rebalance-threshold", 0, "max/avg-1 imbalance that triggers a rebalance (0: 0.1)")
+	rebalanceForceStep := flag.Int("rebalance-force-step", 0, "force one rebalance at exactly this step regardless of imbalance (migration fault drill; 0: never)")
 	bubbles := flag.Int("bubbles", 12, "bubbles in the cloud case")
 	seed := flag.Int64("seed", 42, "cloud random seed")
 	wall := flag.Bool("wall", false, "reflecting wall at z=0 with wall-pressure diagnostics")
@@ -191,6 +195,7 @@ func main() {
 		Workers:         *workers,
 		Vector:          *vector,
 		Pipeline:        *pipeline,
+		Layout:          *layoutName,
 		Steps:           *steps,
 		DumpEvery:       *dumpEvery,
 		DumpDir:         *dumpDir,
@@ -199,6 +204,9 @@ func main() {
 		Telemetry:       tel,
 		ChecksumPath:    *sumsPath,
 	}
+	cfg.RebalanceEvery = *rebalanceEvery
+	cfg.RebalanceThreshold = *rebalanceThreshold
+	cfg.ForceRebalanceStep = *rebalanceForceStep
 	if obsOn {
 		cfg.Observe = &cubism.ObserveConfig{
 			TracePath:      *obsTrace,

@@ -247,6 +247,21 @@ type Config struct {
 	// report (see docs/observability.md).
 	Observe *ObserveConfig
 
+	// Layout selects how blocks are assigned to ranks: "cartesian" (default;
+	// each rank owns the Blocks box implied by its grid coordinates) or a
+	// space-filling curve — "hilbert", "morton", "rowmajor" — partitioned
+	// into contiguous chunks (see docs/sharding.md). All layouts are bitwise
+	// identical in physics.
+	Layout string
+	// RebalanceEvery measures load imbalance every so many steps (0: never)
+	// and, on SFC layouts, migrates blocks when the max/avg-1 imbalance
+	// exceeds RebalanceThreshold (0: 0.1). ForceRebalanceStep forces one
+	// rebalance at exactly that step regardless of the measured imbalance —
+	// the migration fault-drill hook.
+	RebalanceEvery     int
+	RebalanceThreshold float64
+	ForceRebalanceStep int
+
 	// Net (optional) selects the wire transport. Nil or Transport "inproc"
 	// keeps the default single-process world (all ranks as goroutines);
 	// Transport "tcp" makes this process one rank of a multi-process world
@@ -397,7 +412,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		path := cfg.ChecksumPath
 		onFinish = func(r *cluster.Rank) {
 			tot := r.ConservedTotals() // collective: every rank participates
-			if r.Cart.Rank() == 0 {
+			if r.Comm.Rank() == 0 {
 				if err := writeChecksums(path, tot); err != nil {
 					sumErr = err
 				}
@@ -417,24 +432,28 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			TimeStepper: cfg.TimeStepper,
 			Pipeline:    cfg.Pipeline,
 			Init:        cfg.Init,
+			Layout:      cfg.Layout,
 		},
-		Steps:           cfg.Steps,
-		TEnd:            cfg.TEnd,
-		DumpEvery:       cfg.DumpEvery,
-		DumpDir:         cfg.DumpDir,
-		EpsP:            cfg.EpsP,
-		EpsG:            cfg.EpsG,
-		Encoder:         cfg.Encoder,
-		DiagEvery:       cfg.DiagEvery,
-		CheckpointEvery: cfg.CheckpointEvery,
-		CheckpointPath:  cfg.CheckpointPath,
-		RestorePath:     cfg.RestorePath,
-		Wall:            cfg.Wall,
-		HasWall:         cfg.HasWall,
-		Telemetry:       cfg.Telemetry,
-		Observe:         cfg.Observe,
-		World:           world,
-		OnFinish:        onFinish,
+		RebalanceEvery:     cfg.RebalanceEvery,
+		RebalanceThreshold: cfg.RebalanceThreshold,
+		ForceRebalanceStep: cfg.ForceRebalanceStep,
+		Steps:              cfg.Steps,
+		TEnd:               cfg.TEnd,
+		DumpEvery:          cfg.DumpEvery,
+		DumpDir:            cfg.DumpDir,
+		EpsP:               cfg.EpsP,
+		EpsG:               cfg.EpsG,
+		Encoder:            cfg.Encoder,
+		DiagEvery:          cfg.DiagEvery,
+		CheckpointEvery:    cfg.CheckpointEvery,
+		CheckpointPath:     cfg.CheckpointPath,
+		RestorePath:        cfg.RestorePath,
+		Wall:               cfg.Wall,
+		HasWall:            cfg.HasWall,
+		Telemetry:          cfg.Telemetry,
+		Observe:            cfg.Observe,
+		World:              world,
+		OnFinish:           onFinish,
 	}, onStep)
 	if err == nil {
 		err = sumErr

@@ -6,6 +6,14 @@
 // package writes the complete conserved state (all seven quantities, bit
 // exact) through the same collective shared-file path as the dumps, with a
 // DEFLATE pass to keep the footprint reasonable.
+//
+// Format version 2 records each rank's canonical block-id table, so a
+// checkpoint is addressed by global block — not by writer decomposition —
+// and can be restored into any layout and rank count sharing the same
+// global block box (each reading rank pulls exactly the blocks it owns out
+// of whichever writer payloads hold them). Version 1 files, which implied a
+// cartesian decomposition, are still readable: their tables are derived
+// from the recorded rank grid.
 package checkpoint
 
 import (
@@ -20,6 +28,7 @@ import (
 
 	"cubism/internal/grid"
 	"cubism/internal/mpi"
+	"cubism/internal/sfc"
 )
 
 // Magic identifies checkpoint files.
@@ -27,24 +36,65 @@ const Magic = "MPCFCkp1"
 
 // Header describes a checkpoint.
 type Header struct {
-	BlockSize int     `json:"block_size"`
-	RankDims  [3]int  `json:"rank_dims"`
-	BlockDims [3]int  `json:"block_dims"`
-	Step      int     `json:"step"`
-	Time      float64 `json:"time"`
+	// Version 2 carries GlobalBlocks and the per-rank Blocks id tables;
+	// version 0 (absent, historical) implies a cartesian decomposition of
+	// RankDims ranks with BlockDims blocks each, in the grid's historical
+	// per-rank SFC order.
+	Version   int    `json:"version,omitempty"`
+	BlockSize int    `json:"block_size"`
+	RankDims  [3]int `json:"rank_dims"`
+	BlockDims [3]int `json:"block_dims,omitempty"` // v1: blocks per rank per dimension
+	// GlobalBlocks is the global block box (v2).
+	GlobalBlocks [3]int `json:"global_blocks,omitempty"`
+	// Blocks lists, per writer rank, the canonical linear block ids of its
+	// payload in serialization order (v2).
+	Blocks [][]int64 `json:"blocks,omitempty"`
+	Step   int       `json:"step"`
+	Time   float64   `json:"time"`
 	// Offsets/Sizes locate each rank's zlib-compressed payload.
 	Offsets []int64 `json:"offsets"`
 	Sizes   []int64 `json:"sizes"`
 }
 
+// blockTables returns the global block box and the per-writer-rank
+// canonical block-id tables, deriving them for version-1 files.
+func (hdr *Header) blockTables() ([3]int, [][]int64, error) {
+	if hdr.Version >= 2 {
+		if len(hdr.Blocks) != len(hdr.Offsets) {
+			return [3]int{}, nil, fmt.Errorf("checkpoint: %d block tables for %d ranks", len(hdr.Blocks), len(hdr.Offsets))
+		}
+		return hdr.GlobalBlocks, hdr.Blocks, nil
+	}
+	rd, bd := hdr.RankDims, hdr.BlockDims
+	gb := [3]int{rd[0] * bd[0], rd[1] * bd[1], rd[2] * bd[2]}
+	if rd[0]*rd[1]*rd[2] != len(hdr.Offsets) {
+		return gb, nil, fmt.Errorf("checkpoint: rank grid %v does not match %d payloads", rd, len(hdr.Offsets))
+	}
+	order := sfc.Enumerate(sfc.ForBox(bd[0], bd[1], bd[2]), bd[0], bd[1], bd[2])
+	tables := make([][]int64, len(hdr.Offsets))
+	for r := range tables {
+		rx, ry, rz := r%rd[0], (r/rd[0])%rd[1], r/(rd[0]*rd[1])
+		tbl := make([]int64, len(order))
+		for i, c := range order {
+			x, y, z := rx*bd[0]+c[0], ry*bd[1]+c[1], rz*bd[2]+c[2]
+			tbl[i] = (int64(z)*int64(gb[1])+int64(y))*int64(gb[0]) + int64(x)
+		}
+		tables[r] = tbl
+	}
+	return gb, tables, nil
+}
+
 // Write saves the rank-local grid state collectively into path. All ranks
 // must call it with consistent metadata.
 func Write(comm *mpi.Comm, path string, g *grid.Grid, rankDims [3]int, step int, time float64) error {
-	// Serialize this rank's blocks (SFC order) bit-exactly, then deflate.
+	// Serialize this rank's blocks (grid order) bit-exactly, then deflate.
 	var raw bytes.Buffer
 	zw := zlib.NewWriter(&raw)
 	var word [4]byte
-	for _, b := range g.Blocks {
+	ids := make([]byte, 8*len(g.Blocks))
+	for bi, b := range g.Blocks {
+		id := (int64(b.Z)*int64(g.NBY)+int64(b.Y))*int64(g.NBX) + int64(b.X)
+		binary.LittleEndian.PutUint64(ids[8*bi:], uint64(id))
 		for _, v := range b.Data {
 			binary.LittleEndian.PutUint32(word[:], math.Float32bits(v))
 			if _, err := zw.Write(word[:]); err != nil {
@@ -59,17 +109,27 @@ func Write(comm *mpi.Comm, path string, g *grid.Grid, rankDims [3]int, step int,
 	mySize := int64(len(payload))
 	prefix := comm.Exscan(mySize)
 	sizes := comm.Gather(float64(mySize))
+	idTables := comm.GatherBytesRoot(ids)
 
 	var headerBytes []byte
 	if comm.Rank() == 0 {
 		hdr := Header{
-			BlockSize: g.N,
-			RankDims:  rankDims,
-			BlockDims: [3]int{g.NBX, g.NBY, g.NBZ},
-			Step:      step,
-			Time:      time,
-			Offsets:   make([]int64, comm.Size()),
-			Sizes:     make([]int64, comm.Size()),
+			Version:      2,
+			BlockSize:    g.N,
+			RankDims:     rankDims,
+			GlobalBlocks: [3]int{g.NBX, g.NBY, g.NBZ},
+			Blocks:       make([][]int64, comm.Size()),
+			Step:         step,
+			Time:         time,
+			Offsets:      make([]int64, comm.Size()),
+			Sizes:        make([]int64, comm.Size()),
+		}
+		for r, raw := range idTables {
+			tbl := make([]int64, len(raw)/8)
+			for i := range tbl {
+				tbl[i] = int64(binary.LittleEndian.Uint64(raw[8*i:]))
+			}
+			hdr.Blocks[r] = tbl
 		}
 		probe, err := json.Marshal(hdr)
 		if err != nil {
@@ -148,41 +208,76 @@ func ReadHeader(path string) (Header, error) {
 	return hdr, nil
 }
 
-// Restore loads rank `rank`'s state from the checkpoint into g; the grid
-// geometry must match the header.
+// Restore loads the state of the blocks g owns from the checkpoint. The
+// block size and global block box must match the file; the layout and rank
+// count are free — each block is fetched from whichever writer payload
+// holds it, by canonical id. Decompressed writer payloads are cached for
+// the duration of the call, so restores that shuffle blocks across ranks
+// cost at most one inflate per touched writer payload.
 func Restore(path string, rank int, g *grid.Grid) (step int, simTime float64, err error) {
 	hdr, err := ReadHeader(path)
 	if err != nil {
 		return 0, 0, err
 	}
-	if hdr.BlockSize != g.N || hdr.BlockDims != [3]int{g.NBX, g.NBY, g.NBZ} {
-		return 0, 0, fmt.Errorf("checkpoint: geometry mismatch: file %dx%v, grid %dx%v",
-			hdr.BlockSize, hdr.BlockDims, g.N, [3]int{g.NBX, g.NBY, g.NBZ})
+	gb, tables, err := hdr.blockTables()
+	if err != nil {
+		return 0, 0, err
 	}
-	if rank < 0 || rank >= len(hdr.Offsets) {
-		return 0, 0, fmt.Errorf("checkpoint: rank %d out of range", rank)
+	if hdr.BlockSize != g.N || gb != [3]int{g.NBX, g.NBY, g.NBZ} {
+		return 0, 0, fmt.Errorf("checkpoint: geometry mismatch: file %dx%v, grid %dx%v",
+			hdr.BlockSize, gb, g.N, [3]int{g.NBX, g.NBY, g.NBZ})
+	}
+	// Locate every global block: id → (writer rank, ordinal).
+	type loc struct{ rank, ord int }
+	where := make(map[int64]loc)
+	for r, tbl := range tables {
+		for ord, id := range tbl {
+			where[id] = loc{r, ord}
+		}
 	}
 	f, err := os.Open(path)
 	if err != nil {
 		return 0, 0, err
 	}
 	defer f.Close()
-	payload := make([]byte, hdr.Sizes[rank])
-	if _, err := f.ReadAt(payload, hdr.Offsets[rank]); err != nil {
-		return 0, 0, err
+	inflated := make(map[int][]byte)
+	payloadOf := func(r int) ([]byte, error) {
+		if p, ok := inflated[r]; ok {
+			return p, nil
+		}
+		raw := make([]byte, hdr.Sizes[r])
+		if _, err := f.ReadAt(raw, hdr.Offsets[r]); err != nil {
+			return nil, err
+		}
+		zr, err := zlib.NewReader(bytes.NewReader(raw))
+		if err != nil {
+			return nil, err
+		}
+		defer zr.Close()
+		p, err := io.ReadAll(zr)
+		if err != nil {
+			return nil, fmt.Errorf("checkpoint: short payload: %v", err)
+		}
+		inflated[r] = p
+		return p, nil
 	}
-	zr, err := zlib.NewReader(bytes.NewReader(payload))
-	if err != nil {
-		return 0, 0, err
-	}
-	defer zr.Close()
-	var word [4]byte
 	for _, b := range g.Blocks {
+		id := (int64(b.Z)*int64(g.NBY)+int64(b.Y))*int64(g.NBX) + int64(b.X)
+		l, ok := where[id]
+		if !ok {
+			return 0, 0, fmt.Errorf("checkpoint: block %d missing from %s", id, path)
+		}
+		p, err := payloadOf(l.rank)
+		if err != nil {
+			return 0, 0, err
+		}
+		blockBytes := 4 * len(b.Data)
+		off := l.ord * blockBytes
+		if off+blockBytes > len(p) {
+			return 0, 0, fmt.Errorf("checkpoint: rank %d payload truncated at block %d", l.rank, id)
+		}
 		for i := range b.Data {
-			if _, err := io.ReadFull(zr, word[:]); err != nil {
-				return 0, 0, fmt.Errorf("checkpoint: short payload: %v", err)
-			}
-			b.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(word[:]))
+			b.Data[i] = math.Float32frombits(binary.LittleEndian.Uint32(p[off+4*i:]))
 		}
 	}
 	return hdr.Step, hdr.Time, nil

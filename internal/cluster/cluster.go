@@ -1,11 +1,14 @@
 // Package cluster implements the paper's cluster layer (§6): the domain is
-// decomposed across ranks in a cartesian topology with a constant subdomain
-// size; non-blocking point-to-point messages exchange ghost information for
-// the halo blocks while the interior blocks are dispatched to the node
-// layer, hiding the communication time behind computation.
+// decomposed across ranks under an explicit layout — the paper's cartesian
+// topology with a constant subdomain size, or a space-filling-curve
+// partition whose contiguous curve chunks can be rebalanced at run time —
+// and non-blocking point-to-point messages exchange per-block ghost
+// information for the halo blocks while the interior blocks are dispatched
+// to the node layer, hiding the communication time behind computation.
 package cluster
 
 import (
+	"fmt"
 	"math"
 	"time"
 
@@ -14,6 +17,7 @@ import (
 	"cubism/internal/core"
 	"cubism/internal/dump"
 	"cubism/internal/grid"
+	"cubism/internal/layout"
 	"cubism/internal/mpi"
 	"cubism/internal/node"
 	"cubism/internal/perf"
@@ -24,6 +28,8 @@ import (
 // Config describes one production-style run.
 type Config struct {
 	// RankDims is the cartesian rank grid (product must equal world size).
+	// Together with BlockDims it defines the global block box for every
+	// layout.
 	RankDims [3]int
 	// BlockDims is the number of blocks per rank per dimension.
 	BlockDims [3]int
@@ -50,6 +56,14 @@ type Config struct {
 	// keeps the bulk-synchronous staged path, the ablation baseline.
 	// ssprk3 always runs staged. Both paths are bitwise identical.
 	Pipeline bool
+	// Layout selects the cross-rank block decomposition: "" or "cartesian"
+	// (the paper's fixed rank grid), or an SFC partition — "hilbert",
+	// "morton", "rowmajor" — whose curve cut points the rebalancer can move
+	// at run time. Physics is bitwise identical across all of them.
+	Layout string
+	// LayoutCuts overrides the initial curve cut points of an SFC layout
+	// (len world+1) — the synthetic-skew hook of the rebalance benchmarks.
+	LayoutCuts []int
 	// Tracer (optional) records solver-phase spans for this rank; nil
 	// disables tracing at the cost of a pointer check per phase.
 	Tracer *telemetry.Tracer
@@ -57,10 +71,25 @@ type Config struct {
 	Init func(x, y, z float64) physics.Prim
 }
 
+// Link is one entry of the precomputed neighbor/tag table: a face of a
+// locally owned block whose neighbor block lives on another rank. Each link
+// is simultaneously one receive (the neighbor's layers install as this
+// block's face halo) and one send (this block's face layers feed the
+// neighbor's opposite face), tagged by canonical block id so multiple
+// blocks can cross the same rank pair in one direction.
+type Link struct {
+	Block int       // local block ordinal in grid order
+	Face  grid.Face // face of the local block the link crosses
+	Peer  int       // rank owning the neighbor block
+	MyID  int64     // canonical linear id of the local block
+	NbID  int64     // canonical linear id of the neighbor block
+}
+
 // Rank is the per-rank simulation state.
 type Rank struct {
 	Cfg    Config
-	Cart   *mpi.Cart
+	Comm   *mpi.Comm
+	Layout *layout.Layout
 	G      *grid.Grid
 	Engine *node.Engine
 	Mon    *perf.Monitor
@@ -73,7 +102,7 @@ type Rank struct {
 
 	// Cumulative communication-phase time, nanoseconds: ghostNS covers the
 	// pack/post side of the exchange, waitNS the time blocked on neighbor
-	// messages (InstallHalos or the pipelined per-face installs). The
+	// messages (InstallHalos or the pipelined per-link installs). The
 	// observatory diffs these per step for the Table-4 phase rows.
 	ghostNS int64
 	waitNS  int64
@@ -84,76 +113,78 @@ type Rank struct {
 	interior, haloBlocks []*grid.Block
 	interiorRHS, haloRHS [][]float32
 
-	deps *stageDeps
-	// packBufs reuses the PackFace payload buffers per face and RK stage.
-	// One buffer per (face, stage) is safe: the receiver has finished
+	deps  *stageDeps
+	links []Link
+	// linkRelease[i] is the one-element release list of links[i], kept
+	// allocated so the pipelined installs release without allocating.
+	linkRelease [][]int32
+	// recvs is the reusable request slice of ExchangeGhosts.
+	recvs []*mpi.Request
+	// packBufs reuses the PackFace payload buffers per link and RK stage.
+	// One buffer per (link, stage) is safe: the receiver has finished
 	// reading the stage-s slab of step k before this rank can reach stage
 	// s of step k+1 (it cannot complete its own stages s+1 and s+2 without
 	// this rank's later-stage messages, and each of those stages starts by
 	// clearing the previously installed halos).
-	packBufs [6][3][]float32
+	packBufs [][3][]float32
+
+	// migrations counts the blocks this rank has sent or received in
+	// rebalance migrations; lastBusyNS is the pool busy counter at the
+	// previous rebalance check (the load metric is the delta).
+	migrations int64
+	lastBusyNS int64
 }
 
 // stageDeps is the precomputed task-dependency structure of one fused
-// RHS+UP stage (identical for all stages and steps).
+// RHS+UP stage (identical for all stages and steps under one layout).
 type stageDeps struct {
-	// start[i] counts the inter-rank halo faces block i's lab reads; the
-	// task may start only after those faces are installed.
+	// start[i] counts the inter-rank halo links block i's lab reads; the
+	// task may start only after those are installed.
 	start []int32
-	// faceBlocks[f] lists the block ordinals gated on halo face f.
-	faceBlocks [6][]int32
-	// labDeps[i] lists the ordinals of the in-rank blocks whose data block
-	// i's lab assembly reads (face adjacency, which is symmetric — the
-	// same list enumerates the readers of block i).
+	// labDeps[i] lists the ordinals of the locally owned blocks whose data
+	// block i's lab assembly reads (face adjacency including periodic
+	// wraps, which is symmetric — the same list enumerates the readers of
+	// block i). Self-adjacency through a one-block periodic axis adds no
+	// entry: the lab reads the block's own data, which needs no ordering.
 	labDeps [][]int32
 }
 
 // NewRank builds the rank-local grid and engine for comm.
 func NewRank(comm *mpi.Comm, cfg Config) *Rank {
-	cart := mpi.NewCart(comm, cfg.RankDims, [3]bool{
+	periodic := [3]bool{
 		cfg.BC[grid.XLo] == grid.Periodic,
 		cfg.BC[grid.YLo] == grid.Periodic,
 		cfg.BC[grid.ZLo] == grid.Periodic,
-	})
+	}
+	lay, err := layout.New(cfg.Layout, cfg.RankDims, cfg.BlockDims, comm.Size(), periodic)
+	if err != nil {
+		panic(fmt.Sprintf("cluster: %v", err))
+	}
+	if cfg.LayoutCuts != nil {
+		lay = lay.WithCuts(cfg.LayoutCuts)
+	}
 	n := cfg.BlockSize
-	globalCellsX := cfg.RankDims[0] * cfg.BlockDims[0] * n
+	globalCellsX := lay.GB[0] * n
 	h := cfg.Extent / float64(globalCellsX)
 	desc := grid.Desc{
 		N:   n,
-		NBX: cfg.BlockDims[0], NBY: cfg.BlockDims[1], NBZ: cfg.BlockDims[2],
+		NBX: lay.GB[0], NBY: lay.GB[1], NBZ: lay.GB[2],
 		H: h,
-		Origin: [3]float64{
-			float64(cart.Coords[0]*cfg.BlockDims[0]*n) * h,
-			float64(cart.Coords[1]*cfg.BlockDims[1]*n) * h,
-			float64(cart.Coords[2]*cfg.BlockDims[2]*n) * h,
-		},
 	}
-	g := grid.New(desc)
+	g := grid.NewPartial(desc, nil, lay.Blocks(comm.Rank()))
 	r := &Rank{
 		Cfg:    cfg,
-		Cart:   cart,
+		Comm:   comm,
+		Layout: lay,
 		G:      g,
-		Engine: node.New(g, rankBC(cart, cfg.BC), cfg.Workers, cfg.Vector),
+		Engine: node.New(g, cfg.BC, cfg.Workers, cfg.Vector),
 		Mon:    perf.NewMonitor(),
 		tr:     cfg.Tracer,
 		rankID: comm.Rank(),
 	}
 	r.Engine.SetTrace(cfg.Tracer, r.rankID)
-	per := n * n * n * physics.NQ
-	r.reg = make([][]float32, len(g.Blocks))
-	r.rhs = make([][]float32, len(g.Blocks))
-	for i := range r.reg {
-		r.reg[i] = make([]float32, per)
-		r.rhs[i] = make([]float32, per)
-	}
-	if cfg.TimeStepper == "ssprk3" {
-		r.u0 = make([][]float32, len(g.Blocks))
-		for i := range r.u0 {
-			r.u0[i] = make([]float32, per)
-		}
-	}
-	r.splitHaloInterior()
-	r.buildStageDeps()
+	r.allocBuffers()
+	r.buildTopology()
 	if cfg.Init != nil {
 		r.Initialize(cfg.Init)
 	}
@@ -165,95 +196,85 @@ func NewRank(comm *mpi.Comm, cfg Config) *Rank {
 // build many ranks should close them promptly.
 func (r *Rank) Close() { r.Engine.Close() }
 
-// rankBC masks the physical BC to the faces that are actual domain
-// boundaries of this rank. Faces with a neighboring rank receive their
-// ghost data from the halo exchange (installed halos win in the grid's
-// ghost resolution); masking them to Absorbing guarantees a missing halo
-// can never be misread as a wall mirror or a rank-local periodic wrap, and
-// it lets the stage dependency builder assume rank faces carry no
-// grid-level BC coupling.
-func rankBC(cart *mpi.Cart, bc grid.BC) grid.BC {
-	out := bc
-	for f := grid.XLo; f <= grid.ZHi; f++ {
-		dir := -1
-		if f.IsHigh() {
-			dir = 1
-		}
-		if cart.Neighbor(f.Axis(), dir) >= 0 {
-			out[f] = grid.Absorbing
+// allocBuffers sizes the per-block RK registers and RHS buffers to the
+// current grid (called at construction and again after a migration).
+func (r *Rank) allocBuffers() {
+	per := r.G.N * r.G.N * r.G.N * physics.NQ
+	nb := len(r.G.Blocks)
+	r.reg = make([][]float32, nb)
+	r.rhs = make([][]float32, nb)
+	for i := range r.reg {
+		r.reg[i] = make([]float32, per)
+		r.rhs[i] = make([]float32, per)
+	}
+	r.u0 = nil
+	if r.Cfg.TimeStepper == "ssprk3" {
+		r.u0 = make([][]float32, nb)
+		for i := range r.u0 {
+			r.u0[i] = make([]float32, per)
 		}
 	}
-	return out
 }
 
-// buildStageDeps derives, once, the per-block readiness structure the
-// pipelined stages replay: which halo faces gate a block's start and which
-// in-rank neighbors its lab assembly reads.
-func (r *Rank) buildStageDeps() {
-	g := r.G
+// buildTopology derives, once per layout, everything the exchange and the
+// pipelined stages replay every step: the neighbor/tag link table, the
+// per-block start counts and in-rank lab dependencies, the halo/interior
+// block split, and the reusable pack/request buffers. It is recomputed
+// only when the layout changes (a migration).
+func (r *Rank) buildTopology() {
+	g, lay := r.G, r.Layout
+	nb := len(g.Blocks)
 	d := &stageDeps{
-		start:   make([]int32, len(g.Blocks)),
-		labDeps: make([][]int32, len(g.Blocks)),
+		start:   make([]int32, nb),
+		labDeps: make([][]int32, nb),
 	}
-	ord := make(map[*grid.Block]int32, len(g.Blocks))
+	ord := make(map[[3]int]int32, nb)
 	for i, b := range g.Blocks {
-		ord[b] = int32(i)
+		ord[[3]int{b.X, b.Y, b.Z}] = int32(i)
 	}
-	lim := [3]int{g.NBX, g.NBY, g.NBZ}
+	r.links = r.links[:0]
 	for i, b := range g.Blocks {
+		c := [3]int{b.X, b.Y, b.Z}
 		for f := grid.XLo; f <= grid.ZHi; f++ {
-			a := f.Axis()
-			dir := -1
-			if f.IsHigh() {
-				dir = 1
-			}
-			nc := [3]int{b.X, b.Y, b.Z}
-			nc[a] += dir
-			if nc[a] >= 0 && nc[a] < lim[a] {
-				// In-rank neighbor: the lab copies its data directly.
-				d.labDeps[i] = append(d.labDeps[i], ord[g.BlockAt(nc[0], nc[1], nc[2])])
+			nc, ok := lay.Neighbor(c, f)
+			if !ok {
+				// Physical boundary: absorbing/reflecting ghosts mirror
+				// cells of this same block, adding no dependency.
 				continue
 			}
-			if r.Cart.Neighbor(a, dir) >= 0 {
-				// Rank boundary: the lab reads the halo slab of face f.
-				d.start[i]++
-				d.faceBlocks[f] = append(d.faceBlocks[f], int32(i))
+			if nc == c {
+				// One-block periodic axis: the wrap reads this block's own
+				// data directly in the lab.
+				continue
 			}
-			// Otherwise a physical boundary: absorbing/reflecting ghosts
-			// mirror cells of this same block, adding no dependency (and
-			// rankBC guarantees rank faces never fall through to a
-			// grid-level periodic wrap).
+			if j, owned := ord[nc]; owned {
+				// Locally owned neighbor: the lab copies its data directly.
+				d.labDeps[i] = append(d.labDeps[i], j)
+				continue
+			}
+			// Remote neighbor: one halo link gates this block's start.
+			d.start[i]++
+			r.links = append(r.links, Link{
+				Block: i,
+				Face:  f,
+				Peer:  lay.Owner(nc),
+				MyID:  lay.LinearID(c),
+				NbID:  lay.LinearID(nc),
+			})
 		}
 	}
 	r.deps = d
-}
-
-// splitHaloInterior partitions the blocks into those whose ghosts depend on
-// a neighboring rank (halo) and the rest (interior), the overlap unit of
-// the paper's communication scheme.
-func (r *Rank) splitHaloInterior() {
-	touchesNeighbor := func(b *grid.Block) bool {
-		for f := grid.XLo; f <= grid.ZHi; f++ {
-			dir := -1
-			if f.IsHigh() {
-				dir = 1
-			}
-			if r.Cart.Neighbor(f.Axis(), dir) < 0 {
-				continue // physical boundary, handled by BC
-			}
-			at := [3]int{b.X, b.Y, b.Z}[f.Axis()]
-			limit := 0
-			if f.IsHigh() {
-				limit = [3]int{r.G.NBX - 1, r.G.NBY - 1, r.G.NBZ - 1}[f.Axis()]
-			}
-			if at == limit {
-				return true
-			}
-		}
-		return false
+	r.linkRelease = make([][]int32, len(r.links))
+	for i, lk := range r.links {
+		r.linkRelease[i] = []int32{int32(lk.Block)}
 	}
-	for i, b := range r.G.Blocks {
-		if touchesNeighbor(b) {
+	r.recvs = make([]*mpi.Request, len(r.links))
+	r.packBufs = make([][3][]float32, len(r.links))
+
+	r.interior, r.haloBlocks = nil, nil
+	r.interiorRHS, r.haloRHS = nil, nil
+	for i, b := range g.Blocks {
+		if d.start[i] > 0 {
 			r.haloBlocks = append(r.haloBlocks, b)
 			r.haloRHS = append(r.haloRHS, r.rhs[i])
 		} else {
@@ -261,6 +282,12 @@ func (r *Rank) splitHaloInterior() {
 			r.interiorRHS = append(r.interiorRHS, r.rhs[i])
 		}
 	}
+}
+
+// Links returns a copy of the precomputed neighbor/tag table: one entry per
+// (owned block, face) pair whose neighbor lives on another rank.
+func (r *Rank) Links() []Link {
+	return append([]Link(nil), r.links...)
 }
 
 // Initialize fills the rank subdomain from a global primitive field.
@@ -287,63 +314,51 @@ func (r *Rank) Initialize(f func(x, y, z float64) physics.Prim) {
 	}
 }
 
-// ghost message tags: one per face, offset by the RK stage so stages never
-// cross-match, in the mpi ghost tag namespace so they cannot collide with
-// collectives or dump streams.
-func faceTag(f grid.Face, stage int) int { return mpi.TagGhost(int(f), stage) }
-
-// opposite returns the matching face on the neighboring rank.
+// opposite returns the matching face on the neighboring block.
 func opposite(f grid.Face) grid.Face { return f ^ 1 }
 
 // ExchangeGhosts posts the ghost exchange for one RK stage: returns the
-// receive requests; the caller computes interior blocks, then calls
-// InstallHalos with the requests.
+// receive requests, one per link; the caller computes interior blocks, then
+// calls InstallHalos with the requests.
 //
 // "Every rank sends 6 messages to its adjacent neighbors ... while waiting
 // for the messages, the rank dispatches the interior blocks to the node
-// layer" (§6).
-func (r *Rank) ExchangeGhosts(stage int) [6]*mpi.Request {
+// layer" (§6). Under an SFC layout a block's six neighbors may live on any
+// rank, so messages are tagged per block (the receiver's canonical block
+// id plus the receiving face) rather than per rank face.
+func (r *Rank) ExchangeGhosts(stage int) []*mpi.Request {
 	sp := r.tr.StartSpan("ghost_exchange", r.rankID, 0)
 	defer sp.End()
 	t0 := time.Now()
 	defer func() { r.ghostNS += int64(time.Since(t0)) }()
-	var recvs [6]*mpi.Request
-	r.Cart.BeginTagEpoch() // each halo cycle is one tag epoch for the reuse assertion
+	r.Comm.BeginTagEpoch() // each halo cycle is one tag epoch for the reuse assertion
 	r.G.ClearHalos()
-	for f := grid.XLo; f <= grid.ZHi; f++ {
-		dir := -1
-		if f.IsHigh() {
-			dir = 1
-		}
-		nb := r.Cart.Neighbor(f.Axis(), dir)
-		if nb < 0 {
-			continue
-		}
-		recvs[f] = r.Cart.Irecv(nb, faceTag(f, stage))
-		// Reuse the per-(face, stage) payload buffer; see packBufs for why
+	for i, lk := range r.links {
+		b := r.G.Blocks[lk.Block]
+		r.recvs[i] = r.Comm.Irecv(lk.Peer, mpi.TagGhostBlock(lk.MyID, int(lk.Face), stage))
+		// Reuse the per-(link, stage) payload buffer; see packBufs for why
 		// the receiver is guaranteed done with the previous round's slab.
-		payload := r.G.PackFace(f, r.packBufs[f][stage][:0])
-		r.packBufs[f][stage] = payload
+		payload := b.PackFace(lk.Face, r.packBufs[i][stage][:0])
+		r.packBufs[i][stage] = payload
 		// The neighbor installs this as its opposite-face halo; tag with
-		// the receiver's face index. PackFace emits depth d=0 as the layer
-		// closest to the shared face, exactly the d=0 "adjacent to the
-		// domain" layer SetHalo expects, so the payload installs as is.
-		r.Cart.Isend(nb, faceTag(opposite(f), stage), payload)
+		// the receiver's block id and face. PackFace emits depth d=0 as the
+		// layer closest to the shared face, exactly the d=0 "adjacent to
+		// the block" layer SetHalo expects, so the payload installs as is.
+		r.Comm.Isend(lk.Peer, mpi.TagGhostBlock(lk.NbID, int(opposite(lk.Face)), stage), payload)
 	}
-	return recvs
+	return r.recvs
 }
 
-// InstallHalos waits for the ghost messages and installs them.
-func (r *Rank) InstallHalos(recvs [6]*mpi.Request) {
+// InstallHalos waits for the ghost messages and installs them on their
+// blocks.
+func (r *Rank) InstallHalos(recvs []*mpi.Request) {
 	sp := r.tr.StartSpan("halo_wait", r.rankID, 0)
 	defer sp.End()
 	t0 := time.Now()
 	defer func() { r.waitNS += int64(time.Since(t0)) }()
-	for f := grid.XLo; f <= grid.ZHi; f++ {
-		if recvs[f] == nil {
-			continue
-		}
-		r.G.SetHalo(f, recvs[f].Wait())
+	for i, rq := range recvs {
+		lk := r.links[i]
+		r.G.Blocks[lk.Block].SetHalo(lk.Face, rq.Wait())
 	}
 }
 
@@ -354,7 +369,7 @@ func (r *Rank) MaxDT() float64 {
 	defer sp.End()
 	t0 := time.Now()
 	local := r.Engine.MaxCharVel()
-	global := r.Cart.Allreduce(local, mpi.MaxOp)
+	global := r.Comm.Allreduce(local, mpi.MaxOp)
 	cells := int64(r.G.Cells())
 	r.Mon.Kernel("DT").RecordSince(t0, cells*core.SOSFlopsPerCell, cells*core.SOSBytesPerCell)
 	if global <= 0 {
@@ -407,19 +422,11 @@ func (r *Rank) RKStep(dt float64) {
 	r.Time += dt
 }
 
-// faceInstallSpan names the per-face halo installation spans of the
-// pipelined step.
-var faceInstallSpan = [6]string{
-	"halo_install.x-", "halo_install.x+",
-	"halo_install.y-", "halo_install.y+",
-	"halo_install.z-", "halo_install.z+",
-}
-
 // rkStepPipelined advances one lsrk3 step with the dependency-driven
 // execution model: each stage submits every block as one fused RHS+UP task
 // to the persistent pool. Interior blocks (StartDeps zero) start
-// immediately and overlap the halo exchange; each arriving face releases
-// exactly the blocks whose labs read it. The fused tasks round the RHS
+// immediately and overlap the halo exchange; each arriving link releases
+// exactly the block whose lab reads it. The fused tasks round the RHS
 // through float32 and apply the identical update arithmetic, so the result
 // is bitwise equal to the staged path regardless of execution order.
 func (r *Rank) rkStepPipelined(dt float64) {
@@ -436,14 +443,12 @@ func (r *Rank) rkStepPipelined(dt float64) {
 			StartDeps: r.deps.start,
 			LabDeps:   r.deps.labDeps,
 		})
-		for f := grid.XLo; f <= grid.ZHi; f++ {
-			if recvs[f] == nil {
-				continue
-			}
-			sp := r.tr.StartSpan(faceInstallSpan[f], r.rankID, 0)
+		for i, rq := range recvs {
+			lk := r.links[i]
+			sp := r.tr.StartSpan("halo_install", r.rankID, 0)
 			tf := time.Now()
-			r.G.SetHalo(f, recvs[f].Wait())
-			run.Release(r.deps.faceBlocks[f])
+			r.G.Blocks[lk.Block].SetHalo(lk.Face, rq.Wait())
+			run.Release(r.linkRelease[i])
 			r.waitNS += int64(time.Since(tf))
 			sp.End()
 		}
@@ -470,7 +475,9 @@ func (r *Rank) Advance() float64 {
 	return dt
 }
 
-// Dump writes one quantity's compressed snapshot collectively.
+// Dump writes one quantity's compressed snapshot collectively. The header
+// carries each rank's canonical block-id table so readers can reassemble
+// the global field under any layout.
 func (r *Rank) Dump(path string, q compress.Quantity, eps float64, encoder string) (compress.Stats, error) {
 	sp := r.tr.StartSpan("dump", r.rankID, 0)
 	defer sp.End()
@@ -497,10 +504,15 @@ func (r *Rank) Dump(path string, q compress.Quantity, eps float64, encoder strin
 		BlockSize: r.G.N,
 		RankDims:  r.Cfg.RankDims,
 		BlockDims: r.Cfg.BlockDims,
+		Layout:    r.Layout.Name,
 		Step:      r.Step,
 		Time:      r.Time,
 	}
-	if _, err := dump.WriteCollective(r.Cart.Comm, path, hdr, c); err != nil {
+	ids := make([]int64, len(r.G.Blocks))
+	for i, b := range r.G.Blocks {
+		ids[i] = r.Layout.LinearID([3]int{b.X, b.Y, b.Z})
+	}
+	if _, err := dump.WriteCollective(r.Comm, path, hdr, c, ids); err != nil {
 		return stats, err
 	}
 	r.Mon.Kernel("IO").RecordSince(tIO, 0, stats.Encoded)
@@ -519,7 +531,10 @@ type Diagnostics struct {
 	EquivRadius   float64
 }
 
-// Diagnose computes the global diagnostics via reductions.
+// Diagnose computes the global diagnostics via reductions. The kinetic
+// energy and vapor volume integrals fold per-block partial sums in
+// canonical block order (see foldBlockSums), so the result is bitwise
+// identical across layouts, rank counts and migrations.
 func (r *Rank) Diagnose(wall grid.Face, hasWall bool) Diagnostics {
 	sp := r.tr.StartSpan("diagnose", r.rankID, 0)
 	defer sp.End()
@@ -527,8 +542,9 @@ func (r *Rank) Diagnose(wall grid.Face, hasWall bool) Diagnostics {
 	n := g.N
 	h3 := g.H * g.H * g.H
 	gV, gL := physics.Vapor.G(), physics.Liquid.G()
-	var maxP, wallP, ke, vap float64
-	for _, b := range g.Blocks {
+	var maxP, wallP float64
+	sums := r.foldBlockSums(2, func(b *grid.Block, out []float64) {
+		var ke, vap float64
 		for iz := 0; iz < n; iz++ {
 			for iy := 0; iy < n; iy++ {
 				for ix := 0; ix < n; ix++ {
@@ -559,12 +575,13 @@ func (r *Rank) Diagnose(wall grid.Face, hasWall bool) Diagnostics {
 				}
 			}
 		}
-	}
+		out[0], out[1] = ke, vap
+	})
 	d := Diagnostics{Time: r.Time, Step: r.Step}
-	d.MaxPressure = r.Cart.Allreduce(maxP, mpi.MaxOp)
-	d.WallPressure = r.Cart.Allreduce(wallP, mpi.MaxOp)
-	d.KineticEnergy = r.Cart.Allreduce(ke, mpi.SumOp)
-	d.VaporVolume = r.Cart.Allreduce(vap, mpi.SumOp)
+	d.MaxPressure = r.Comm.Allreduce(maxP, mpi.MaxOp)
+	d.WallPressure = r.Comm.Allreduce(wallP, mpi.MaxOp)
+	d.KineticEnergy = sums[0]
+	d.VaporVolume = sums[1]
 	d.EquivRadius = equivRadius(d.VaporVolume)
 	return d
 }
@@ -577,17 +594,9 @@ func equivRadius(v float64) float64 {
 	return math.Cbrt(3 * v / (4 * math.Pi))
 }
 
-// onWall reports whether rank-local cell (ix,iy,iz) of block b lies in the
-// first layer adjacent to the global wall face.
+// onWall reports whether cell (ix,iy,iz) of block b lies in the first layer
+// adjacent to the global wall face.
 func (r *Rank) onWall(b *grid.Block, wall grid.Face, ix, iy, iz int) bool {
-	// The wall exists only on ranks at the corresponding domain boundary.
-	dir := -1
-	if wall.IsHigh() {
-		dir = 1
-	}
-	if r.Cart.Neighbor(wall.Axis(), dir) >= 0 {
-		return false
-	}
 	gc := [3]int{b.X*r.G.N + ix, b.Y*r.G.N + iy, b.Z*r.G.N + iz}[wall.Axis()]
 	if wall.IsHigh() {
 		limit := [3]int{r.G.CellsX(), r.G.CellsY(), r.G.CellsZ()}[wall.Axis()]
@@ -606,7 +615,7 @@ func (r *Rank) ComputeRHSOnly() {
 	r.Engine.ComputeRHS(r.haloBlocks, r.haloRHS)
 	// Every call reuses the stage-0 pack buffers; unlike RKStep there are no
 	// later-stage messages to order successive calls, so align them here.
-	r.Cart.Barrier()
+	r.Comm.Barrier()
 }
 
 // SaveCheckpoint writes the full conserved state collectively (lossless;
@@ -614,13 +623,15 @@ func (r *Rank) ComputeRHSOnly() {
 func (r *Rank) SaveCheckpoint(path string) error {
 	sp := r.tr.StartSpan("checkpoint", r.rankID, 0)
 	defer sp.End()
-	return checkpoint.Write(r.Cart.Comm, path, r.G, r.Cfg.RankDims, r.Step, r.Time)
+	return checkpoint.Write(r.Comm, path, r.G, r.Cfg.RankDims, r.Step, r.Time)
 }
 
-// RestoreCheckpoint replaces the rank state with the checkpoint contents;
-// the configuration must match the one the checkpoint was written with.
+// RestoreCheckpoint replaces the rank state with the checkpoint contents.
+// The checkpoint's block size and global geometry must match; the layout
+// and rank count may differ from the writing run — each rank pulls exactly
+// the blocks it owns out of the file (see checkpoint.Restore).
 func (r *Rank) RestoreCheckpoint(path string) error {
-	step, simTime, err := checkpoint.Restore(path, r.Cart.Rank(), r.G)
+	step, simTime, err := checkpoint.Restore(path, r.Comm.Rank(), r.G)
 	if err != nil {
 		return err
 	}

@@ -25,13 +25,10 @@ func runRanks(t *testing.T, cfg Config, steps int) map[[3]int]physics.Prim {
 		for s := 0; s < steps; s++ {
 			r.Advance()
 		}
-		// Collect global cells.
+		// Collect global cells (block coordinates are box-global).
 		var cells []cell
 		g := r.G
 		nn := g.N
-		offX := r.Cart.Coords[0] * g.NBX * nn
-		offY := r.Cart.Coords[1] * g.NBY * nn
-		offZ := r.Cart.Coords[2] * g.NBZ * nn
 		for _, b := range g.Blocks {
 			for iz := 0; iz < nn; iz++ {
 				for iy := 0; iy < nn; iy++ {
@@ -43,7 +40,7 @@ func runRanks(t *testing.T, cfg Config, steps int) map[[3]int]physics.Prim {
 							E: float64(c[physics.QE]), G: float64(c[physics.QG]), Pi: float64(c[physics.QP]),
 						}
 						cells = append(cells, cell{
-							pos: [3]int{offX + b.X*nn + ix, offY + b.Y*nn + iy, offZ + b.Z*nn + iz},
+							pos: [3]int{b.X*nn + ix, b.Y*nn + iy, b.Z*nn + iz},
 							pr:  cons.ToPrim(),
 						})
 					}

@@ -31,49 +31,90 @@ func TestPipelineMatchesStagedBitwise(t *testing.T) {
 	}
 }
 
-// TestRankBCMasksNeighborFaces: faces with a neighboring rank must be
-// masked to Absorbing (the halo always wins there), while true domain
-// boundaries keep the physical condition.
-func TestRankBCMasksNeighborFaces(t *testing.T) {
-	cfg := Config{
-		RankDims:  [3]int{2, 1, 1},
-		BlockDims: [3]int{2, 1, 1},
-		BlockSize: 8,
-		Extent:    1,
-		Workers:   1,
-		CFL:       0.3,
-	}
-	cfg.BC[grid.XLo] = grid.Reflecting
-	cfg.BC[grid.XHi] = grid.Reflecting
-	world := mpi.NewWorld(2)
-	type bcAt struct {
-		rank int
-		bc   grid.BC
-	}
-	out := make(chan bcAt, 2)
-	world.Run(func(comm *mpi.Comm) {
-		r := NewRank(comm, cfg)
-		defer r.Close()
-		out <- bcAt{rank: comm.Rank(), bc: r.Engine.BC}
-	})
-	close(out)
-	for got := range out {
-		// The two ranks split the x axis: each keeps the reflecting wall on
-		// its outer x face and gets Absorbing on the shared inner face.
-		wantLo, wantHi := grid.Reflecting, grid.Absorbing
-		if got.rank == 1 {
-			wantLo, wantHi = grid.Absorbing, grid.Reflecting
-		}
-		if got.bc[grid.XLo] != wantLo || got.bc[grid.XHi] != wantHi {
-			t.Errorf("rank %d x faces: got (%v, %v), want (%v, %v)",
-				got.rank, got.bc[grid.XLo], got.bc[grid.XHi], wantLo, wantHi)
-		}
-		for f := grid.YLo; f <= grid.ZHi; f++ {
-			if got.bc[f] != grid.Absorbing {
-				t.Errorf("rank %d face %d: got %v, want Absorbing (no neighbor, default BC)",
-					got.rank, f, got.bc[f])
+// TestLinksMatchLayout: the neighbor/tag table precomputed at rank
+// construction must agree with the layout — one link exactly for every
+// (owned block, face) pair whose neighbor block is remote, pointing at the
+// layout's owner — and the table must be globally symmetric (every send has
+// a matching receive on the peer). The engine keeps the unmasked global BC:
+// inter-rank faces are resolved through the block topology, not by masking.
+func TestLinksMatchLayout(t *testing.T) {
+	for _, layoutName := range []string{"cartesian", "hilbert"} {
+		t.Run(layoutName, func(t *testing.T) {
+			cfg := Config{
+				RankDims:  [3]int{2, 1, 1},
+				BlockDims: [3]int{2, 2, 2},
+				BlockSize: 8,
+				Extent:    1,
+				Workers:   1,
+				CFL:       0.3,
+				Layout:    layoutName,
 			}
-		}
+			cfg.BC[grid.XLo] = grid.Reflecting
+			cfg.BC[grid.XHi] = grid.Reflecting
+			const nranks = 2
+			world := mpi.NewWorld(nranks)
+			type rankLinks struct {
+				rank  int
+				bc    grid.BC
+				links []Link
+				want  int
+			}
+			out := make(chan rankLinks, nranks)
+			world.Run(func(comm *mpi.Comm) {
+				r := NewRank(comm, cfg)
+				defer r.Close()
+				// Independently count the remote (block, face) pairs from the
+				// layout alone.
+				want := 0
+				for _, c := range r.Layout.Blocks(comm.Rank()) {
+					for f := grid.XLo; f <= grid.ZHi; f++ {
+						nc, ok := r.Layout.Neighbor(c, f)
+						if ok && nc != c && r.Layout.Owner(nc) != comm.Rank() {
+							want++
+						}
+					}
+				}
+				for _, lk := range r.Links() {
+					b := r.G.Blocks[lk.Block]
+					c := [3]int{b.X, b.Y, b.Z}
+					nc, ok := r.Layout.Neighbor(c, lk.Face)
+					if !ok {
+						t.Errorf("rank %d link %+v crosses a physical boundary", comm.Rank(), lk)
+					} else if got := r.Layout.Owner(nc); got != lk.Peer {
+						t.Errorf("rank %d link %+v: layout owner %d", comm.Rank(), lk, got)
+					}
+					if lk.MyID != r.Layout.LinearID(c) {
+						t.Errorf("rank %d link %+v: MyID != LinearID(%v)", comm.Rank(), lk, c)
+					}
+				}
+				out <- rankLinks{rank: comm.Rank(), bc: r.Engine.BC, links: r.Links(), want: want}
+			})
+			close(out)
+			type half struct {
+				peer int
+				id   int64
+				face grid.Face
+			}
+			seen := map[half]int{}
+			for got := range out {
+				if got.bc != cfg.BC {
+					t.Errorf("rank %d engine BC %v, want unmasked global %v", got.rank, got.bc, cfg.BC)
+				}
+				if len(got.links) != got.want {
+					t.Errorf("rank %d has %d links, layout implies %d", got.rank, len(got.links), got.want)
+				}
+				for _, lk := range got.links {
+					seen[half{got.rank, lk.MyID, lk.Face}]++
+					seen[half{lk.Peer, lk.NbID, opposite(lk.Face)}]--
+				}
+			}
+			for h, n := range seen {
+				if n != 0 {
+					t.Errorf("asymmetric link table at rank %d block %d face %v (balance %d)",
+						h.peer, h.id, h.face, n)
+				}
+			}
+		})
 	}
 }
 

@@ -33,6 +33,10 @@ type RankEntry struct {
 	Size    int64 `json:"size"`
 	Blocks  int   `json:"blocks"`
 	Streams []int `json:"streams"` // encoded stream sizes within the payload
+	// BlockIDs lists the canonical (row-major global) linear block ids of
+	// the rank's payload in block order. Absent in pre-layout files, whose
+	// block order is implied by the cartesian decomposition.
+	BlockIDs []int64 `json:"block_ids,omitempty"`
 }
 
 // Header is the self-describing metadata block of a dump file.
@@ -43,15 +47,19 @@ type Header struct {
 	BlockSize int         `json:"block_size"`
 	RankDims  [3]int      `json:"rank_dims"`
 	BlockDims [3]int      `json:"block_dims"` // blocks per rank per dimension
+	Layout    string      `json:"layout,omitempty"`
 	Step      int         `json:"step"`
 	Time      float64     `json:"time"`
 	Ranks     []RankEntry `json:"ranks"`
 }
 
 // WriteCollective writes one quantity's compressed payload from every rank
-// into a single shared file. All ranks must call it; returns the number of
-// payload bytes this rank wrote.
-func WriteCollective(comm *mpi.Comm, path string, hdr Header, c *compress.Compressed) (int64, error) {
+// into a single shared file. blockIDs (optional, may be nil) lists the
+// canonical linear ids of this rank's blocks in payload order; when given,
+// the header records every rank's table so readers can reassemble the
+// global field under any layout. All ranks must call it; returns the number
+// of payload bytes this rank wrote.
+func WriteCollective(comm *mpi.Comm, path string, hdr Header, c *compress.Compressed, blockIDs []int64) (int64, error) {
 	// Flatten this rank's streams.
 	var payload []byte
 	streams := make([]int, len(c.Streams))
@@ -70,14 +78,20 @@ func WriteCollective(comm *mpi.Comm, path string, hdr Header, c *compress.Compre
 	blockCounts := comm.Gather(float64(c.Blocks))
 	streamsFlat := comm.Gather(float64(len(streams)))
 
-	// The per-rank stream-size tables are exchanged point-to-point to rank 0.
+	// The per-rank stream-size tables (and, when present, block-id tables)
+	// are exchanged point-to-point to rank 0. The id tables ride stream
+	// channel 5, above the net-bench channels 1..4.
 	tagStreams := mpi.TagStream(0)
+	tagIDs := mpi.TagStream(5)
 	if comm.Rank() != 0 {
 		data := make([]int64, len(streams))
 		for i, s := range streams {
 			data[i] = int64(s)
 		}
 		comm.SendInts(0, tagStreams, data)
+		if blockIDs != nil {
+			comm.SendInts(0, tagIDs, blockIDs)
+		}
 	}
 
 	var headerBytes []byte
@@ -85,6 +99,8 @@ func WriteCollective(comm *mpi.Comm, path string, hdr Header, c *compress.Compre
 		hdr.Ranks = make([]RankEntry, comm.Size())
 		streamTables := make([][]int, comm.Size())
 		streamTables[0] = streams
+		idTables := make([][]int64, comm.Size())
+		idTables[0] = blockIDs
 		for r := 1; r < comm.Size(); r++ {
 			data := comm.RecvInts(r, tagStreams)
 			tbl := make([]int, int(streamsFlat[r]))
@@ -92,11 +108,14 @@ func WriteCollective(comm *mpi.Comm, path string, hdr Header, c *compress.Compre
 				tbl[i] = int(data[i])
 			}
 			streamTables[r] = tbl
+			if blockIDs != nil {
+				idTables[r] = comm.RecvInts(r, tagIDs)
+			}
 		}
 		// Two passes: encode with zero offsets to learn the header length,
 		// then fix the offsets and re-encode with padding to fixed size.
 		for r := range hdr.Ranks {
-			hdr.Ranks[r] = RankEntry{Size: int64(sizes[r]), Blocks: int(blockCounts[r]), Streams: streamTables[r]}
+			hdr.Ranks[r] = RankEntry{Size: int64(sizes[r]), Blocks: int(blockCounts[r]), Streams: streamTables[r], BlockIDs: idTables[r]}
 		}
 		probe, err := json.Marshal(hdr)
 		if err != nil {

@@ -67,7 +67,7 @@ func TestWriteReadRoundTripMultiRank(t *testing.T) {
 			RankDims:  [3]int{4, 1, 1}, BlockDims: [3]int{2, 2, 2},
 			Step: 42, Time: 1.25e-5,
 		}
-		if _, err := WriteCollective(comm, path, hdr, c); err != nil {
+		if _, err := WriteCollective(comm, path, hdr, c, nil); err != nil {
 			t.Error(err)
 		}
 	})
@@ -125,7 +125,7 @@ func TestReadRejectsTruncated(t *testing.T) {
 		if _, err := WriteCollective(comm, path, Header{
 			Quantity: "p", Encoder: "zlib", BlockSize: 8,
 			RankDims: [3]int{1, 1, 1}, BlockDims: [3]int{1, 1, 1},
-		}, c); err != nil {
+		}, c, nil); err != nil {
 			t.Error(err)
 		}
 	})

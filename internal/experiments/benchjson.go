@@ -6,6 +6,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 
 	"cubism/internal/cluster"
 	"cubism/internal/core"
@@ -49,6 +50,21 @@ type BenchSimMode struct {
 	WorkerSpawns      int64           `json:"worker_goroutine_spawns"`
 }
 
+// BenchSimRebalance records the live-migration measurement: a hilbert run
+// started from deliberately skewed curve cuts, one forced mid-run rebalance,
+// and the pool-load imbalance (max/avg − 1) measured before and after the
+// migration. MetricsPresent lists the layout instrumentation series found in
+// the telemetry registry — a structural invariant the compare gate holds.
+type BenchSimRebalance struct {
+	Layout          string   `json:"layout"`
+	Ranks           int      `json:"ranks"`
+	SkewCuts        []int    `json:"skew_cuts"`
+	ImbalanceBefore float64  `json:"imbalance_before"`
+	ImbalanceAfter  float64  `json:"imbalance_after"`
+	MigratedBlocks  int      `json:"migrated_blocks"`
+	MetricsPresent  []string `json:"metrics_present"`
+}
+
 // BenchSimResult is the machine-readable benchmark record emitted next to
 // the human-readable report, so the perf trajectory across PRs is diffable
 // (compare two files with `diff` or a JSON tool). The top-level fields
@@ -67,6 +83,7 @@ type BenchSimResult struct {
 	StepImbalance float64                   `json:"step_imbalance"`
 	Kernels       map[string]BenchSimKernel `json:"kernels"`
 	Modes         []BenchSimMode            `json:"modes"`
+	Rebalance     *BenchSimRebalance        `json:"rebalance,omitempty"`
 }
 
 // percentile returns the p-quantile (0..1) of sorted xs by nearest-rank.
@@ -131,7 +148,7 @@ func runBenchSimMode(n, steps, workers int, pipeline bool) (benchSimRun, error) 
 		Steps:     steps,
 		DiagEvery: 1 << 30,
 		OnFinish: func(r *cluster.Rank) {
-			if r.Cart.Rank() == 0 {
+			if r.Comm.Rank() == 0 {
 				run.pool = r.Engine.PoolStats()
 			}
 		},
@@ -167,6 +184,69 @@ func runBenchSimMode(n, steps, workers int, pipeline bool) (benchSimRun, error) 
 	return run, nil
 }
 
+// runBenchSimRebalance measures one forced live rebalance on a deliberately
+// skewed hilbert partition: rank 0 starts with 13 of the 16 blocks, a forced
+// mid-run rebalance recuts the curve by measured pool load and migrates the
+// reassigned blocks, and a final measure-only check (the threshold is set
+// unreachably high) reads the post-migration imbalance over the remaining
+// steps. The telemetry registry is scanned for the layout instrumentation
+// series so the compare gate can hold their presence as a structural
+// invariant.
+func runBenchSimRebalance(n, workers int) (*BenchSimRebalance, error) {
+	const steps = 6
+	skew := []int{0, 13, 16}
+	tel := &telemetry.Set{Metrics: telemetry.NewRegistry()}
+	rec := &BenchSimRebalance{Layout: "hilbert", Ranks: 2, SkewCuts: skew}
+	cfg := sim.Config{
+		Cluster: cluster.Config{
+			RankDims:   [3]int{2, 1, 1},
+			BlockDims:  [3]int{2, 2, 2},
+			BlockSize:  n,
+			Extent:     1,
+			BC:         grid.PeriodicBC(),
+			Workers:    workers,
+			CFL:        0.3,
+			Pipeline:   true,
+			Init:       testField,
+			Layout:     rec.Layout,
+			LayoutCuts: skew,
+		},
+		Steps:              steps,
+		DiagEvery:          1 << 30,
+		ForceRebalanceStep: 3,
+		RebalanceEvery:     steps,
+		RebalanceThreshold: 1e18, // the final check only measures
+		Telemetry:          tel,
+	}
+	seen := 0
+	_, err := sim.Run(cfg, func(s sim.StepInfo) {
+		if !s.HasRebalance {
+			return
+		}
+		seen++
+		switch seen {
+		case 1:
+			rec.ImbalanceBefore = s.Rebalance.Imbalance
+			rec.MigratedBlocks = s.Rebalance.Moved
+		case 2:
+			rec.ImbalanceAfter = s.Rebalance.Imbalance
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range []string{"mpcf_layout_blocks", "mpcf_migrations_total"} {
+		for id := range tel.Metrics.Snapshot() {
+			if strings.HasPrefix(id, name) {
+				rec.MetricsPresent = append(rec.MetricsPresent, name)
+				break
+			}
+		}
+	}
+	sort.Strings(rec.MetricsPresent)
+	return rec, nil
+}
+
 // RunBenchSim executes the instrumented multi-rank benchmark campaign in
 // both execution models (fused pipeline and staged baseline) and returns
 // the machine-readable record; primary selects which mode fills the
@@ -178,6 +258,10 @@ func RunBenchSim(n, steps int, primary bool) (BenchSimResult, error) {
 		return BenchSimResult{}, err
 	}
 	fused, err := runBenchSimMode(n, steps, workers, true)
+	if err != nil {
+		return BenchSimResult{}, err
+	}
+	rebalance, err := runBenchSimRebalance(n, workers)
 	if err != nil {
 		return BenchSimResult{}, err
 	}
@@ -198,6 +282,7 @@ func RunBenchSim(n, steps int, primary bool) (BenchSimResult, error) {
 		StepLatency:  main.mode.StepLatency,
 		Kernels:      map[string]BenchSimKernel{},
 		Modes:        []BenchSimMode{staged.mode, fused.mode},
+		Rebalance:    rebalance,
 	}
 	for _, v := range main.imbs {
 		res.StepImbalance += v
@@ -252,6 +337,11 @@ func BenchSim(w io.Writer, n, steps int, jsonPath string, pipeline bool) {
 		res.StepLatency.MeanMS, res.StepLatency.P50MS, res.StepLatency.P90MS,
 		res.StepLatency.P99MS, res.StepLatency.MaxMS)
 	line(w, "step imbalance:  %10.3f (cross-rank (tmax-tmin)/tavg, mean over steps)", res.StepImbalance)
+	if rb := res.Rebalance; rb != nil {
+		line(w, "rebalance:       %s skew %v -> moved %d blocks, pool imbalance %.3f -> %.3f (metrics: %s)",
+			rb.Layout, rb.SkewCuts, rb.MigratedBlocks, rb.ImbalanceBefore, rb.ImbalanceAfter,
+			strings.Join(rb.MetricsPresent, ", "))
+	}
 	line(w, "%-12s %8s %12s %10s %8s", "kernel", "calls", "GFLOP/s", "FLOP/B", "share")
 	names := make([]string, 0, len(res.Kernels))
 	for name := range res.Kernels {

@@ -151,6 +151,41 @@ func CompareBenchSim(base, fresh BenchSimResult, th CompareThresholds) *CompareR
 	r.checkMin("points_per_second", base.PointsPerSec, fresh.PointsPerSec, th.MinRateFrac)
 	r.checkMax("step_latency.mean_ms", base.StepLatency.MeanMS, fresh.StepLatency.MeanMS, th.MaxLatencyFactor)
 
+	// Structural: the live-rebalance record. The migration must actually
+	// move blocks and reduce the measured pool-load imbalance, and the
+	// layout instrumentation series must stay present in the registry —
+	// none of which depends on the machine.
+	if base.Rebalance != nil {
+		r.Checks++
+		if fresh.Rebalance == nil {
+			r.fail("rebalance record present in baseline but absent from fresh run")
+		} else {
+			fr := fresh.Rebalance
+			r.Checks++
+			if fr.MigratedBlocks <= 0 {
+				r.fail("rebalance migrated %d blocks on a skewed partition — the migration path is dead", fr.MigratedBlocks)
+			}
+			r.Checks++
+			if fr.ImbalanceAfter >= fr.ImbalanceBefore {
+				r.fail("rebalance did not reduce pool imbalance: %.3f -> %.3f (skew cuts %v)",
+					fr.ImbalanceBefore, fr.ImbalanceAfter, fr.SkewCuts)
+			}
+			for _, name := range base.Rebalance.MetricsPresent {
+				r.Checks++
+				found := false
+				for _, got := range fr.MetricsPresent {
+					if got == name {
+						found = true
+						break
+					}
+				}
+				if !found {
+					r.fail("metric series %s present in baseline but missing from the fresh registry (structural, machine-independent)", name)
+				}
+			}
+		}
+	}
+
 	names := make([]string, 0, len(base.Kernels))
 	for name := range base.Kernels {
 		names = append(names, name)

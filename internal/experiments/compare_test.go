@@ -23,6 +23,11 @@ func simBaseline() BenchSimResult {
 			{Pipeline: true, PointsPerSec: 2e6, StepLatency: BenchSimLatency{MeanMS: 10},
 				UPBytesPerValue: 8, StageBytesPerCell: 360, PoolWorkers: 2, WorkerSpawns: 2},
 		},
+		Rebalance: &BenchSimRebalance{
+			Layout: "hilbert", Ranks: 2, SkewCuts: []int{0, 13, 16},
+			ImbalanceBefore: 0.8, ImbalanceAfter: 0.1, MigratedBlocks: 5,
+			MetricsPresent: []string{"mpcf_layout_blocks", "mpcf_migrations_total"},
+		},
 	}
 }
 
@@ -106,6 +111,33 @@ func TestCompareSimMissingKernel(t *testing.T) {
 	delete(fresh.Kernels, "DT")
 	if r := CompareBenchSim(simBaseline(), fresh, DefaultThresholds(1)); r.OK() {
 		t.Fatal("missing kernel not flagged")
+	}
+}
+
+func TestCompareSimRebalanceStructural(t *testing.T) {
+	// Dropping the instrumentation series is structural, slack-independent.
+	fresh := simBaseline()
+	fresh.Rebalance.MetricsPresent = []string{"mpcf_layout_blocks"}
+	if r := CompareBenchSim(simBaseline(), fresh, DefaultThresholds(100)); r.OK() {
+		t.Fatal("missing mpcf_migrations_total series not flagged")
+	}
+	// A migration that moves nothing on a skewed partition is dead code.
+	fresh = simBaseline()
+	fresh.Rebalance.MigratedBlocks = 0
+	if r := CompareBenchSim(simBaseline(), fresh, DefaultThresholds(1)); r.OK() {
+		t.Fatal("zero-block migration not flagged")
+	}
+	// The rebalance must reduce, not worsen, the measured imbalance.
+	fresh = simBaseline()
+	fresh.Rebalance.ImbalanceAfter = fresh.Rebalance.ImbalanceBefore + 0.1
+	if r := CompareBenchSim(simBaseline(), fresh, DefaultThresholds(1)); r.OK() {
+		t.Fatal("imbalance growth after rebalance not flagged")
+	}
+	// Losing the whole record is flagged too.
+	fresh = simBaseline()
+	fresh.Rebalance = nil
+	if r := CompareBenchSim(simBaseline(), fresh, DefaultThresholds(1)); r.OK() {
+		t.Fatal("missing rebalance record not flagged")
 	}
 }
 

@@ -42,14 +42,15 @@ func PeriodicBC() BC {
 }
 
 // ghost resolves quantity q of cell (ix,iy,iz) where exactly one coordinate
-// lies outside the rank-local domain [0,CellsX) x [0,CellsY) x [0,CellsZ).
-// Precedence: an installed halo slab (inter-rank ghost from the cluster
-// layer) wins; otherwise the physical boundary condition applies.
+// lies outside the global domain [0,CellsX) x [0,CellsY) x [0,CellsZ)
+// through the physical boundary condition of the crossed face. Inter-rank
+// ghosts never reach here: the Lab resolves owned neighbors directly and
+// remote ones through the per-block halo slabs. The periodic branch reads
+// through g.Cell and therefore requires the wrapped cell to be owned — the
+// Lab routes periodic wraps through the block topology instead, so on
+// partial grids this branch is never taken.
 func (g *Grid) ghost(bc BC, ix, iy, iz, q int) float32 {
 	f, _ := g.outFace(ix, iy, iz)
-	if g.halos[f] != nil {
-		return g.haloAt(f, ix, iy, iz, q)
-	}
 	switch bc[f] {
 	case Periodic:
 		nx, ny, nz := g.CellsX(), g.CellsY(), g.CellsZ()
@@ -68,8 +69,8 @@ func (g *Grid) ghost(bc BC, ix, iy, iz, q int) float32 {
 	}
 }
 
-// outFace identifies which face the out-of-range coordinate crosses and how
-// deep beyond it the cell lies (1-based).
+// outFace identifies which domain face the out-of-range coordinate crosses
+// and how deep beyond it the cell lies (1-based).
 func (g *Grid) outFace(ix, iy, iz int) (Face, int) {
 	switch {
 	case ix < 0:

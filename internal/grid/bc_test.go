@@ -157,32 +157,66 @@ func TestMixedBCFacesIndependent(t *testing.T) {
 	}
 }
 
-// TestHaloPrecedenceOverBC: an installed inter-rank halo slab must win over
-// the physical boundary condition of the same face.
-func TestHaloPrecedenceOverBC(t *testing.T) {
+// TestLabRoutesRemoteNeighborsThroughHalos: on a partial grid, the lab must
+// resolve ghost cells whose neighbor block is not locally owned through the
+// installed per-block halo slab — including periodic wraps, which are
+// topology (not BC) on partial grids — while physical boundaries still go
+// through the BC resolver and owned neighbors are read directly.
+func TestLabRoutesRemoteNeighborsThroughHalos(t *testing.T) {
 	const n = 8
-	g := New(Desc{N: n, NBX: 1, NBY: 1, NBZ: 1, H: 1.0 / n})
+	desc := Desc{N: n, NBX: 2, NBY: 1, NBZ: 1, H: 1.0 / (2 * n)}
+	g := NewPartial(desc, nil, [][3]int{{0, 0, 0}})
 	fill(g, coordValue)
-	halo := make([]float32, g.HaloSize(XLo))
+	b := g.Blocks[0]
+	halo := make([]float32, b.HaloSize())
 	for i := range halo {
 		halo[i] = float32(1e6 + i)
 	}
-	g.SetHalo(XLo, halo)
+	// Block (0,0,0) under periodic x wraps its XLo face to global block
+	// (1,0,0), which this grid does not own: the lab must read the slab.
+	// The XHi face reaches the same remote block directly and needs one too.
+	b.SetHalo(XLo, halo)
+	hiHalo := make([]float32, b.HaloSize())
+	for i := range hiHalo {
+		hiHalo[i] = float32(2e6 + i)
+	}
+	b.SetHalo(XHi, hiHalo)
 	bc := PeriodicBC()
-	// d=0 layer, u=iy=2, v=iz=3: slab layout ((d*dv+v)*du+u)*NQ+q.
-	du := g.CellsY()
+	lab := NewLab(n)
+	lab.Load(g, bc, b)
+	// Slab layout ((d*n+v)*n+u)*NQ+q, d=0 adjacent, u=iy, v=iz for x faces.
 	for q := 0; q < NQ; q++ {
-		want := halo[((0*g.CellsZ()+3)*du+2)*NQ+q]
-		if got := g.ghost(bc, -1, 2, 3, q); got != want {
+		want := halo[((0*n+3)*n+2)*NQ+q]
+		if got := lab.Get(-1, 2, 3, q); got != want {
 			t.Errorf("halo-backed ghost q=%d: got %v, want %v", q, got, want)
 		}
 	}
-	// Other faces still resolve through the periodic BC.
-	if got, want := g.ghost(bc, 2, 3, n, 0), coordValue(2, 3, 0, 0); got != want {
-		t.Errorf("non-halo face: got %v, want %v", got, want)
+	// y stays periodic through the block itself (NBY=1 wraps to the owned
+	// block), resolved by direct topology, not the slab.
+	if got, want := lab.Get(2, n, 3, 0), coordValue(2, 0, 3, 0); got != want {
+		t.Errorf("periodic self-wrap: got %v, want %v", got, want)
 	}
+
+	// Under a non-periodic BC the XLo face is a physical boundary: the BC
+	// resolver wins and the slab is not consulted. (XHi remains an
+	// interior inter-block face and still reads its slab.)
+	lab.Load(g, DefaultBC(), b)
+	if got, want := lab.Get(-1, 2, 3, 0), coordValue(0, 2, 3, 0); got != want {
+		t.Errorf("absorbing ghost: got %v, want %v", got, want)
+	}
+	if got, want := lab.Get(n, 2, 3, 0), hiHalo[((0*n+3)*n+2)*NQ]; got != want {
+		t.Errorf("interior halo ghost: got %v, want %v", got, want)
+	}
+
+	// A missing slab on a topology-remote face must fail loudly rather
+	// than silently fall back to a BC.
 	g.ClearHalos()
-	if got, want := g.ghost(bc, -1, 2, 3, 0), coordValue(n-1, 2, 3, 0); got != want {
-		t.Errorf("after ClearHalos: got %v, want %v", got, want)
-	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("lab read of a remote neighbor with no installed halo did not panic")
+			}
+		}()
+		lab.Load(g, bc, b)
+	}()
 }

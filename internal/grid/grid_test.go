@@ -144,16 +144,19 @@ func TestReflectingGhostsFlipNormalMomentum(t *testing.T) {
 }
 
 func TestPackFaceHaloRoundTrip(t *testing.T) {
-	// Two grids side by side: packing the face of one and installing it as
-	// the halo of the other must reproduce direct neighbor access.
-	left := New(Desc{N: 8, NBX: 1, NBY: 1, NBZ: 1, H: 0.1})
-	right := New(Desc{N: 8, NBX: 1, NBY: 1, NBZ: 1, H: 0.1, Origin: [3]float64{0.8, 0, 0}})
+	// Two partial grids splitting one 2-block global box: packing a block
+	// face of one and installing it as the neighbor block's halo on the
+	// other must reproduce direct neighbor access in the lab.
+	desc := Desc{N: 8, NBX: 2, NBY: 1, NBZ: 1, H: 0.1}
+	left := NewPartial(desc, nil, [][3]int{{0, 0, 0}})
+	right := NewPartial(desc, nil, [][3]int{{1, 0, 0}})
 	fill(left, coordValue)
-	fill(right, func(ix, iy, iz, q int) float32 { return coordValue(ix+8, iy, iz, q) })
+	fill(right, coordValue)
 
-	// Right rank receives left's x-high face as its x-low halo.
-	payload := left.PackFace(XHi, nil)
-	right.SetHalo(XLo, payload)
+	// The right rank receives the left block's x-high face as the x-low
+	// halo of its own block.
+	payload := left.Blocks[0].PackFace(XHi, nil)
+	right.Blocks[0].SetHalo(XLo, payload)
 	lab := NewLab(8)
 	lab.Load(right, DefaultBC(), right.Blocks[0])
 	for d := 1; d <= StencilWidth; d++ {
@@ -170,14 +173,11 @@ func TestPackFaceHaloRoundTrip(t *testing.T) {
 
 func TestHaloSizes(t *testing.T) {
 	g := New(Desc{N: 8, NBX: 2, NBY: 3, NBZ: 4, H: 0.1})
-	if got, want := g.HaloSize(XLo), StencilWidth*24*32*NQ; got != want {
-		t.Errorf("HaloSize(XLo) = %d, want %d", got, want)
-	}
-	if got, want := g.HaloSize(YHi), StencilWidth*16*32*NQ; got != want {
-		t.Errorf("HaloSize(YHi) = %d, want %d", got, want)
-	}
-	if got, want := g.HaloSize(ZLo), StencilWidth*16*24*NQ; got != want {
-		t.Errorf("HaloSize(ZLo) = %d, want %d", got, want)
+	// Blocks are cubic, so every face slab has the same size.
+	for f := XLo; f <= ZHi; f++ {
+		if got, want := g.Blocks[0].HaloSize(), StencilWidth*8*8*NQ; got != want {
+			t.Errorf("HaloSize() for face %v = %d, want %d", f, got, want)
+		}
 	}
 }
 

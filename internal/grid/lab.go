@@ -46,16 +46,22 @@ func (l *Lab) Row(x0, iy, iz, n int) []float32 {
 }
 
 // Load assembles block b of grid g with its ghosts under boundary
-// conditions bc. Interior data is row-copied; ghost slabs are copied from
-// in-rank neighbor blocks where available and otherwise resolved through
-// the boundary conditions or installed inter-rank halos.
+// conditions bc. Interior data is row-copied. Each ghost cell resolves, in
+// order: a periodic wrap of the global coordinate (the topology, not the
+// BC fallback — so a wrapped neighbor behaves exactly like an interior
+// one), then a reflecting/absorbing boundary condition when the cell lies
+// beyond a non-periodic domain face (mirror and clamp always land back in
+// b itself), then a locally owned block (direct copy), and finally the
+// per-block halo slab installed by the cluster layer for neighbors owned
+// by another rank.
 func (l *Lab) Load(g *Grid, bc BC, b *Block) {
 	if b.N != l.N {
 		panic("grid: lab/block size mismatch")
 	}
 	n, sw := l.N, StencilWidth
-	// Base global cell coordinates of the block.
+	// Base box-global cell coordinates of the block.
 	gx, gy, gz := b.X*n, b.Y*n, b.Z*n
+	cx, cy, cz := g.CellsX(), g.CellsY(), g.CellsZ()
 
 	// Interior: straight row copies.
 	for iz := 0; iz < n; iz++ {
@@ -66,29 +72,38 @@ func (l *Lab) Load(g *Grid, bc BC, b *Block) {
 		}
 	}
 
-	// Face slabs of the cross region.
-	fill := func(x0, x1, y0, y1, z0, z1 int) {
+	// Face slabs of the cross region: exactly one of (ix,iy,iz) lies
+	// outside [0,n), so exactly one global coordinate can leave the domain
+	// — and it crosses the same face f the block-local coordinate does.
+	fill := func(f Face, x0, x1, y0, y1, z0, z1 int) {
 		for iz := z0; iz < z1; iz++ {
 			for iy := y0; iy < y1; iy++ {
 				for ix := x0; ix < x1; ix++ {
 					dst := l.At(ix, iy, iz)
 					jx, jy, jz := gx+ix, gy+iy, gz+iz
-					if jx >= 0 && jx < g.CellsX() && jy >= 0 && jy < g.CellsY() && jz >= 0 && jz < g.CellsZ() {
-						nb := g.byPos[[3]int{jx / n, jy / n, jz / n}]
+					if jx < 0 || jx >= cx || jy < 0 || jy >= cy || jz < 0 || jz >= cz {
+						if bc[f] != Periodic {
+							// Mirror/clamp read cells of b itself.
+							for q := 0; q < NQ; q++ {
+								dst[q] = g.ghost(bc, jx, jy, jz, q)
+							}
+							continue
+						}
+						jx, jy, jz = (jx+cx)%cx, (jy+cy)%cy, (jz+cz)%cz
+					}
+					if nb := g.byPos[[3]int{jx / n, jy / n, jz / n}]; nb != nil {
 						copy(dst, nb.At(jx%n, jy%n, jz%n))
 					} else {
-						for q := 0; q < NQ; q++ {
-							dst[q] = g.ghost(bc, jx, jy, jz, q)
-						}
+						copy(dst, b.haloCell(f, ix, iy, iz))
 					}
 				}
 			}
 		}
 	}
-	fill(-sw, 0, 0, n, 0, n)  // x-
-	fill(n, n+sw, 0, n, 0, n) // x+
-	fill(0, n, -sw, 0, 0, n)  // y-
-	fill(0, n, n, n+sw, 0, n) // y+
-	fill(0, n, 0, n, -sw, 0)  // z-
-	fill(0, n, 0, n, n, n+sw) // z+
+	fill(XLo, -sw, 0, 0, n, 0, n)  // x-
+	fill(XHi, n, n+sw, 0, n, 0, n) // x+
+	fill(YLo, 0, n, -sw, 0, 0, n)  // y-
+	fill(YHi, 0, n, n, n+sw, 0, n) // y+
+	fill(ZLo, 0, n, 0, n, -sw, 0)  // z-
+	fill(ZHi, 0, n, 0, n, n, n+sw) // z+
 }

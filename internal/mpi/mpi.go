@@ -351,6 +351,39 @@ func (c *Comm) Exscan(x int64) int64 {
 // Barrier blocks until all ranks arrive.
 func (c *Comm) Barrier() { c.Allreduce(0, SumOp) }
 
+// GatherBytesRoot collects each rank's variable-length payload on rank 0,
+// in ascending rank order. Rank 0 returns one slice per rank (its own
+// payload at index 0, by reference); other ranks return nil. Collective:
+// all ranks must call it in matching order.
+func (c *Comm) GatherBytesRoot(payload []byte) [][]byte {
+	tag := c.nextCollTag()
+	size := c.world.size
+	if c.rank == 0 {
+		out := make([][]byte, size)
+		out[0] = payload
+		for r := 1; r < size; r++ {
+			out[r] = c.RecvBytes(r, tag)
+		}
+		return out
+	}
+	c.SendBytes(0, tag, payload)
+	return nil
+}
+
+// BcastBytes distributes rank 0's payload to every rank (rank 0 passes the
+// payload, others pass nil and receive a copy by reference). Collective.
+func (c *Comm) BcastBytes(payload []byte) []byte {
+	tag := c.nextCollTag()
+	size := c.world.size
+	if c.rank == 0 {
+		for r := 1; r < size; r++ {
+			c.SendBytes(r, tag, payload)
+		}
+		return payload
+	}
+	return c.RecvBytes(0, tag)
+}
+
 // Gather collects one float64 per rank on every rank (an allgather).
 func (c *Comm) Gather(x float64) []float64 {
 	tag := c.nextCollTag()

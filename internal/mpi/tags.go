@@ -14,13 +14,20 @@ import (
 // transport keeps for control frames), with class-specific payload bits
 // beneath:
 //
-//	ghost:  0x01 | stage | face   (stage in bits 8..15, face in bits 0..7)
-//	coll:   0x02 | seq&0xFFFF    (per-rank collective sequence number)
-//	stream: 0x03 | n             (dump stream channel n)
+//	ghost:   0x01 | stage | face  (stage in bits 8..15, face in bits 0..7)
+//	coll:    0x02 | seq&0xFFFF    (per-rank collective sequence number)
+//	stream:  0x03 | n             (dump stream channel n)
+//	ghostB:  0x04 | block | face | stage  (per-block halo messages of the
+//	         layout-general exchange: block id in bits 5..23, face in bits
+//	         2..4, RK stage in bits 0..1)
+//	migrate: 0x05 | block         (whole-block state transfers during a
+//	         rebalance, outside any halo epoch)
 const (
-	classGhost  = 0x01 << 24
-	classColl   = 0x02 << 24
-	classStream = 0x03 << 24
+	classGhost   = 0x01 << 24
+	classColl    = 0x02 << 24
+	classStream  = 0x03 << 24
+	classGhostB  = 0x04 << 24
+	classMigrate = 0x05 << 24
 
 	classMask = 0xFF << 24
 )
@@ -32,6 +39,29 @@ func TagGhost(face, stage int) int {
 		panic(fmt.Sprintf("mpi: ghost tag out of range (face %d, stage %d)", face, stage))
 	}
 	return classGhost | stage<<8 | face
+}
+
+// TagGhostBlock returns the tag of the halo message feeding the given face
+// of the given block (canonical linear id) at the given RK stage — the
+// per-block generalization of TagGhost for layouts where a rank exchanges
+// several blocks with the same peer across one face direction. The block id
+// is bounded at 2^19 global blocks (production: 32³ = 2^15).
+func TagGhostBlock(block int64, face, stage int) int {
+	if block < 0 || block >= 1<<19 || face < 0 || face > 5 || stage < 0 || stage > 3 {
+		panic(fmt.Sprintf("mpi: ghost block tag out of range (block %d, face %d, stage %d)", block, face, stage))
+	}
+	return classGhostB | int(block)<<5 | face<<2 | stage
+}
+
+// TagMigrate returns the tag carrying the full state of the given block
+// (canonical linear id) from its old owner to its new one during a layout
+// rebalance. Migration happens between halo epochs, so the namespace only
+// needs to be unique per block.
+func TagMigrate(block int64) int {
+	if block < 0 || block >= 1<<24 {
+		panic(fmt.Sprintf("mpi: migrate tag out of range (block %d)", block))
+	}
+	return classMigrate | int(block)
 }
 
 // TagStream returns the tag for dump stream channel n.

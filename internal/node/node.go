@@ -76,6 +76,19 @@ func New(g *grid.Grid, bc grid.BC, workers int, vector bool) *Engine {
 // Workers returns the worker count.
 func (e *Engine) Workers() int { return e.workers }
 
+// SetGrid swaps the engine onto a new rank-local grid with the same block
+// size — the block-migration path of a layout rebalance. The persistent
+// worker pool and the per-worker scratch are reused (workers are never
+// respawned across a migration; the spawn-once invariant holds for the
+// process lifetime); only the per-block DT scratch is resized.
+func (e *Engine) SetGrid(g *grid.Grid) {
+	if g.N != e.G.N {
+		panic("node: SetGrid requires the same block size")
+	}
+	e.G = g
+	e.partial = make([]float64, len(g.Blocks))
+}
+
 // Close retires the pool workers. The engine must not be used afterwards.
 // Optional: unclosed engines are cleaned up by a GC finalizer.
 func (e *Engine) Close() { e.pool.close() }

@@ -30,7 +30,7 @@ func netParams() Params {
 func totalsOn(cfg sim.Config, sink *cluster.Totals) sim.Config {
 	cfg.OnFinish = func(r *cluster.Rank) {
 		tot := r.ConservedTotals() // collective: every rank participates
-		if r.Cart.Rank() == 0 {
+		if r.Comm.Rank() == 0 {
 			*sink = tot
 		}
 	}

@@ -106,7 +106,7 @@ func TestSimBitwiseUnderChaos(t *testing.T) {
 	totalsOn := func(cfg Config, sink *cluster.Totals) Config {
 		cfg.OnFinish = func(r *cluster.Rank) {
 			tot := r.ConservedTotals()
-			if r.Cart.Rank() == 0 {
+			if r.Comm.Rank() == 0 {
 				*sink = tot
 			}
 		}
@@ -201,7 +201,7 @@ func TestRestoreResumesBitwise(t *testing.T) {
 	totalsOn := func(cfg Config, sink *cluster.Totals) Config {
 		cfg.OnFinish = func(r *cluster.Rank) {
 			tot := r.ConservedTotals()
-			if r.Cart.Rank() == 0 {
+			if r.Comm.Rank() == 0 {
 				*sink = tot
 			}
 		}

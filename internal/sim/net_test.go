@@ -36,7 +36,7 @@ func TestTCPBitwiseMatchesInproc(t *testing.T) {
 	totalsOn := func(cfg Config, sink *cluster.Totals) Config {
 		cfg.OnFinish = func(r *cluster.Rank) {
 			tot := r.ConservedTotals() // collective: every rank participates
-			if r.Cart.Rank() == 0 {
+			if r.Comm.Rank() == 0 {
 				*sink = tot
 			}
 		}

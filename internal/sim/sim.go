@@ -61,6 +61,19 @@ type Config struct {
 	// audit. It costs one grid sweep plus reductions per audited step.
 	AuditEvery int
 
+	// RebalanceEvery checks the cross-rank load balance every so many
+	// steps (0: never) and migrates blocks along the layout's curve when
+	// max/avg − 1 of the per-rank pool load exceeds RebalanceThreshold.
+	// Effective only under an SFC cluster layout (Cluster.Layout).
+	RebalanceEvery int
+	// RebalanceThreshold is the imbalance that triggers a rebalance
+	// (0: default 0.1).
+	RebalanceThreshold float64
+	// ForceRebalanceStep, when > 0, forces one cut recomputation and
+	// migration after that step regardless of measured imbalance — the
+	// migration-determinism test and chaos-suite hook.
+	ForceRebalanceStep int
+
 	// OnFinish (optional) is invoked on every rank after the last step with
 	// the rank state still live; the verification harness samples the final
 	// fields here. It runs before the summary is assembled.
@@ -103,6 +116,10 @@ type StepInfo struct {
 	// Totals is valid when HasTotals is set (AuditEvery cadence).
 	Totals    cluster.Totals
 	HasTotals bool
+	// Rebalance is valid when HasRebalance is set: this step ran a
+	// rebalance check (RebalanceEvery/ForceRebalanceStep cadence).
+	Rebalance    cluster.RebalanceResult
+	HasRebalance bool
 	// DumpRates lists quantity:rate pairs when this step dumped.
 	DumpRates map[string]float64
 	// DumpMBps is the encoded dump bitrate in MB/s when this step dumped.
@@ -171,6 +188,8 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		pointsRateG, cellsGauge  *telemetry.Gauge
 		poolWorkersG, poolQueueG *telemetry.Gauge
 		poolBusyG                *telemetry.Gauge
+		migrationsC              *telemetry.Counter
+		layoutBlocksG            []*telemetry.Gauge
 	)
 	if reg != nil {
 		stepHist = reg.Histogram("mpcf_step_latency_seconds",
@@ -190,6 +209,14 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			"tasks waiting in the rank-0 pool queue", nil)
 		poolBusyG = reg.Gauge("mpcf_pool_busy_ratio",
 			"rank-0 pool busy time over busy+idle time", nil)
+		migrationsC = reg.Counter("mpcf_migrations_total",
+			"blocks migrated by layout rebalances, all ranks", nil)
+		layoutBlocksG = make([]*telemetry.Gauge, nRanks)
+		for rk := range layoutBlocksG {
+			layoutBlocksG[rk] = reg.Gauge("mpcf_layout_blocks",
+				"blocks owned per rank under the current layout",
+				telemetry.Labels{"rank": fmt.Sprint(rk)})
+		}
 	}
 
 	var summary Summary
@@ -215,7 +242,10 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			obs.syncClocks()
 		}
 		if root {
-			cellsGauge.Set(float64(int64(r.G.Cells()) * int64(nRanks)))
+			cellsGauge.Set(float64(r.G.Desc.Cells()))
+			for rk, gauge := range layoutBlocksG {
+				gauge.Set(float64(len(r.Layout.Blocks(rk))))
+			}
 		}
 		start := time.Now()
 		for {
@@ -277,9 +307,9 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 				// Cross-rank imbalance of this step's wall time, the
 				// (tmax-tmin)/tavg statistic of Table 4. Costs three
 				// reductions, so it runs only with telemetry attached.
-				tmax := r.Cart.Allreduce(stepSec, mpi.MaxOp)
-				tmin := r.Cart.Allreduce(stepSec, mpi.MinOp)
-				tsum := r.Cart.Allreduce(stepSec, mpi.SumOp)
+				tmax := r.Comm.Allreduce(stepSec, mpi.MaxOp)
+				tmin := r.Comm.Allreduce(stepSec, mpi.MinOp)
+				tsum := r.Comm.Allreduce(stepSec, mpi.SumOp)
 				if avg := tsum / float64(nRanks); avg > 0 {
 					info.Imbalance = (tmax - tmin) / avg
 				}
@@ -293,6 +323,25 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 					return
 				}
 			}
+			forced := cfg.ForceRebalanceStep > 0 && r.Step == cfg.ForceRebalanceStep
+			if forced || (cfg.RebalanceEvery > 0 && r.Step%cfg.RebalanceEvery == 0) {
+				// Collective rebalance check at the step boundary, outside
+				// any halo epoch. The decision is uniform across ranks.
+				thr := cfg.RebalanceThreshold
+				if thr <= 0 {
+					thr = 0.1
+				}
+				info.Rebalance = r.Rebalance(thr, forced)
+				info.HasRebalance = true
+				if root && info.Rebalance.Rebalanced {
+					if migrationsC != nil {
+						migrationsC.Add(int64(info.Rebalance.Moved))
+					}
+					for rk, gauge := range layoutBlocksG {
+						gauge.Set(float64(len(r.Layout.Blocks(rk))))
+					}
+				}
+			}
 			if root {
 				if reg != nil {
 					stepHist.Observe(stepSec)
@@ -304,7 +353,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 						dumpMBpsG.Set(info.DumpMBps)
 					}
 					if el := time.Since(start).Seconds(); el > 0 {
-						pointsRateG.Set(float64(r.G.Cells()) * float64(nRanks) *
+						pointsRateG.Set(float64(r.G.Desc.Cells()) *
 							float64(r.Step-startStep) / el)
 					}
 					ps := r.Engine.PoolStats()
@@ -369,7 +418,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		}
 		if root {
 			wall := time.Since(start)
-			cells := int64(r.G.Cells()) * int64(nRanks)
+			cells := int64(r.G.Desc.Cells())
 			summary = Summary{
 				Steps:       r.Step,
 				SimTime:     r.Time,

@@ -158,21 +158,59 @@ func (v *Volume) Slice(axis, index int) Plane {
 }
 
 // Assemble reconstructs the global field from a dump's per-rank block
-// fields: ranks map to a cartesian box (x-fastest), and blocks within a
+// fields. Headers that carry per-rank block-id tables (any layout,
+// including mid-run rebalanced ones) place each block by its canonical
+// linear id; pre-layout headers fall back to the implied cartesian
+// decomposition — ranks map to a cartesian box (x-fastest), blocks within a
 // rank follow the same space-filling-curve order the grid used when
 // compressing.
 func Assemble(hdr dump.Header, fields [][][]float32) (*Volume, error) {
 	n := hdr.BlockSize
 	rb := hdr.BlockDims
 	rd := hdr.RankDims
+	gb := [3]int{rd[0] * rb[0], rd[1] * rb[1], rd[2] * rb[2]} // global block box
 	vol := &Volume{
-		NX: rd[0] * rb[0] * n,
-		NY: rd[1] * rb[1] * n,
-		NZ: rd[2] * rb[2] * n,
+		NX: gb[0] * n,
+		NY: gb[1] * n,
+		NZ: gb[2] * n,
 	}
 	vol.Data = make([]float64, vol.NX*vol.NY*vol.NZ)
 	if len(fields) != rd[0]*rd[1]*rd[2] {
 		return nil, fmt.Errorf("viz: %d rank payloads for %v rank grid", len(fields), rd)
+	}
+	place := func(blk []float32, bx, by, bz int) {
+		baseX, baseY, baseZ := bx*n, by*n, bz*n
+		for z := 0; z < n; z++ {
+			for y := 0; y < n; y++ {
+				for x := 0; x < n; x++ {
+					vol.Data[((baseZ+z)*vol.NY+baseY+y)*vol.NX+baseX+x] =
+						float64(blk[(z*n+y)*n+x])
+				}
+			}
+		}
+	}
+	if len(hdr.Ranks) == len(fields) && len(hdr.Ranks) > 0 && hdr.Ranks[0].BlockIDs != nil {
+		total := 0
+		for rank, blocks := range fields {
+			ids := hdr.Ranks[rank].BlockIDs
+			if len(blocks) != len(ids) {
+				return nil, fmt.Errorf("viz: rank %d has %d blocks but %d block ids", rank, len(blocks), len(ids))
+			}
+			total += len(ids)
+			for bi, id := range ids {
+				if id < 0 || id >= int64(gb[0]*gb[1]*gb[2]) {
+					return nil, fmt.Errorf("viz: rank %d block id %d outside %v box", rank, id, gb)
+				}
+				bx := int(id) % gb[0]
+				by := (int(id) / gb[0]) % gb[1]
+				bz := int(id) / (gb[0] * gb[1])
+				place(blocks[bi], bx, by, bz)
+			}
+		}
+		if total != gb[0]*gb[1]*gb[2] {
+			return nil, fmt.Errorf("viz: block-id tables cover %d of %d blocks", total, gb[0]*gb[1]*gb[2])
+		}
+		return vol, nil
 	}
 	curve := sfc.ForBox(rb[0], rb[1], rb[2])
 	order := sfc.Enumerate(curve, rb[0], rb[1], rb[2])
@@ -184,18 +222,7 @@ func Assemble(hdr dump.Header, fields [][][]float32) (*Volume, error) {
 		ry := (rank / rd[0]) % rd[1]
 		rz := rank / (rd[0] * rd[1])
 		for bi, c := range order {
-			baseX := (rx*rb[0] + c[0]) * n
-			baseY := (ry*rb[1] + c[1]) * n
-			baseZ := (rz*rb[2] + c[2]) * n
-			blk := blocks[bi]
-			for z := 0; z < n; z++ {
-				for y := 0; y < n; y++ {
-					for x := 0; x < n; x++ {
-						vol.Data[((baseZ+z)*vol.NY+baseY+y)*vol.NX+baseX+x] =
-							float64(blk[(z*n+y)*n+x])
-					}
-				}
-			}
+			place(blocks[bi], rx*rb[0]+c[0], ry*rb[1]+c[1], rz*rb[2]+c[2])
 		}
 	}
 	return vol, nil
