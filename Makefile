@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: check vet build bin test race bench bench-smoke bench-net smoke-net sim-json verify verify-short fuzz-seed chaos bench-snapshot bench-compare perf-smoke
+.PHONY: check vet build bin test race bench bench-smoke bench-net smoke-net sim-json verify verify-short fuzz-seed chaos bench-snapshot bench-compare perf-smoke service-smoke
 
 check: vet build test race
 
@@ -15,17 +15,18 @@ vet:
 build:
 	$(GO) build ./...
 
-# Binaries for multi-process runs: mpcf-launch looks for mpcf-sim next to
-# itself, so both land in bin/.
+# Binaries for multi-process runs: mpcf-launch and mpcf-serve look for
+# mpcf-sim next to themselves, so all land in bin/.
 bin:
 	$(GO) build -o bin/mpcf-sim ./cmd/mpcf-sim
 	$(GO) build -o bin/mpcf-launch ./cmd/mpcf-launch
+	$(GO) build -o bin/mpcf-serve ./cmd/mpcf-serve
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/telemetry ./internal/sim ./internal/cluster ./internal/layout ./internal/node ./internal/transport ./internal/mpi
+	$(GO) test -race ./internal/telemetry ./internal/sim ./internal/cluster ./internal/layout ./internal/node ./internal/transport ./internal/mpi ./internal/service
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -50,13 +51,14 @@ bench-snapshot:
 	$(GO) run ./cmd/mpcf-bench -exp sim -n 8 -steps 20 -json bench/BENCH_sim.json
 	$(GO) run ./cmd/mpcf-bench -exp net -net-json bench/BENCH_net.json
 	$(GO) run ./cmd/mpcf-bench -exp cloud -cloud-json bench/BENCH_cloud.json
+	$(GO) run ./cmd/mpcf-bench -exp service -service-json bench/BENCH_service.json
 
 # The regression gate: rerun both benchmarks at the baselines' own
 # configuration and fail on structural changes or rate collapse
 # (docs/observability.md). SLACK widens the thresholds for noisy hosts.
 SLACK ?= 1
 bench-compare:
-	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json,bench/BENCH_cloud.json -compare-slack $(SLACK)
+	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json,bench/BENCH_cloud.json,bench/BENCH_service.json -compare-slack $(SLACK)
 
 # CI perf smoke: a 2-rank TCP run through the observatory (merged trace +
 # imbalance report artifacts) plus the bench gate in report-only mode.
@@ -70,8 +72,15 @@ perf-smoke: bin
 	@test -s perf-smoke.tmp/trace_merged.json
 	@test -s perf-smoke.tmp/imbalance.txt
 	cat perf-smoke.tmp/imbalance.txt
-	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json,bench/BENCH_cloud.json -compare-warn
+	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json,bench/BENCH_cloud.json,bench/BENCH_service.json -compare-warn
 	@echo "perf-smoke: merged trace, imbalance report and compare gate all ran"
+
+# End-to-end service smoke (docs/service.md): mpcf-serve fields one
+# in-process and one 2-rank fleet job over the REST API, both event streams
+# drain to a terminal success and the metrics endpoint reports zero stuck
+# jobs.
+service-smoke: bin
+	bash scripts/service_smoke.sh
 
 # End-to-end transport correctness: the same small Sod problem through two
 # real OS processes over tcp — clean wire AND a seeded faulty wire (drops,
@@ -118,4 +127,4 @@ verify-short:
 
 # Replay the checked-in fuzz seed corpora without fuzzing new inputs.
 fuzz-seed:
-	$(GO) test -run 'Fuzz' ./internal/compress ./internal/transport
+	$(GO) test -run 'Fuzz' ./internal/compress ./internal/transport ./internal/service

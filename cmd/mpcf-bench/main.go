@@ -9,7 +9,7 @@
 //	mpcf-bench -n 32 -dur 2s    # production block size, longer timing
 //
 // Experiments: table3 table4 table5 table6 table7 table8 table9 table10
-// fig5 fig7 fig9 compression throughput io sim net cloud all
+// fig5 fig7 fig9 compression throughput io sim net cloud service all
 //
 // The net experiment sweeps wire-transport message sizes (1 KiB – 4 MiB)
 // on both the inproc and tcp transports, emitting BENCH_net.json with
@@ -25,6 +25,13 @@
 // the deterministic Figure-5 observables (peak/wall pressure amplification,
 // equivalent-radius collapse, kinetic energy, β), which the -compare gate
 // holds to a tight relative tolerance.
+//
+// The service experiment stands the simulation-as-a-service front end up
+// in-process (internal/service), pushes a batch of smoke jobs through the
+// multi-tenant queue over the HTTP API with several concurrent stream
+// subscribers per job, and emits BENCH_service.json: submit-to-first-step
+// latency, end-to-end jobs/minute and the structural stream-completeness
+// invariants.
 //
 // The regression gate diffs fresh results against checked-in baselines:
 //
@@ -49,13 +56,14 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id (table3..table10, fig5, fig7, fig9, compression, throughput, io, sim, net, cloud, all)")
+	exp := flag.String("exp", "all", "experiment id (table3..table10, fig5, fig7, fig9, compression, throughput, io, sim, net, cloud, service, all)")
 	n := flag.Int("n", 16, "block edge in cells (paper production: 32)")
 	dur := flag.Duration("dur", 500*time.Millisecond, "minimum timing window per kernel measurement")
 	steps := flag.Int("steps", 100, "time steps for the simulation-driven experiments")
 	jsonPath := flag.String("json", "BENCH_sim.json", "machine-readable output path of the sim experiment (empty: skip)")
 	netJSONPath := flag.String("net-json", "BENCH_net.json", "machine-readable output path of the net experiment (empty: skip)")
 	cloudJSONPath := flag.String("cloud-json", "BENCH_cloud.json", "machine-readable output path of the cloud experiment (empty: skip)")
+	serviceJSONPath := flag.String("service-json", "BENCH_service.json", "machine-readable output path of the service experiment (empty: skip)")
 	pipeline := flag.Bool("pipeline", true, "primary sim-experiment mode: dependency-driven fused RHS+UP pipeline (false: bulk-synchronous staged baseline); both modes are always measured")
 	compare := flag.String("compare", "", "comma-separated baseline BENCH_*.json paths; rerun the matching benchmarks and exit 1 on regression")
 	compareCurrent := flag.String("compare-current", "", "comma-separated fresh BENCH_*.json paths paired with -compare by position: diff files instead of rerunning")
@@ -85,10 +93,11 @@ func main() {
 		"sim":         func() { experiments.BenchSim(w, *n, *steps, *jsonPath, *pipeline) },
 		"net":         func() { experiments.BenchNet(w, *netJSONPath) },
 		"cloud":       func() { experiments.BenchCloud(w, "cloud", 0, *cloudJSONPath) },
+		"service":     func() { experiments.BenchService(w, *serviceJSONPath) },
 	}
 	order := []string{
 		"table3", "table4", "table5", "table6", "table7", "table8",
-		"table9", "table10", "fig5", "fig7", "fig9", "compression", "throughput", "io", "sim", "net", "cloud",
+		"table9", "table10", "fig5", "fig7", "fig9", "compression", "throughput", "io", "sim", "net", "cloud", "service",
 	}
 	if *exp == "all" {
 		for _, id := range order {

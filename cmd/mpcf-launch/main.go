@@ -1,7 +1,9 @@
 // mpcf-launch runs a multi-process simulation on one machine: it forks N
 // local mpcf-sim processes over the tcp transport, injecting the per-rank
 // flags (-transport tcp -rank i -coord) and multiplexing their output with
-// [rank i] prefixes — a minimal local mpirun.
+// [rank i] prefixes — a minimal local mpirun. The fleet-spawning machinery
+// lives in internal/launch, shared with the job service (mpcf-serve); this
+// binary is the thin CLI wrapper.
 //
 // Usage:
 //
@@ -17,32 +19,23 @@
 package main
 
 import (
-	"bufio"
 	"flag"
 	"fmt"
 	"io"
-	"net"
 	"os"
-	"os/exec"
-	"strconv"
-	"strings"
-	"sync"
-	"time"
-)
 
-// killGrace is how long the cascade kill waits between the polite SIGINT
-// (which lets mpcf-sim flush its telemetry buffers, leaving usable partial
-// traces) and the SIGKILL escalation for ranks that ignore it.
-const killGrace = 2 * time.Second
+	"cubism/internal/launch"
+)
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// run is the whole launcher, factored from main so the regression tests can
-// drive it in-process and observe the exit code. The returned code is the
-// first failing rank's (normalized: a signal death counts as 1), 0 when
-// every rank succeeds, 2 on usage errors.
+// run parses the CLI flags and delegates to launch.Run, factored from main
+// so the regression tests can drive it in-process and observe the exit
+// code. The returned code is the first failing rank's (normalized: a
+// signal death counts as 1), 0 when every rank succeeds, 2 on usage
+// errors.
 func run(argv []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("mpcf-launch", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -55,187 +48,15 @@ func run(argv []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "mpcf-launch: -n must be positive")
 		return 2
 	}
-	passThrough := fs.Args()
-
-	// Validate or inject the -ranks decomposition: its product must be -n.
-	if prod, ok := ranksProduct(passThrough); !ok {
-		passThrough = append(passThrough, "-ranks", fmt.Sprintf("%d,1,1", *n))
-	} else if prod != *n {
-		fmt.Fprintf(stderr, "mpcf-launch: -ranks product %d does not match -n %d\n", prod, *n)
-		return 2
-	}
-
-	bin := *simBin
-	if bin == "" {
-		bin = siblingOrPath("mpcf-sim")
-	}
-
-	// Bind the coordinator port here: rank 0 could race another launcher if
-	// it picked its own. The listener is closed and the address re-bound by
-	// rank 0; the window is tiny and a stolen port fails loudly at dial.
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		fmt.Fprintf(stderr, "mpcf-launch: reserving coordinator port: %v\n", err)
-		return 1
-	}
-	coord := ln.Addr().String()
-	ln.Close()
-
-	// procs is appended to by the launch loop while rank-exit goroutines may
-	// already be cascading a kill, so both sides go through mu; aborted stops
-	// the launch loop from starting ranks that would outlive the cascade.
-	var mu sync.Mutex
-	procs := make([]*exec.Cmd, 0, *n)
-	aborted := false
-	var outWG sync.WaitGroup
-	killAll := func() {
-		mu.Lock()
-		aborted = true
-		targets := append([]*exec.Cmd(nil), procs...)
-		mu.Unlock()
-		// Interrupt first so the ranks can flush trace and step-log buffers
-		// on the way down; escalate to Kill after the grace period for any
-		// rank that ignores the signal. Signaling an already-exited process
-		// just returns an error, which is fine to drop.
-		for _, p := range targets {
-			if p.Process != nil {
-				p.Process.Signal(os.Interrupt)
-			}
-		}
-		go func() {
-			time.Sleep(killGrace)
-			mu.Lock()
-			defer mu.Unlock()
-			for _, p := range procs {
-				if p.Process != nil {
-					p.Process.Kill()
-				}
-			}
-		}()
-	}
-
-	// The exit verdict is the FIRST failure observed, recorded exactly once
-	// before the cascade kill: the ranks killed by killAll die with -1
-	// (signal) and must not shadow the real failing code. A rank 0 that
-	// times out waiting for rendezvous registrations exits non-zero the same
-	// way, so a partial launch also tears down the stragglers here.
-	var failOnce sync.Once
-	var failCode int
-	fail := func(code int) {
-		failOnce.Do(func() { failCode = code })
-		killAll()
-	}
-
-	var procWG sync.WaitGroup
-	for r := 0; r < *n; r++ {
-		args := append([]string{
-			"-transport", "tcp",
-			"-rank", strconv.Itoa(r),
-			"-coord", coord,
-		}, passThrough...)
-		cmd := exec.Command(bin, args...)
-		pipe, err := cmd.StdoutPipe()
-		if err == nil {
-			cmd.Stderr = cmd.Stdout // one interleave-safe stream per rank
-		}
-		if err != nil {
-			fmt.Fprintf(stderr, "mpcf-launch: rank %d pipe: %v\n", r, err)
-			fail(1)
-			break
-		}
-		mu.Lock()
-		if aborted {
-			mu.Unlock()
-			break
-		}
-		if err := cmd.Start(); err != nil {
-			mu.Unlock()
-			fmt.Fprintf(stderr, "mpcf-launch: rank %d start: %v\n", r, err)
-			fail(1)
-			break
-		}
-		procs = append(procs, cmd)
-		mu.Unlock()
-		outWG.Add(1)
-		go prefixCopy(&outWG, stdout, r, pipe)
-		procWG.Add(1)
-		go func(r int, cmd *exec.Cmd) {
-			defer procWG.Done()
-			err := cmd.Wait()
-			code := 0
-			if err != nil {
-				code = 1
-				if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() > 0 {
-					code = ee.ExitCode()
-				}
-			}
-			if code != 0 {
-				fmt.Fprintf(stderr, "[rank %d] exited with code %d\n", r, code)
-				fail(code) // a dead rank wedges the others; fail fast
-			}
-		}(r, cmd)
-	}
-	procWG.Wait()
-	outWG.Wait()
-	return failCode
+	return launch.Run(launch.Spec{
+		N:      *n,
+		SimBin: *simBin,
+		Args:   fs.Args(),
+		Stdout: stdout,
+		Stderr: stderr,
+	})
 }
 
-// prefixCopy copies r's output line by line with a "[rank i]" prefix, so
-// interleaved output from concurrent ranks stays attributable.
-func prefixCopy(wg *sync.WaitGroup, w io.Writer, rank int, r io.Reader) {
-	defer wg.Done()
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		fmt.Fprintf(w, "[rank %d] %s\n", rank, sc.Text())
-	}
-}
-
-// ranksProduct scans args for -ranks/--ranks and returns the product of
-// the decomposition triple (single value = cube shorthand, as mpcf-sim
-// parses it).
-func ranksProduct(args []string) (int, bool) {
-	for i := 0; i < len(args); i++ {
-		a := args[i]
-		var val string
-		switch {
-		case a == "-ranks" || a == "--ranks":
-			if i+1 >= len(args) {
-				return 0, false
-			}
-			val = args[i+1]
-		case strings.HasPrefix(a, "-ranks="):
-			val = strings.TrimPrefix(a, "-ranks=")
-		case strings.HasPrefix(a, "--ranks="):
-			val = strings.TrimPrefix(a, "--ranks=")
-		default:
-			continue
-		}
-		parts := strings.Split(val, ",")
-		if len(parts) == 1 {
-			parts = []string{parts[0], parts[0], parts[0]}
-		}
-		prod := 1
-		for _, p := range parts {
-			v, err := strconv.Atoi(strings.TrimSpace(p))
-			if err != nil || v <= 0 {
-				return 0, false
-			}
-			prod *= v
-		}
-		return prod, true
-	}
-	return 0, false
-}
-
-// siblingOrPath prefers a binary sitting next to this one (the common
-// "make build" layout), falling back to PATH lookup.
-func siblingOrPath(name string) string {
-	if self, err := os.Executable(); err == nil {
-		sib := self[:strings.LastIndexByte(self, '/')+1] + name
-		if st, err := os.Stat(sib); err == nil && !st.IsDir() {
-			return sib
-		}
-	}
-	return name
-}
+// ranksProduct is kept as a thin alias so the historical regression tests
+// keep exercising the shared implementation through this package.
+func ranksProduct(args []string) (int, bool) { return launch.RanksProduct(args) }

@@ -1,0 +1,105 @@
+// mpcf-serve is the simulation-as-a-service front end: it exposes the
+// scenario registry over a REST job API with a multi-tenant admission-
+// controlled queue, runs small jobs in-process and larger decompositions
+// as supervised local rank fleets (mpcf-sim over the tcp transport), and
+// streams structured step events, logs and final collapse observables to
+// any number of concurrent subscribers as chunked JSONL. Per-job
+// artifacts (observables.json, checkpoint.ckp, events.jsonl, steps.jsonl)
+// land under -data/jobs/<id>. See docs/service.md.
+//
+// Usage:
+//
+//	mpcf-serve -addr :8080 -data ./service-data
+//	curl -XPOST localhost:8080/v1/jobs -d '{"scenario":"cloud","tenant":"alice","params":{"steps":40}}'
+//	curl localhost:8080/v1/jobs/<id>/events        # live JSONL stream
+//
+// SIGTERM/SIGINT drains gracefully: admission stops, running jobs end at
+// their next step boundary with a final checkpoint, and the queued specs
+// are snapshotted so the next start requeues them.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"cubism/internal/launch"
+	"cubism/internal/service"
+	"cubism/internal/telemetry"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	dataDir := flag.String("data", "service-data", "artifact root (per-job directories, drain snapshot)")
+	simBin := flag.String("sim", "", "mpcf-sim binary for fleet jobs (default: sibling of this executable, then PATH)")
+	workers := flag.Int("workers", 2, "warm worker pool size (global concurrent-job bound)")
+	maxQueue := flag.Int("max-queue", 64, "total queued-job bound across tenants")
+	tenantRunning := flag.Int("tenant-running", 1, "per-tenant concurrently-running cap")
+	tenantQueued := flag.Int("tenant-queued", 8, "per-tenant queued-job cap")
+	inprocRanks := flag.Int("inproc-ranks", 1, "largest rank product an auto-mode job runs in-process; beyond it the job forks a rank fleet")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long a drain waits for running jobs to reach a step boundary and checkpoint")
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	svc, err := service.New(service.Config{
+		DataDir:         *dataDir,
+		SimBin:          simBin1(*simBin),
+		Workers:         *workers,
+		MaxQueue:        *maxQueue,
+		TenantRunning:   *tenantRunning,
+		TenantQueued:    *tenantQueued,
+		InprocRankLimit: *inprocRanks,
+		Registry:        reg,
+		Logf:            log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("mpcf-serve: listen: %v", err)
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatalf("mpcf-serve: serve: %v", err)
+		}
+	}()
+	// The ready line carries the bound address so scripts can use -addr :0.
+	fmt.Printf("mpcf-serve: listening on http://%s\n", ln.Addr())
+	log.Printf("mpcf-serve: data dir %s, %d workers, queue %d, tenant caps run=%d queue=%d",
+		*dataDir, *workers, *maxQueue, *tenantRunning, *tenantQueued)
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	s := <-sigCh
+	log.Printf("mpcf-serve: %s: draining (running jobs checkpoint at their next step boundary)", s)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainGrace)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		log.Printf("mpcf-serve: drain: %v", err)
+	}
+	svc.Close()
+	shutdownCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel2()
+	srv.Shutdown(shutdownCtx)
+	log.Printf("mpcf-serve: stopped")
+}
+
+// simBin1 resolves the fleet binary like mpcf-launch does: an explicit
+// flag wins, then a sibling mpcf-sim, then PATH.
+func simBin1(flagVal string) string {
+	if flagVal != "" {
+		return flagVal
+	}
+	return launch.SiblingOrPath("mpcf-sim")
+}

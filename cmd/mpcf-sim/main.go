@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -24,7 +25,9 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"syscall"
+	"time"
 
 	"cubism"
 )
@@ -77,6 +80,9 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "write a lossless checkpoint every so many steps (0: never)")
 	ckptPath := flag.String("checkpoint", "checkpoint.ckp", "checkpoint file path")
 	restorePath := flag.String("restore", "", "resume from this checkpoint file (same decomposition; the recovery path after a rank failure)")
+	stopCkpt := flag.Bool("stop-checkpoint", false, "write a final checkpoint at the stop boundary when a signal ends the run early (implied by -checkpoint-every > 0)")
+	stopGrace := flag.Duration("stop-grace", 1500*time.Millisecond, "how long a signaled run may take to reach the next step boundary before the immediate flush-and-exit fallback fires")
+	observablesPath := flag.String("observables", "", "write the scenario collapse observables (flat JSON metric map) to this path on rank 0 after the run (requires -scenario)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this path (open in chrome://tracing or Perfetto)")
 	telemetryAddr := flag.String("telemetry-addr", "", "serve /metrics, /debug/vars and /debug/pprof on this address (e.g. :9090; :0 picks a port; empty: disabled)")
 	stepLogPath := flag.String("step-log", "", "write a JSONL structured step log to this path (- for stdout)")
@@ -172,15 +178,32 @@ func main() {
 			}
 		})
 	}
-	sigCh := make(chan os.Signal, 1)
+	// Signals request a graceful stop through the run controller: the step
+	// loop ends at the next step boundary — collectively, so signaling any
+	// one rank of a tcp fleet drains the whole world at the same step —
+	// and a final checkpoint lands when configured. The historical
+	// immediate flush-and-exit remains as two fallbacks: a wedged rank
+	// that never reaches the boundary exits after -stop-grace, and a
+	// second signal forces the exit right away.
+	ctl := cubism.NewController()
+	var signalExit atomic.Int32
+	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sigCh
-		flushTelemetry()
 		code := 130 // 128 + SIGINT
 		if s == syscall.SIGTERM {
 			code = 143
 		}
+		signalExit.Store(int32(code))
+		ctl.Stop(s.String())
+		go func() {
+			time.Sleep(*stopGrace)
+			flushTelemetry()
+			os.Exit(code)
+		}()
+		<-sigCh
+		flushTelemetry()
 		os.Exit(code)
 	}()
 
@@ -188,6 +211,8 @@ func main() {
 		CheckpointEvery: *ckptEvery,
 		CheckpointPath:  *ckptPath,
 		RestorePath:     *restorePath,
+		Control:         ctl,
+		StopCheckpoint:  *stopCkpt,
 		Ranks:           parseTriple(*ranks, [3]int{1, 1, 1}),
 		Blocks:          parseTriple(*blocks, [3]int{4, 4, 4}),
 		BlockSize:       *n,
@@ -250,6 +275,10 @@ func main() {
 		log.Fatalf("unknown transport %q (want inproc or tcp)", *transportName)
 	}
 
+	var scenarioObs *cubism.ScenarioObserver
+	if *observablesPath != "" && *scenarioName == "" {
+		log.Fatal("-observables requires -scenario (the metric map is defined by the scenario's analytic references)")
+	}
 	if *scenarioName != "" {
 		// Registry-backed setup: the scenario provides the initial condition,
 		// boundary conditions and wall diagnostics; the CLI decomposition and
@@ -280,6 +309,9 @@ func main() {
 		cfg.Boundaries = sc.Boundaries
 		cfg.Wall = sc.Wall
 		cfg.HasWall = sc.HasWall
+		if *observablesPath != "" {
+			scenarioObs = cubism.NewScenarioObserver(c)
+		}
 		if !*quiet {
 			fmt.Fprintf(os.Stderr, "scenario %s: %d bubbles", c.Name, len(c.Bubbles))
 			if c.Beta > 0 {
@@ -324,6 +356,9 @@ func main() {
 	// Per-step output: the structured record goes to the step log (when
 	// enabled); here only a human summary line remains, -quiet silences it.
 	summary, err := cubism.Run(cfg, func(s cubism.StepInfo) {
+		if scenarioObs != nil {
+			scenarioObs.OnStep(s)
+		}
 		if *quiet {
 			return
 		}
@@ -342,6 +377,26 @@ func main() {
 		log.Fatal(err)
 	}
 	flushTelemetry()
+	if scenarioObs != nil && (cfg.Net == nil || cfg.Net.Rank == 0) {
+		// Written on the normal AND the graceful-stop path: a canceled job
+		// still leaves its partial observables as a usable artifact.
+		data, err := json.MarshalIndent(scenarioObs.Metrics(), "", "  ")
+		if err == nil {
+			err = os.WriteFile(*observablesPath, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			log.Fatalf("observables: %v", err)
+		}
+	}
+	if summary.Stopped && (cfg.Net == nil || cfg.Net.Rank == 0) {
+		fmt.Fprintf(os.Stderr, "stopped gracefully at step %d (reason: %s)\n",
+			summary.Steps, summary.StopReason)
+	}
+	if code := signalExit.Load(); code != 0 {
+		// The run drained at the stop boundary; exit with the signal's
+		// conventional code so supervisors see the interruption.
+		os.Exit(int(code))
+	}
 	if traceFile != nil {
 		fmt.Fprintf(os.Stderr, "telemetry: wrote %d spans to %s (open in chrome://tracing or https://ui.perfetto.dev)\n",
 			tel.Tracer.Len(), *tracePath)

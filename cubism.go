@@ -235,6 +235,18 @@ type Config struct {
 	Wall    Face
 	HasWall bool
 
+	// Control (optional) attaches a cancellation controller: Stop() ends
+	// the run gracefully at the next step boundary, collectively across
+	// all ranks (a Stop on any one rank of a distributed world drains the
+	// whole fleet at the same step). The run returns normally with
+	// Summary.Stopped set.
+	Control *Controller
+	// StopCheckpoint writes a final checkpoint to CheckpointPath when a
+	// controller stop ends the run, even with periodic checkpointing off —
+	// so a canceled or drained job can resume from exactly the stop
+	// boundary via RestorePath.
+	StopCheckpoint bool
+
 	// Telemetry (optional) attaches the observability sinks — span tracer,
 	// metrics registry and structured step log (see docs/observability.md).
 	// Nil disables all instrumentation beyond a pointer check per phase.
@@ -349,6 +361,13 @@ func ServeTelemetry(addr string, reg *telemetry.Registry) (*telemetry.Server, er
 	return telemetry.Serve(addr, reg)
 }
 
+// Controller is the graceful-cancellation hook of a run (see
+// Config.Control); the zero value is ready, NewController is convenience.
+type Controller = sim.Controller
+
+// NewController returns a ready cancellation controller.
+func NewController() *Controller { return sim.NewController() }
+
 // StepInfo is delivered after every step.
 type StepInfo = sim.StepInfo
 
@@ -450,6 +469,8 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		RestorePath:        cfg.RestorePath,
 		Wall:               cfg.Wall,
 		HasWall:            cfg.HasWall,
+		Control:            cfg.Control,
+		StopCheckpoint:     cfg.StopCheckpoint,
 		Telemetry:          cfg.Telemetry,
 		Observe:            cfg.Observe,
 		World:              world,

@@ -1,0 +1,289 @@
+package experiments
+
+// The service benchmark: stand the simulation-as-a-service front end up
+// in-process, push a batch of smoke-scenario jobs through the multi-tenant
+// queue over the real HTTP API, and stream every job to several concurrent
+// subscribers. The record (BENCH_service.json) captures the service-path
+// overheads the paper's production runs never see but a shared front end
+// lives or dies by: submit-to-first-step latency through queue + engine
+// startup, end-to-end jobs/minute, and the structural invariants (every
+// job succeeds, every subscriber stream is complete and well-ordered).
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"cubism/internal/service"
+	"cubism/internal/telemetry"
+)
+
+// BenchServiceResult is the machine-readable record of the service
+// experiment (BENCH_service.json). The "service_jobs" key doubles as the
+// kind discriminator for DetectBenchKind, like "kernels" (sim),
+// "transports" (net) and "observables" (cloud).
+type BenchServiceResult struct {
+	Scenario    string `json:"scenario"`
+	BlockSize   int    `json:"block_size"`
+	BlockDims   [3]int `json:"block_dims"`
+	Steps       int    `json:"steps"`
+	Workers     int    `json:"service_workers"`
+	Jobs        int    `json:"service_jobs"` // kind discriminator
+	Tenants     int    `json:"tenants"`
+	Subscribers int    `json:"subscribers_per_job"`
+
+	// Structural outcomes: machine-independent, held exactly by the gate.
+	JobsSucceeded   int `json:"jobs_succeeded"`
+	StreamsComplete int `json:"streams_complete"`
+
+	// Service-path latencies in milliseconds (reusing the step-latency
+	// percentile shape).
+	SubmitToFirstStep BenchSimLatency `json:"submit_to_first_step"`
+	SubmitToDone      BenchSimLatency `json:"submit_to_done"`
+
+	WallSeconds   float64 `json:"wall_seconds"`
+	JobsPerMinute float64 `json:"jobs_per_minute"`
+}
+
+// RunBenchService executes the experiment: jobs smoke jobs spread over
+// tenants tenants, each streamed by subscribers concurrent subscribers.
+// Zero arguments take the benchmark defaults.
+func RunBenchService(blocks [3]int, blockSize, steps, jobs, tenants, subscribers, workers int) (BenchServiceResult, error) {
+	if blocks == ([3]int{}) {
+		blocks = [3]int{2, 2, 2}
+	}
+	if blockSize == 0 {
+		blockSize = 8
+	}
+	if steps == 0 {
+		steps = 4
+	}
+	if jobs == 0 {
+		jobs = 6
+	}
+	if tenants == 0 {
+		tenants = 3
+	}
+	if subscribers == 0 {
+		subscribers = 3
+	}
+	if workers == 0 {
+		workers = 2
+	}
+
+	dataDir, err := os.MkdirTemp("", "mpcf-bench-service-")
+	if err != nil {
+		return BenchServiceResult{}, err
+	}
+	defer os.RemoveAll(dataDir)
+	svc, err := service.New(service.Config{
+		DataDir:       dataDir,
+		Workers:       workers,
+		TenantRunning: workers, // the bench measures throughput, not fairness
+		TenantQueued:  jobs,
+		Registry:      telemetry.NewRegistry(),
+	})
+	if err != nil {
+		return BenchServiceResult{}, err
+	}
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return BenchServiceResult{}, err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	res := BenchServiceResult{
+		Scenario: "shockbubble", BlockSize: blockSize, BlockDims: blocks,
+		Steps: steps, Workers: workers, Jobs: jobs, Tenants: tenants,
+		Subscribers: subscribers,
+	}
+
+	var mu sync.Mutex
+	var firstStepMS, doneMS []float64
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < jobs; i++ {
+		spec := service.JobSpec{
+			Scenario: "shockbubble",
+			Tenant:   fmt.Sprintf("bench-tenant-%d", i%tenants),
+			Nonce:    fmt.Sprintf("bench-%d", i),
+			Params: service.SpecParams{
+				Blocks: blocks, BlockSize: blockSize, Steps: steps, DiagEvery: 2,
+			},
+		}
+		wg.Add(1)
+		go func(spec service.JobSpec) {
+			defer wg.Done()
+			submitAt := time.Now()
+			id, err := benchSubmit(base, spec)
+			if err != nil {
+				return // counted as a missing success by the structural check
+			}
+			var jwg sync.WaitGroup
+			for s := 0; s < subscribers; s++ {
+				jwg.Add(1)
+				go func(measure bool) {
+					defer jwg.Done()
+					firstStep, succeeded, complete := benchStream(base, id)
+					mu.Lock()
+					defer mu.Unlock()
+					if complete {
+						res.StreamsComplete++
+					}
+					if !measure {
+						return
+					}
+					if succeeded {
+						res.JobsSucceeded++
+						doneMS = append(doneMS, float64(time.Since(submitAt).Milliseconds()))
+					}
+					if !firstStep.IsZero() {
+						firstStepMS = append(firstStepMS, float64(firstStep.Sub(submitAt).Milliseconds()))
+					}
+				}(s == 0)
+			}
+			jwg.Wait()
+		}(spec)
+	}
+	wg.Wait()
+	res.WallSeconds = time.Since(start).Seconds()
+	if res.WallSeconds > 0 {
+		res.JobsPerMinute = float64(res.JobsSucceeded) / res.WallSeconds * 60
+	}
+	res.SubmitToFirstStep = stepLatency(firstStepMS)
+	res.SubmitToDone = stepLatency(doneMS)
+	return res, nil
+}
+
+// benchSubmit posts one spec and returns the job ID.
+func benchSubmit(base string, spec service.JobSpec) (string, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return "", err
+	}
+	resp, err := http.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated && resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("experiments: submit returned %d: %s", resp.StatusCode, b)
+	}
+	var st service.Status
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return "", err
+	}
+	return st.ID, nil
+}
+
+// benchStream follows one job's event stream to the end, returning the
+// arrival time of the first step event, whether the job succeeded, and
+// whether the stream was complete (gap-free and terminally closed).
+func benchStream(base, id string) (firstStep time.Time, succeeded, complete bool) {
+	resp, err := http.Get(base + "/v1/jobs/" + id + "/events")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		if resp != nil {
+			resp.Body.Close()
+		}
+		return
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	next := 0
+	terminal := false
+	for sc.Scan() {
+		var e service.Event
+		if json.Unmarshal(sc.Bytes(), &e) != nil {
+			return
+		}
+		if e.Seq != next {
+			return // gap: incomplete replay
+		}
+		next++
+		if e.Type == "step" && firstStep.IsZero() {
+			firstStep = time.Now()
+		}
+		if e.Type == "state" && e.State.Terminal() {
+			terminal = true
+			succeeded = e.State == service.StateSucceeded
+		}
+	}
+	complete = terminal && next > 0
+	return
+}
+
+// CompareBenchService diffs a fresh service record against the baseline.
+// The structural outcomes — every job succeeded, every subscriber stream
+// complete — are exact; the service-path latencies and throughput use the
+// generous machine-dependent thresholds.
+func CompareBenchService(base, fresh BenchServiceResult, th CompareThresholds) *CompareReport {
+	r := &CompareReport{Kind: "service"}
+	if base.Scenario != fresh.Scenario || base.BlockSize != fresh.BlockSize ||
+		base.BlockDims != fresh.BlockDims || base.Steps != fresh.Steps ||
+		base.Jobs != fresh.Jobs || base.Tenants != fresh.Tenants ||
+		base.Subscribers != fresh.Subscribers {
+		r.fail("configuration mismatch: baseline %s N=%d blocks=%v steps=%d jobs=%d tenants=%d subs=%d, fresh %s N=%d blocks=%v steps=%d jobs=%d tenants=%d subs=%d — regenerate the baseline (make bench-snapshot)",
+			base.Scenario, base.BlockSize, base.BlockDims, base.Steps, base.Jobs, base.Tenants, base.Subscribers,
+			fresh.Scenario, fresh.BlockSize, fresh.BlockDims, fresh.Steps, fresh.Jobs, fresh.Tenants, fresh.Subscribers)
+		return r
+	}
+	r.checkExact("jobs_succeeded", int64(base.Jobs), int64(fresh.JobsSucceeded))
+	r.checkExact("streams_complete", int64(base.Jobs*base.Subscribers), int64(fresh.StreamsComplete))
+	r.checkMin("jobs_per_minute", base.JobsPerMinute, fresh.JobsPerMinute, th.MinRateFrac)
+	r.checkMax("submit_to_first_step.mean_ms", base.SubmitToFirstStep.MeanMS,
+		fresh.SubmitToFirstStep.MeanMS, th.MaxLatencyFactor)
+	r.checkMax("submit_to_done.mean_ms", base.SubmitToDone.MeanMS,
+		fresh.SubmitToDone.MeanMS, th.MaxLatencyFactor)
+	return r
+}
+
+// BenchService runs the service experiment, prints the human summary and
+// writes BENCH_service.json (skipped when jsonPath is empty).
+func BenchService(w io.Writer, jsonPath string) {
+	header(w, "Simulation-as-a-service benchmark")
+	res, err := RunBenchService([3]int{}, 0, 0, 0, 0, 0, 0)
+	if err != nil {
+		panic(err)
+	}
+	line(w, "scenario %s: N=%d blocks=%v steps=%d; %d jobs over %d tenants, %d workers, %d subscribers/job",
+		res.Scenario, res.BlockSize, res.BlockDims, res.Steps,
+		res.Jobs, res.Tenants, res.Workers, res.Subscribers)
+	line(w, "outcome: %d/%d jobs succeeded, %d/%d subscriber streams complete",
+		res.JobsSucceeded, res.Jobs, res.StreamsComplete, res.Jobs*res.Subscribers)
+	line(w, "submit->first-step ms: mean %.1f  p50 %.1f  p90 %.1f  max %.1f",
+		res.SubmitToFirstStep.MeanMS, res.SubmitToFirstStep.P50MS,
+		res.SubmitToFirstStep.P90MS, res.SubmitToFirstStep.MaxMS)
+	line(w, "submit->done ms:       mean %.1f  p50 %.1f  p90 %.1f  max %.1f",
+		res.SubmitToDone.MeanMS, res.SubmitToDone.P50MS,
+		res.SubmitToDone.P90MS, res.SubmitToDone.MaxMS)
+	line(w, "throughput: %.1f jobs/min (%.2fs wall)", res.JobsPerMinute, res.WallSeconds)
+	if jsonPath == "" {
+		return
+	}
+	if err := WriteBenchServiceJSON(jsonPath, res); err != nil {
+		panic(err)
+	}
+	line(w, "wrote %s", jsonPath)
+}
+
+// WriteBenchServiceJSON writes the record as indented JSON.
+func WriteBenchServiceJSON(path string, res BenchServiceResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,162 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func serviceBaseline() BenchServiceResult {
+	return BenchServiceResult{
+		Scenario: "shockbubble", BlockSize: 8, BlockDims: [3]int{2, 2, 2},
+		Steps: 4, Workers: 2, Jobs: 6, Tenants: 3, Subscribers: 3,
+		JobsSucceeded: 6, StreamsComplete: 18,
+		SubmitToFirstStep: BenchSimLatency{MeanMS: 40, P50MS: 35, P90MS: 60, MaxMS: 80},
+		SubmitToDone:      BenchSimLatency{MeanMS: 400, P50MS: 390, P90MS: 520, MaxMS: 600},
+		WallSeconds:       1.2, JobsPerMinute: 300,
+	}
+}
+
+func TestCompareServiceIdenticalPasses(t *testing.T) {
+	r := CompareBenchService(serviceBaseline(), serviceBaseline(), DefaultThresholds(1))
+	if !r.OK() {
+		t.Fatalf("identical records regressed: %v", r.Regressions)
+	}
+	if r.Checks == 0 {
+		t.Fatal("no checks performed")
+	}
+}
+
+func TestCompareServiceStructuralIsExact(t *testing.T) {
+	fresh := serviceBaseline()
+	fresh.JobsSucceeded = 5 // one job failed
+	r := CompareBenchService(serviceBaseline(), fresh, DefaultThresholds(1))
+	if r.OK() {
+		t.Fatal("a failed job passed the gate")
+	}
+	if !strings.Contains(strings.Join(r.Regressions, "\n"), "jobs_succeeded") {
+		t.Fatalf("regression does not name jobs_succeeded: %v", r.Regressions)
+	}
+
+	fresh = serviceBaseline()
+	fresh.StreamsComplete = 17 // one subscriber stream truncated
+	if r := CompareBenchService(serviceBaseline(), fresh, DefaultThresholds(1)); r.OK() {
+		t.Fatal("a truncated subscriber stream passed the gate")
+	}
+}
+
+func TestCompareServiceRatesAreGenerous(t *testing.T) {
+	fresh := serviceBaseline()
+	fresh.JobsPerMinute *= 0.6            // above the 0.4 floor
+	fresh.SubmitToFirstStep.MeanMS *= 2.0 // below the 2.5 ceiling
+	fresh.SubmitToDone.MeanMS *= 2.0
+	r := CompareBenchService(serviceBaseline(), fresh, DefaultThresholds(1))
+	if !r.OK() {
+		t.Fatalf("machine noise failed the gate: %v", r.Regressions)
+	}
+	fresh = serviceBaseline()
+	fresh.JobsPerMinute *= 0.2 // a real throughput collapse
+	if r := CompareBenchService(serviceBaseline(), fresh, DefaultThresholds(1)); r.OK() {
+		t.Fatal("5x throughput collapse passed the gate")
+	}
+}
+
+func TestCompareServiceConfigMismatch(t *testing.T) {
+	fresh := serviceBaseline()
+	fresh.Jobs = 8
+	fresh.JobsSucceeded = 8
+	r := CompareBenchService(serviceBaseline(), fresh, DefaultThresholds(1))
+	if r.OK() {
+		t.Fatal("job-count mismatch passed")
+	}
+	if !strings.Contains(r.Regressions[0], "configuration mismatch") {
+		t.Fatalf("unexpected failure message: %v", r.Regressions)
+	}
+}
+
+func TestDetectBenchKindService(t *testing.T) {
+	data, err := json.Marshal(serviceBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, err := DetectBenchKind(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "service" {
+		t.Fatalf("kind = %q, want service", kind)
+	}
+}
+
+func TestCompareServiceFiles(t *testing.T) {
+	dir := t.TempDir()
+	basePath := filepath.Join(dir, "base.json")
+	freshPath := filepath.Join(dir, "fresh.json")
+	if err := WriteBenchServiceJSON(basePath, serviceBaseline()); err != nil {
+		t.Fatal(err)
+	}
+	fresh := serviceBaseline()
+	fresh.StreamsComplete = 12
+	if err := WriteBenchServiceJSON(freshPath, fresh); err != nil {
+		t.Fatal(err)
+	}
+	r, err := CompareBenchFiles(basePath, freshPath, DefaultThresholds(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind != "service" {
+		t.Fatalf("kind = %q, want service", r.Kind)
+	}
+	if r.OK() {
+		t.Fatal("six missing subscriber streams passed")
+	}
+}
+
+// TestRunBenchService exercises the live experiment at a tiny configuration:
+// two jobs, two subscribers, one worker. Every structural invariant the gate
+// holds on the committed baseline must hold here too.
+func TestRunBenchService(t *testing.T) {
+	res, err := RunBenchService([3]int{2, 2, 2}, 8, 3, 2, 2, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JobsSucceeded != 2 {
+		t.Fatalf("%d/2 jobs succeeded", res.JobsSucceeded)
+	}
+	if res.StreamsComplete != 4 {
+		t.Fatalf("%d/4 subscriber streams complete", res.StreamsComplete)
+	}
+	if res.JobsPerMinute <= 0 {
+		t.Fatalf("jobs/min = %v", res.JobsPerMinute)
+	}
+	if res.SubmitToDone.MeanMS <= 0 {
+		t.Fatalf("submit->done mean = %v", res.SubmitToDone.MeanMS)
+	}
+}
+
+// TestCommittedServiceBaselineParses guards the checked-in baseline: it must
+// detect as a service record and hold the all-jobs-succeeded,
+// all-streams-complete invariants the CI compare reruns against.
+func TestCommittedServiceBaselineParses(t *testing.T) {
+	data, err := os.ReadFile("../../bench/BENCH_service.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	kind, err := DetectBenchKind(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "service" {
+		t.Fatalf("kind = %q, want service", kind)
+	}
+	var res BenchServiceResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Jobs == 0 || res.JobsSucceeded != res.Jobs ||
+		res.StreamsComplete != res.Jobs*res.Subscribers {
+		t.Fatalf("baseline incomplete or non-clean: %+v", res)
+	}
+}

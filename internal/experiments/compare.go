@@ -315,7 +315,7 @@ func CompareBenchNet(base, fresh BenchNetResult, th CompareThresholds) *CompareR
 
 // DetectBenchKind classifies a bench JSON payload by its discriminating
 // top-level key: "kernels" marks a sim record, "transports" a net record,
-// "observables" a cloud-collapse record.
+// "observables" a cloud-collapse record, "service_jobs" a service record.
 func DetectBenchKind(data []byte) (string, error) {
 	var probe map[string]json.RawMessage
 	if err := json.Unmarshal(data, &probe); err != nil {
@@ -330,7 +330,10 @@ func DetectBenchKind(data []byte) (string, error) {
 	if _, ok := probe["observables"]; ok {
 		return "cloud", nil
 	}
-	return "", fmt.Errorf("experiments: bench record has none of \"kernels\", \"transports\" or \"observables\" — not a BENCH_sim.json, BENCH_net.json or BENCH_cloud.json")
+	if _, ok := probe["service_jobs"]; ok {
+		return "service", nil
+	}
+	return "", fmt.Errorf("experiments: bench record has none of \"kernels\", \"transports\", \"observables\" or \"service_jobs\" — not a BENCH_sim.json, BENCH_net.json, BENCH_cloud.json or BENCH_service.json")
 }
 
 // CompareBenchFiles loads baseline and fresh records from disk, matches
@@ -375,6 +378,15 @@ func CompareBenchFiles(basePath, freshPath string, th CompareThresholds) (*Compa
 			return nil, fmt.Errorf("%s: %w", freshPath, err)
 		}
 		return CompareBenchCloud(base, fresh, th), nil
+	case "service":
+		var base, fresh BenchServiceResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, fmt.Errorf("%s: %w", basePath, err)
+		}
+		if err := json.Unmarshal(freshData, &fresh); err != nil {
+			return nil, fmt.Errorf("%s: %w", freshPath, err)
+		}
+		return CompareBenchService(base, fresh, th), nil
 	default:
 		var base, fresh BenchNetResult
 		if err := json.Unmarshal(baseData, &base); err != nil {
@@ -432,6 +444,22 @@ func CompareAgainstBaseline(basePath, freshPath string, pipeline bool,
 			}
 		}
 		return CompareBenchCloud(base, fresh, th), nil
+	case "service":
+		var base BenchServiceResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, fmt.Errorf("%s: %w", basePath, err)
+		}
+		fresh, err := RunBenchService(base.BlockDims, base.BlockSize, base.Steps,
+			base.Jobs, base.Tenants, base.Subscribers, base.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if freshPath != "" {
+			if err := WriteBenchServiceJSON(freshPath, fresh); err != nil {
+				return nil, err
+			}
+		}
+		return CompareBenchService(base, fresh, th), nil
 	default:
 		var base BenchNetResult
 		if err := json.Unmarshal(baseData, &base); err != nil {

@@ -1,0 +1,116 @@
+package launch
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestMain doubles as a fake mpcf-sim: when MPCF_LAUNCH_PKG_HELPER is set,
+// the test binary plays the child rank. The helper prints its own argv (so
+// per-rank argument injection is observable), then either exits promptly
+// (MPCF_HELPER_EXIT_FAST) or sleeps until signaled — SIGINT kills it with
+// the default signal disposition, standing in for a rank that stops when
+// the supervisor cancels the fleet.
+func TestMain(m *testing.M) {
+	if os.Getenv("MPCF_LAUNCH_PKG_HELPER") == "" {
+		os.Exit(m.Run())
+	}
+	rank := -1
+	for i, a := range os.Args {
+		if a == "-rank" && i+1 < len(os.Args) {
+			rank, _ = strconv.Atoi(os.Args[i+1])
+		}
+	}
+	fmt.Printf("helper rank %d argv %s\n", rank, strings.Join(os.Args[1:], " "))
+	if os.Getenv("MPCF_HELPER_EXIT_FAST") != "" {
+		os.Exit(0)
+	}
+	time.Sleep(60 * time.Second)
+	os.Exit(0)
+}
+
+// TestStartInjectsPerRankArgs: RankArgs must reach exactly the targeted
+// rank — the hook the service uses to give only rank 0 a -step-log path.
+func TestStartInjectsPerRankArgs(t *testing.T) {
+	t.Setenv("MPCF_LAUNCH_PKG_HELPER", "1")
+	t.Setenv("MPCF_HELPER_EXIT_FAST", "1")
+	var out, errOut bytes.Buffer
+	f, err := Start(Spec{
+		N:      2,
+		SimBin: os.Args[0],
+		Args:   []string{"-steps", "3"},
+		RankArgs: func(rank int) []string {
+			if rank == 0 {
+				return []string{"-step-log", "root-only.jsonl"}
+			}
+			return nil
+		},
+		Stdout: &out,
+		Stderr: &errOut,
+	})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	if code := f.Wait(); code != 0 {
+		t.Fatalf("fleet exited %d\nstderr:\n%s", code, errOut.String())
+	}
+	lines := out.String()
+	if !strings.Contains(lines, "[rank 0] helper rank 0") || !strings.Contains(lines, "[rank 1] helper rank 1") {
+		t.Fatalf("missing prefixed helper output:\n%s", lines)
+	}
+	for _, line := range strings.Split(strings.TrimSpace(lines), "\n") {
+		hasLog := strings.Contains(line, "-step-log root-only.jsonl")
+		switch {
+		case strings.HasPrefix(line, "[rank 0]") && !hasLog:
+			t.Fatalf("rank 0 did not receive its per-rank args: %s", line)
+		case strings.HasPrefix(line, "[rank 1]") && hasLog:
+			t.Fatalf("rank 1 received rank 0's per-rank args: %s", line)
+		}
+	}
+	if !strings.Contains(lines, "-ranks 2,1,1") {
+		t.Fatalf("default -ranks triple was not injected:\n%s", lines)
+	}
+}
+
+// TestInterruptCancelsHangingFleet: a supervisor cancel must tear down
+// ranks that would otherwise run forever, and Wait must return promptly.
+func TestInterruptCancelsHangingFleet(t *testing.T) {
+	t.Setenv("MPCF_LAUNCH_PKG_HELPER", "1")
+	var out, errOut bytes.Buffer
+	f, err := Start(Spec{N: 2, SimBin: os.Args[0], Stdout: &out, Stderr: &errOut})
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	done := make(chan int, 1)
+	go func() { done <- f.Wait() }()
+	// Give the ranks a moment to start, then cancel.
+	time.Sleep(200 * time.Millisecond)
+	f.Interrupt()
+	select {
+	case code := <-done:
+		if code == 0 {
+			t.Fatalf("interrupted fleet reported success; want the interrupted ranks' non-zero code")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("Wait did not return after Interrupt: the cascade kill is broken")
+	}
+}
+
+// TestStartRejectsRankMismatch: spec validation errors carry ErrUsage and
+// surface before any process starts.
+func TestStartRejectsRankMismatch(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := Run(Spec{N: 2, SimBin: os.Args[0], Args: []string{"-ranks", "2,2,1"},
+		Stdout: &out, Stderr: &errOut})
+	if code != 2 {
+		t.Fatalf("rank mismatch returned %d, want usage code 2", code)
+	}
+	if !strings.Contains(errOut.String(), "does not match") {
+		t.Fatalf("usage error does not explain the mismatch:\n%s", errOut.String())
+	}
+}

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"cubism/internal/scenario"
+)
+
+// Handler builds the service's HTTP API:
+//
+//	GET    /v1/scenarios            registered scenario names + descriptions
+//	POST   /v1/jobs                 submit a JobSpec (201 created, 200 existing)
+//	GET    /v1/jobs[?tenant=t]      list jobs, newest first
+//	GET    /v1/jobs/{id}            job status
+//	DELETE /v1/jobs/{id}            cancel (also POST /v1/jobs/{id}/cancel)
+//	GET    /v1/jobs/{id}/events     chunked JSONL stream: full replay + live
+//	                                follow (?from=N resumes mid-stream)
+//	GET    /v1/jobs/{id}/observables  final collapse metric map
+//	GET    /metrics                 Prometheus text exposition
+//	GET    /healthz                 liveness + stuck-job count
+//
+// Admission rejections surface as 429 (caps) and 503 (draining), each with
+// a JSON error body.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/scenarios", s.handleScenarios)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/jobs/{id}/cancel", s.handleCancel)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/observables", s.handleObservables)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		s.cfg.Registry.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSONResp(w, http.StatusOK, map[string]any{"ok": true, "stuck": s.Stuck()})
+	})
+	return mux
+}
+
+func writeJSONResp(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	b, err := json.MarshalIndent(v, "", "  ")
+	if err != nil {
+		return
+	}
+	w.Write(append(b, '\n'))
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSONResp(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Service) handleScenarios(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name        string `json:"name"`
+		Description string `json:"description"`
+	}
+	var out []entry
+	for _, sc := range scenario.Registry() {
+		out = append(out, entry{sc.Name, sc.Description})
+	}
+	writeJSONResp(w, http.StatusOK, map[string]any{"scenarios": out})
+}
+
+func (s *Service) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	spec, err := ParseSpec(r.Body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	j, created, err := s.Submit(spec)
+	switch {
+	case err == nil:
+		code := http.StatusOK
+		if created {
+			code = http.StatusCreated
+		}
+		writeJSONResp(w, code, j.Status())
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrTenantQueued):
+		w.Header().Set("Retry-After", "1")
+		writeErr(w, http.StatusTooManyRequests, err)
+	case errors.Is(err, ErrDraining):
+		writeErr(w, http.StatusServiceUnavailable, err)
+	default:
+		writeErr(w, http.StatusBadRequest, err)
+	}
+}
+
+func (s *Service) handleList(w http.ResponseWriter, r *http.Request) {
+	jobs := s.Jobs(r.URL.Query().Get("tenant"))
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSONResp(w, http.StatusOK, map[string]any{"jobs": out})
+}
+
+// pathJob resolves the {id} path segment.
+func (s *Service) pathJob(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	j, ok := s.Job(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, ErrNotFound)
+		return nil, false
+	}
+	return j, true
+}
+
+func (s *Service) handleStatus(w http.ResponseWriter, r *http.Request) {
+	if j, ok := s.pathJob(w, r); ok {
+		writeJSONResp(w, http.StatusOK, j.Status())
+	}
+}
+
+func (s *Service) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pathJob(w, r)
+	if !ok {
+		return
+	}
+	err := s.Cancel(j.ID, r.URL.Query().Get("reason"))
+	switch {
+	case err == nil:
+		writeJSONResp(w, http.StatusAccepted, j.Status())
+	case errors.Is(err, ErrFinished):
+		writeErr(w, http.StatusConflict, err)
+	default:
+		writeErr(w, http.StatusInternalServerError, err)
+	}
+}
+
+func (s *Service) handleObservables(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pathJob(w, r)
+	if !ok {
+		return
+	}
+	m := j.Observables()
+	if m == nil {
+		writeErr(w, http.StatusNotFound,
+			fmt.Errorf("service: job %s has no observables yet (state %s)", j.ID, j.State()))
+		return
+	}
+	writeJSONResp(w, http.StatusOK, m)
+}
+
+// handleEvents streams the job's event log as chunked JSONL: the full
+// history replays first, then live events follow until the job reaches a
+// terminal state or the subscriber disconnects. Any number of subscribers
+// can follow one job concurrently; each gets the complete stream.
+func (s *Service) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.pathJob(w, r)
+	if !ok {
+		return
+	}
+	from := 0
+	if q := r.URL.Query().Get("from"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("service: bad from=%q", q))
+			return
+		}
+		from = v
+	}
+	fl, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	w.WriteHeader(http.StatusOK)
+
+	s.subscriberDelta(j, 1)
+	defer s.subscriberDelta(j, -1)
+
+	enc := json.NewEncoder(w)
+	ctx := r.Context()
+	for {
+		evs, done, err := j.EventsSince(ctx, from)
+		if err != nil {
+			return // subscriber went away
+		}
+		for _, e := range evs {
+			if enc.Encode(e) != nil {
+				return
+			}
+		}
+		from += len(evs)
+		if fl != nil {
+			fl.Flush()
+		}
+		if done {
+			return
+		}
+	}
+}

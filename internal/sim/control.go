@@ -1,0 +1,80 @@
+package sim
+
+import "sync"
+
+// Controller is the first-class cancellation hook of a run: Stop requests
+// that the step loop end at the next step boundary, where every rank
+// agrees on the stop step through a MaxOp allreduce — so stopping any one
+// rank (a local Stop call, a SIGINT to a single process of a tcp fleet)
+// stops the whole world at the same step, and the final checkpoint written
+// there is globally consistent. A stopped run returns normally with
+// Summary.Stopped set; it is a drain, not a failure.
+//
+// A Controller is reusable only for one run at a time; the zero value is
+// ready to use. All methods are safe for concurrent use.
+type Controller struct {
+	mu      sync.Mutex
+	stopped bool
+	reason  string
+	done    chan struct{}
+}
+
+// NewController returns a ready controller.
+func NewController() *Controller { return &Controller{} }
+
+// Stop requests a graceful stop at the next step boundary. The first
+// reason wins; later calls are no-ops. Safe to call before the run starts
+// (the run then stops before its first step).
+func (c *Controller) Stop(reason string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return
+	}
+	c.stopped = true
+	c.reason = reason
+	if c.done != nil {
+		close(c.done)
+	}
+}
+
+// StopRequested reports whether a stop has been requested locally.
+func (c *Controller) StopRequested() bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stopped
+}
+
+// Reason returns the recorded stop reason ("" when none or stop was
+// requested on a different rank of a distributed world).
+func (c *Controller) Reason() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.reason
+}
+
+// Done returns a channel closed once Stop has been called — a select hook
+// for supervisors waiting on cancellation delivery.
+func (c *Controller) Done() <-chan struct{} {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.done == nil {
+		c.done = make(chan struct{})
+		if c.stopped {
+			close(c.done)
+		}
+	}
+	return c.done
+}

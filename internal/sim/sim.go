@@ -74,6 +74,19 @@ type Config struct {
 	// migration-determinism test and chaos-suite hook.
 	ForceRebalanceStep int
 
+	// Control (optional) attaches a cancellation controller: Stop() ends
+	// the run at the next step boundary. The stop decision is collective
+	// (a MaxOp allreduce per step while a controller is attached), so
+	// every rank stops at the same step and a Stop on any one rank of a
+	// distributed world stops the whole fleet. See Controller.
+	Control *Controller
+	// StopCheckpoint writes a final checkpoint to CheckpointPath when a
+	// controller stop ends the run, even when periodic checkpointing
+	// (CheckpointEvery) is off — the job-cancel and graceful-drain hook:
+	// a stopped run can resume from exactly the stop boundary via
+	// RestorePath. CheckpointEvery > 0 implies the same final write.
+	StopCheckpoint bool
+
 	// OnFinish (optional) is invoked on every rank after the last step with
 	// the rank state still live; the verification harness samples the final
 	// fields here. It runs before the summary is assembled.
@@ -144,6 +157,11 @@ type Summary struct {
 	// Observatory is the cross-rank imbalance report, present when
 	// Config.Observe was set.
 	Observatory *telemetry.ImbalanceReport
+	// Stopped marks a run ended early by a Controller stop (a graceful
+	// drain, not a failure); StopReason carries the rank-0 controller's
+	// recorded reason ("" when the stop originated on another rank).
+	Stopped    bool
+	StopReason string
 }
 
 // Run executes the campaign. onStep (may be nil) is invoked on rank 0 after
@@ -248,6 +266,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			}
 		}
 		start := time.Now()
+		stopped := false
 		for {
 			if cfg.Steps > 0 && r.Step >= cfg.Steps {
 				break
@@ -257,6 +276,29 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			}
 			if cfg.Steps == 0 && cfg.TEnd == 0 {
 				break
+			}
+			if cfg.Control != nil {
+				// Collective stop check at the step boundary: MaxOp over
+				// the per-rank stop flags, so every rank agrees on the
+				// stop step and any single rank's Stop drains the whole
+				// world. Runs only while a controller is attached.
+				flag := 0.0
+				if cfg.Control.StopRequested() {
+					flag = 1
+				}
+				if r.Comm.Allreduce(flag, mpi.MaxOp) > 0 {
+					if cfg.CheckpointPath != "" && (cfg.StopCheckpoint || cfg.CheckpointEvery > 0) {
+						// The final consistent checkpoint of the drain:
+						// all ranks stopped at the same boundary, so the
+						// job can resume from exactly here.
+						if err := r.SaveCheckpoint(cfg.CheckpointPath); err != nil {
+							runErr = err
+							return
+						}
+					}
+					stopped = true
+					break
+				}
 			}
 			stepStart := time.Now()
 			stepSpan := tracer.StartSpan("step", comm.Rank(), 0)
@@ -306,7 +348,10 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			if tel != nil {
 				// Cross-rank imbalance of this step's wall time, the
 				// (tmax-tmin)/tavg statistic of Table 4. Costs three
-				// reductions, so it runs only with telemetry attached.
+				// reductions, so it runs only with telemetry attached —
+				// which therefore must be attached uniformly across the
+				// fleet: these are collectives, and a world where only
+				// some ranks carry telemetry deadlocks.
 				tmax := r.Comm.Allreduce(stepSec, mpi.MaxOp)
 				tmin := r.Comm.Allreduce(stepSec, mpi.MinOp)
 				tsum := r.Comm.Allreduce(stepSec, mpi.SumOp)
@@ -428,6 +473,8 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 				Kernels:     map[string]perf.Stats{},
 				Report:      r.Mon.Report(),
 				Observatory: obsReport,
+				Stopped:     stopped,
+				StopReason:  cfg.Control.Reason(),
 			}
 			if wall > 0 && r.Step > startStep {
 				// Rate over the steps this run actually executed (a restored

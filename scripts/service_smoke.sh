@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Service smoke (docs/service.md): start mpcf-serve, submit two concurrent
+# jobs over the REST API — one in-process, one 2-rank tcp fleet — stream
+# both event logs to completion, and assert both succeeded with the metrics
+# endpoint reporting zero stuck jobs.
+set -euo pipefail
+
+BIN=${BIN:-bin}
+TMP=${TMP:-service-smoke.tmp}
+ADDR=${ADDR:-127.0.0.1:18977}
+BASE="http://$ADDR"
+
+rm -rf "$TMP" && mkdir -p "$TMP"
+"$BIN/mpcf-serve" -addr "$ADDR" -data "$TMP/data" -workers 2 >"$TMP/serve.log" 2>&1 &
+SERVE_PID=$!
+trap 'kill "$SERVE_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.1
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+submit() {
+  curl -fsS -X POST "$BASE/v1/jobs" -H 'Content-Type: application/json' -d "$1" |
+    grep -o '"id": *"j-[0-9a-f]*"' | head -n 1 | grep -o 'j-[0-9a-f]*'
+}
+
+INPROC_ID=$(submit '{"scenario":"shockbubble","tenant":"smoke-inproc","params":{"blocks":[2,2,2],"block_size":8,"steps":4,"diag_every":2,"workers":2}}')
+FLEET_ID=$(submit '{"scenario":"shockbubble","tenant":"smoke-fleet","mode":"fleet","params":{"ranks":[2,1,1],"blocks":[2,2,2],"block_size":8,"steps":4,"diag_every":2,"workers":2}}')
+test -n "$INPROC_ID" && test -n "$FLEET_ID"
+echo "submitted inproc=$INPROC_ID fleet=$FLEET_ID"
+
+# Stream both event logs concurrently; the chunked stream closes at the
+# job's terminal state.
+curl -fsS -N "$BASE/v1/jobs/$INPROC_ID/events" >"$TMP/inproc.events" &
+S1=$!
+curl -fsS -N "$BASE/v1/jobs/$FLEET_ID/events" >"$TMP/fleet.events" &
+S2=$!
+wait "$S1" "$S2"
+
+for f in inproc fleet; do
+  if ! tail -n 1 "$TMP/$f.events" | grep -q '"state":"succeeded"'; then
+    echo "FAIL: $f job did not end succeeded"
+    cat "$TMP/$f.events" "$TMP/serve.log"
+    exit 1
+  fi
+  if [ "$(grep -c '"type":"step"' "$TMP/$f.events")" -ne 4 ]; then
+    echo "FAIL: $f streamed the wrong step-event count"
+    cat "$TMP/$f.events"
+    exit 1
+  fi
+done
+
+# Capture bodies before grepping: grep -q exits at the first match, and
+# under pipefail the SIGPIPE it sends curl would fail the pipeline.
+curl -fsS "$BASE/v1/jobs/$INPROC_ID/observables" >"$TMP/inproc.obs"
+curl -fsS "$BASE/v1/jobs/$FLEET_ID/observables" >"$TMP/fleet.obs"
+grep -q peak_amp "$TMP/inproc.obs"
+grep -q peak_amp "$TMP/fleet.obs"
+
+# The event stream closes at the terminal event, a moment before the
+# service finishes its bookkeeping — give the counters a few beats.
+ok=0
+for _ in $(seq 1 50); do
+  curl -fsS "$BASE/metrics" >"$TMP/metrics.txt"
+  if grep -q 'mpcf_service_jobs_done_total{state="succeeded"} 2' "$TMP/metrics.txt" &&
+     grep -q 'mpcf_service_jobs_queued 0' "$TMP/metrics.txt" &&
+     grep -q 'mpcf_service_jobs_running 0' "$TMP/metrics.txt"; then
+    ok=1
+    break
+  fi
+  sleep 0.1
+done
+if [ "$ok" -ne 1 ]; then
+  echo "FAIL: metrics never settled to two successes and zero stuck jobs"
+  grep mpcf_service "$TMP/metrics.txt" || true
+  exit 1
+fi
+curl -fsS "$BASE/healthz" >"$TMP/healthz.json"
+grep -q '"stuck": *0' "$TMP/healthz.json"
+
+echo "service-smoke: inproc + 2-rank fleet jobs succeeded, streams complete, zero stuck jobs"
