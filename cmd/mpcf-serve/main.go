@@ -46,6 +46,7 @@ func main() {
 	tenantQueued := flag.Int("tenant-queued", 8, "per-tenant queued-job cap")
 	inprocRanks := flag.Int("inproc-ranks", 1, "largest rank product an auto-mode job runs in-process; beyond it the job forks a rank fleet")
 	drainGrace := flag.Duration("drain-grace", 30*time.Second, "how long a drain waits for running jobs to reach a step boundary and checkpoint")
+	stopGrace := flag.Duration("stop-grace", 20*time.Second, "how long a canceled fleet rank may take to reach its step boundary before force-exit fallbacks fire (keep below -drain-grace)")
 	flag.Parse()
 
 	reg := telemetry.NewRegistry()
@@ -57,6 +58,7 @@ func main() {
 		TenantRunning:   *tenantRunning,
 		TenantQueued:    *tenantQueued,
 		InprocRankLimit: *inprocRanks,
+		StopGrace:       *stopGrace,
 		Registry:        reg,
 		Logf:            log.Printf,
 	})

@@ -184,8 +184,12 @@ func main() {
 	// and a final checkpoint lands when configured. The historical
 	// immediate flush-and-exit remains as two fallbacks: a wedged rank
 	// that never reaches the boundary exits after -stop-grace, and a
-	// second signal forces the exit right away.
+	// second signal forces the exit right away. The grace fallback stands
+	// down the moment the step loop acknowledges the stop (or the run
+	// returns), so a drain that merely has long steps — or the
+	// post-boundary checkpoint/observables writes — is never killed by it.
 	ctl := cubism.NewController()
+	runDone := make(chan struct{})
 	var signalExit atomic.Int32
 	sigCh := make(chan os.Signal, 2)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -198,7 +202,13 @@ func main() {
 		signalExit.Store(int32(code))
 		ctl.Stop(s.String())
 		go func() {
-			time.Sleep(*stopGrace)
+			select {
+			case <-ctl.Acked():
+				return // boundary reached; the main path owns the exit
+			case <-runDone:
+				return // run ended on its own before the boundary check
+			case <-time.After(*stopGrace):
+			}
 			flushTelemetry()
 			os.Exit(code)
 		}()
@@ -355,7 +365,7 @@ func main() {
 
 	// Per-step output: the structured record goes to the step log (when
 	// enabled); here only a human summary line remains, -quiet silences it.
-	summary, err := cubism.Run(cfg, func(s cubism.StepInfo) {
+	summary, runErr := cubism.Run(cfg, func(s cubism.StepInfo) {
 		if scenarioObs != nil {
 			scenarioObs.OnStep(s)
 		}
@@ -372,9 +382,10 @@ func main() {
 				s.Step, q, rate, s.DumpMBps)
 		}
 	})
-	if err != nil {
+	close(runDone)
+	if runErr != nil {
 		flushTelemetry()
-		log.Fatal(err)
+		log.Fatal(runErr)
 	}
 	flushTelemetry()
 	if scenarioObs != nil && (cfg.Net == nil || cfg.Net.Rank == 0) {

@@ -58,11 +58,17 @@ type Spec struct {
 	// Stdout receives the [rank i]-prefixed output mux; Stderr receives
 	// launcher diagnostics. Either nil defaults to the os stream.
 	Stdout, Stderr io.Writer
+	// KillGrace overrides the SIGINT→SIGKILL escalation delay for this
+	// fleet (0: the package KillGrace constant). A supervisor that grants
+	// its ranks a longer -stop-grace must stretch this past it, or the
+	// SIGKILL lands before the ranks reach their stop boundary.
+	KillGrace time.Duration
 }
 
 // Fleet is a running set of rank processes.
 type Fleet struct {
-	stderr io.Writer
+	stderr    io.Writer
+	killGrace time.Duration
 
 	// outMu serializes every line the fleet writes to the caller's Stdout
 	// and Stderr: the per-rank pump and exit goroutines write concurrently,
@@ -118,7 +124,10 @@ func Start(spec Spec) (*Fleet, error) {
 	coord := ln.Addr().String()
 	ln.Close()
 
-	f := &Fleet{stderr: spec.Stderr}
+	f := &Fleet{stderr: spec.Stderr, killGrace: spec.KillGrace}
+	if f.killGrace <= 0 {
+		f.killGrace = KillGrace
+	}
 	for r := 0; r < spec.N; r++ {
 		rankArgs := append([]string{
 			"-transport", "tcp",
@@ -198,10 +207,11 @@ func (f *Fleet) fail(code int) {
 	f.killAll()
 }
 
-// killAll interrupts every rank, then kills the stragglers after
-// KillGrace. Interrupt first so the ranks can stop at a step boundary and
-// flush trace and step-log buffers on the way down. Signaling an
-// already-exited process just returns an error, which is fine to drop.
+// killAll interrupts every rank, then kills the stragglers after the
+// fleet's kill grace. Interrupt first so the ranks can stop at a step
+// boundary and flush trace and step-log buffers on the way down.
+// Signaling an already-exited process just returns an error, which is
+// fine to drop.
 func (f *Fleet) killAll() {
 	f.mu.Lock()
 	f.aborted = true
@@ -213,7 +223,7 @@ func (f *Fleet) killAll() {
 		}
 	}
 	go func() {
-		time.Sleep(KillGrace)
+		time.Sleep(f.killGrace)
 		f.mu.Lock()
 		defer f.mu.Unlock()
 		for _, p := range f.procs {

@@ -86,7 +86,15 @@ type Job struct {
 	reason          string // cancel/drain reason
 	errMsg          string
 	cancelRequested bool
-	drained         bool // canceled by a service drain, requeue-safe
+	// drained marks a running job canceled by a service drain: the queue
+	// snapshot includes it (with its boundary checkpoint as the restore
+	// point) so the next service start resumes its work.
+	drained bool
+
+	// restore is the checkpoint a requeued drained job resumes from. It is
+	// installed by requeueSnapshot before the worker pool starts and never
+	// written afterwards, so the engines read it without holding mu.
+	restore string
 
 	created, started, finished time.Time
 	observables                map[string]float64
@@ -216,7 +224,11 @@ func (j *Job) EventsSince(ctx context.Context, seq int) ([]Event, bool, error) {
 		return nil, false, err
 	}
 	evs := append([]Event(nil), j.events[min(seq, len(j.events)):]...)
-	done := j.state.Terminal() && seq+len(evs) == len(j.events)
+	// >= (not ==) clamps a resume position past the end of a terminal
+	// stream: the wait loop above is skipped for terminal states, so an
+	// out-of-range seq would otherwise report done=false forever and spin
+	// the caller's stream loop hot.
+	done := j.state.Terminal() && seq+len(evs) >= len(j.events)
 	return evs, done, nil
 }
 

@@ -51,6 +51,13 @@ type Config struct {
 	// InprocRankLimit is the largest rank product an auto-mode job may
 	// run in-process; beyond it the job forks a rank fleet (default 1).
 	InprocRankLimit int
+	// StopGrace is how long a canceled fleet rank may take to reach its
+	// step boundary before the force-exit fallbacks fire: it is passed to
+	// every rank as -stop-grace and stretches the launcher's SIGKILL
+	// escalation to match, so a job whose steps outlast mpcf-sim's 1.5s
+	// default still drains to a boundary checkpoint (default 20s; keep it
+	// below the caller's drain budget).
+	StopGrace time.Duration
 	// Registry receives the service metrics (nil: disabled).
 	Registry *telemetry.Registry
 	// Logf is the service diagnostics sink (nil: discarded).
@@ -72,6 +79,9 @@ func (c *Config) fill() {
 	}
 	if c.InprocRankLimit <= 0 {
 		c.InprocRankLimit = 1
+	}
+	if c.StopGrace <= 0 {
+		c.StopGrace = 20 * time.Second
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -317,35 +327,80 @@ func (s *Service) Drain(ctx context.Context) error {
 	select {
 	case <-done:
 	case <-ctx.Done():
+		// A wedged running job must not take the queued specs down with
+		// it: snapshot what we have before reporting the drain failure —
+		// a restart is exactly when preserving the queue matters most.
+		if serr := s.snapshotQueue(); serr != nil {
+			s.cfg.Logf("service: drain: queue snapshot: %v", serr)
+		}
 		return fmt.Errorf("service: drain: %w", ctx.Err())
 	}
 	return s.snapshotQueue()
 }
 
-// snapshotQueue persists the queued specs for the next start.
+// resumeEntry is one drained running job in the queue snapshot: its spec
+// plus the boundary checkpoint it resumes from ("" reruns from scratch
+// when the drain ended the job before any checkpoint landed).
+type resumeEntry struct {
+	Spec    JobSpec `json:"spec"`
+	Restore string  `json:"restore,omitempty"`
+}
+
+// queueSnapshot is the on-disk shape of DataDir/queue.json.
+type queueSnapshot struct {
+	Specs  []JobSpec     `json:"specs,omitempty"`
+	Resume []resumeEntry `json:"resume,omitempty"`
+}
+
+// snapshotQueue persists the queued specs — and the drained running jobs
+// with their checkpoints — for the next start.
 func (s *Service) snapshotQueue() error {
 	s.mu.Lock()
-	specs := make([]JobSpec, 0, len(s.queue))
+	snap := queueSnapshot{Specs: make([]JobSpec, 0, len(s.queue))}
 	for _, j := range s.queue {
-		specs = append(specs, j.Spec)
+		snap.Specs = append(snap.Specs, j.Spec)
+	}
+	var drained []*Job
+	for _, j := range s.jobs {
+		j.mu.Lock()
+		// A drained job that raced to normal completion (or failed on its
+		// own) is settled; only a drain-canceled (or, on an expired drain
+		// budget, still-running) job has work worth resuming.
+		wasDrained := j.drained && j.state != StateSucceeded && j.state != StateFailed
+		j.mu.Unlock()
+		if wasDrained {
+			drained = append(drained, j)
+		}
+	}
+	sort.Slice(drained, func(i, k int) bool { return drained[i].seq < drained[k].seq })
+	for _, j := range drained {
+		e := resumeEntry{Spec: j.Spec}
+		if ckpt := filepath.Join(j.Dir, "checkpoint.ckp"); fileExists(ckpt) {
+			e.Restore = ckpt
+		}
+		snap.Resume = append(snap.Resume, e)
 	}
 	s.mu.Unlock()
 	path := filepath.Join(s.cfg.DataDir, "queue.json")
-	if len(specs) == 0 {
+	if len(snap.Specs) == 0 && len(snap.Resume) == 0 {
 		os.Remove(path)
 		return nil
 	}
-	b, err := json.MarshalIndent(struct {
-		Specs []JobSpec `json:"specs"`
-	}{specs}, "", "  ")
+	b, err := json.MarshalIndent(snap, "", "  ")
 	if err != nil {
 		return err
 	}
 	if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
 		return fmt.Errorf("service: queue snapshot: %w", err)
 	}
-	s.cfg.Logf("service: snapshotted %d queued jobs to %s", len(specs), path)
+	s.cfg.Logf("service: snapshotted %d queued + %d drained jobs to %s",
+		len(snap.Specs), len(snap.Resume), path)
 	return nil
+}
+
+func fileExists(path string) bool {
+	st, err := os.Stat(path)
+	return err == nil && !st.IsDir()
 }
 
 // requeueSnapshot resubmits the specs a drained predecessor left behind.
@@ -360,9 +415,7 @@ func (s *Service) requeueSnapshot() error {
 	if err != nil {
 		return fmt.Errorf("service: reading queue snapshot: %w", err)
 	}
-	var snap struct {
-		Specs []JobSpec `json:"specs"`
-	}
+	var snap queueSnapshot
 	if err := json.Unmarshal(b, &snap); err != nil {
 		return fmt.Errorf("service: queue snapshot corrupt: %w", err)
 	}
@@ -372,8 +425,22 @@ func (s *Service) requeueSnapshot() error {
 			s.cfg.Logf("service: requeue of snapshot spec failed: %v", err)
 		}
 	}
-	if n := len(snap.Specs); n > 0 {
-		s.cfg.Logf("service: requeued %d jobs from drain snapshot", n)
+	for _, e := range snap.Resume {
+		j, created, err := s.Submit(e.Spec)
+		if err != nil {
+			s.cfg.Logf("service: requeue of drained spec failed: %v", err)
+			continue
+		}
+		// The worker pool starts after requeue, so the restore point can be
+		// installed without racing the engines. A restore whose checkpoint
+		// vanished in the meantime reruns from scratch.
+		if created && fileExists(e.Restore) {
+			j.restore = e.Restore
+		}
+	}
+	if n := len(snap.Specs) + len(snap.Resume); n > 0 {
+		s.cfg.Logf("service: requeued %d jobs from drain snapshot (%d resuming from checkpoints)",
+			n, len(snap.Resume))
 	}
 	return nil
 }
@@ -536,6 +603,7 @@ func (s *Service) runInproc(j *Job) (stopped bool, err error) {
 	cfg.Control = ctl
 	cfg.StopCheckpoint = true
 	cfg.CheckpointPath = filepath.Join(j.Dir, "checkpoint.ckp")
+	cfg.RestorePath = j.restore // resume a requeued drained job's work
 	j.installCancel(func(reason string) { ctl.Stop(reason) })
 
 	obs := scenario.NewObserver(c)
@@ -573,7 +641,11 @@ func (s *Service) runFleet(j *Job) (stopped bool, err error) {
 	fl, err := launch.Start(launch.Spec{
 		N:      j.Spec.RankProduct(),
 		SimBin: s.cfg.SimBin,
-		Args:   fleetArgs(j, c),
+		Args:   s.fleetArgs(j, c),
+		// The ranks get StopGrace to reach their boundary; the launcher's
+		// SIGKILL escalation must land after that, not at its 2s default,
+		// or a long-step job loses its final checkpoint to the kill.
+		KillGrace: s.cfg.StopGrace + launch.KillGrace,
 		RankArgs: func(rank int) []string {
 			// Every rank gets a -step-log: attaching telemetry changes the
 			// rank's collective schedule (the per-step imbalance statistic
@@ -624,7 +696,7 @@ func (s *Service) runFleet(j *Job) (stopped bool, err error) {
 }
 
 // fleetArgs renders the job's resolved case as mpcf-sim flags.
-func fleetArgs(j *Job, c *scenario.Case) []string {
+func (s *Service) fleetArgs(j *Job, c *scenario.Case) []string {
 	cc := c.Config.Cluster
 	p := j.Spec.Params
 	args := []string{
@@ -637,6 +709,10 @@ func fleetArgs(j *Job, c *scenario.Case) []string {
 		"-diag-every", fmt.Sprint(c.Config.DiagEvery),
 		"-stop-checkpoint",
 		"-checkpoint", filepath.Join(j.Dir, "checkpoint.ckp"),
+		"-stop-grace", s.cfg.StopGrace.String(),
+	}
+	if j.restore != "" {
+		args = append(args, "-restore", j.restore)
 	}
 	if p.Seed != 0 {
 		args = append(args, "-seed", fmt.Sprint(p.Seed))

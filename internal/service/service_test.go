@@ -268,9 +268,33 @@ func TestCancelQueuedVsRunning(t *testing.T) {
 	}
 }
 
+// TestEventsSinceBeyondEnd: a resume position past the end of a terminal
+// job's stream must report done immediately — the terminal state skips the
+// wait loop, so anything else would make the HTTP stream loop spin hot for
+// the lifetime of the connection.
+func TestEventsSinceBeyondEnd(t *testing.T) {
+	s := newTestService(t, Config{Workers: 1})
+	j, _, err := s.Submit(fastSpec("alice", ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := waitTerminal(t, j, 30*time.Second); st != StateSucceeded {
+		t.Fatalf("job ended %s", st)
+	}
+	evs, done, err := j.EventsSince(context.Background(), 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != 0 || !done {
+		t.Fatalf("EventsSince past the end: %d events, done=%v, want 0 events and done",
+			len(evs), done)
+	}
+}
+
 // TestDrainRequeue: a drain checkpoints the running job, snapshots the
 // queued specs, and a fresh service over the same data dir requeues them
-// under their original IDs.
+// under their original IDs. The drained running job itself comes back too,
+// carrying its boundary checkpoint as the restore point.
 func TestDrainRequeue(t *testing.T) {
 	dir := t.TempDir()
 	s := newTestService(t, Config{Workers: 1, DataDir: dir})
@@ -306,17 +330,31 @@ func TestDrainRequeue(t *testing.T) {
 	if err != nil {
 		t.Fatalf("queue snapshot: %v", err)
 	}
-	var parsed struct {
-		Specs []JobSpec `json:"specs"`
-	}
+	var parsed queueSnapshot
 	if err := json.Unmarshal(snap, &parsed); err != nil || len(parsed.Specs) != 2 {
 		t.Fatalf("snapshot holds %d specs (err %v), want 2", len(parsed.Specs), err)
 	}
+	if len(parsed.Resume) != 1 || parsed.Resume[0].Spec.ID() != running.ID {
+		t.Fatalf("snapshot resume entries %+v, want the drained running job %s",
+			parsed.Resume, running.ID)
+	}
+	if parsed.Resume[0].Restore != filepath.Join(running.Dir, "checkpoint.ckp") {
+		t.Fatalf("resume restore %q, want the drained job's checkpoint", parsed.Resume[0].Restore)
+	}
 	s.Close()
 
-	// The successor requeues both specs into the same deterministic jobs
-	// and runs them to completion.
+	// The successor requeues the specs into the same deterministic jobs and
+	// runs the queued ones to completion; the drained job returns with its
+	// checkpoint as the restore point (it is canceled rather than waited
+	// out — slowSpec runs for 20000 steps).
 	s2 := newTestService(t, Config{Workers: 2, DataDir: dir})
+	resumed, ok := s2.Job(running.ID)
+	if !ok {
+		t.Fatalf("drained running job %s not requeued after restart", running.ID)
+	}
+	if resumed.restore == "" {
+		t.Fatalf("requeued drained job %s carries no restore checkpoint", running.ID)
+	}
 	for _, id := range []string{q1.ID, q2.ID} {
 		j, ok := s2.Job(id)
 		if !ok {
@@ -326,6 +364,10 @@ func TestDrainRequeue(t *testing.T) {
 			t.Fatalf("requeued job %s ended %s", id, st)
 		}
 	}
+	if err := s2.Cancel(resumed.ID, "test done"); err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, resumed, 30*time.Second)
 	if _, err := os.Stat(filepath.Join(dir, "queue.json")); !os.IsNotExist(err) {
 		t.Fatalf("queue snapshot not consumed: %v", err)
 	}

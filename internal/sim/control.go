@@ -15,8 +15,10 @@ import "sync"
 type Controller struct {
 	mu      sync.Mutex
 	stopped bool
+	acked   bool
 	reason  string
 	done    chan struct{}
+	ackCh   chan struct{}
 }
 
 // NewController returns a ready controller.
@@ -77,4 +79,42 @@ func (c *Controller) Done() <-chan struct{} {
 		}
 	}
 	return c.done
+}
+
+// Acknowledge records that the step loop took the stop: the run calls it
+// at the boundary where all ranks agreed on the stop step, before the
+// final checkpoint write. Idempotent.
+func (c *Controller) Acknowledge() {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.acked {
+		return
+	}
+	c.acked = true
+	if c.ackCh != nil {
+		close(c.ackCh)
+	}
+}
+
+// Acked returns a channel closed once the step loop acknowledged the stop
+// at a boundary. From that point the run is past its last step and only
+// the final artifact writes (checkpoint, observables, telemetry flush)
+// remain, so a supervisor's force-exit fallback should stand down rather
+// than kill them mid-write.
+func (c *Controller) Acked() <-chan struct{} {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.ackCh == nil {
+		c.ackCh = make(chan struct{})
+		if c.acked {
+			close(c.ackCh)
+		}
+	}
+	return c.ackCh
 }

@@ -78,6 +78,11 @@ func TestControllerStopsAtBoundaryWithCheckpoint(t *testing.T) {
 	default:
 		t.Fatal("controller Done channel not closed after Stop")
 	}
+	select {
+	case <-ctl.Acked():
+	default:
+		t.Fatal("controller Acked channel not closed after the boundary stop")
+	}
 
 	// Resume: exactly steps 4..8 run, and the final totals match the
 	// uninterrupted run bit for bit.

@@ -287,6 +287,10 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 					flag = 1
 				}
 				if r.Comm.Allreduce(flag, mpi.MaxOp) > 0 {
+					// All ranks agreed on the stop step; acknowledge before
+					// the checkpoint write so supervisors cancel force-exit
+					// fallbacks that would kill it mid-write.
+					cfg.Control.Acknowledge()
 					if cfg.CheckpointPath != "" && (cfg.StopCheckpoint || cfg.CheckpointEvery > 0) {
 						// The final consistent checkpoint of the drain:
 						// all ranks stopped at the same boundary, so the
