@@ -26,7 +26,7 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/telemetry ./internal/sim ./internal/cluster ./internal/layout ./internal/node ./internal/transport ./internal/mpi ./internal/service
+	$(GO) test -race ./internal/telemetry ./internal/sim ./internal/cluster ./internal/layout ./internal/node ./internal/transport ./internal/mpi ./internal/service ./internal/compress ./internal/dump
 
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
@@ -52,13 +52,14 @@ bench-snapshot:
 	$(GO) run ./cmd/mpcf-bench -exp net -net-json bench/BENCH_net.json
 	$(GO) run ./cmd/mpcf-bench -exp cloud -cloud-json bench/BENCH_cloud.json
 	$(GO) run ./cmd/mpcf-bench -exp service -service-json bench/BENCH_service.json
+	$(GO) run ./cmd/mpcf-bench -exp io -io-json bench/BENCH_io.json
 
 # The regression gate: rerun both benchmarks at the baselines' own
 # configuration and fail on structural changes or rate collapse
 # (docs/observability.md). SLACK widens the thresholds for noisy hosts.
 SLACK ?= 1
 bench-compare:
-	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json,bench/BENCH_cloud.json,bench/BENCH_service.json -compare-slack $(SLACK)
+	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json,bench/BENCH_cloud.json,bench/BENCH_service.json,bench/BENCH_io.json -compare-slack $(SLACK)
 
 # CI perf smoke: a 2-rank TCP run through the observatory (merged trace +
 # imbalance report artifacts) plus the bench gate in report-only mode.
@@ -72,7 +73,7 @@ perf-smoke: bin
 	@test -s perf-smoke.tmp/trace_merged.json
 	@test -s perf-smoke.tmp/imbalance.txt
 	cat perf-smoke.tmp/imbalance.txt
-	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json,bench/BENCH_cloud.json,bench/BENCH_service.json -compare-warn
+	$(GO) run ./cmd/mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json,bench/BENCH_cloud.json,bench/BENCH_service.json,bench/BENCH_io.json -compare-warn
 	@echo "perf-smoke: merged trace, imbalance report and compare gate all ran"
 
 # End-to-end service smoke (docs/service.md): mpcf-serve fields one
@@ -112,7 +113,7 @@ smoke-net: bin
 # sim-level bitwise-under-chaos and checkpoint-restart proofs.
 chaos:
 	$(GO) test -race -count=1 ./internal/transport ./internal/transport/faulty ./internal/mpi
-	$(GO) test -race -count=1 -run 'TestSimBitwiseUnderChaos|TestRestoreResumesBitwise|TestSimMigrationBitwiseOverTCPChaos' ./internal/sim
+	$(GO) test -race -count=1 -run 'TestSimBitwiseUnderChaos|TestRestoreResumesBitwise|TestSimMigrationBitwiseOverTCPChaos|TestFrameStreamBitwiseUnderChaos' ./internal/sim
 	$(GO) test -race -count=1 ./cmd/mpcf-launch
 
 # Full-ladder verification: convergence orders, conservation audit and the
@@ -127,4 +128,4 @@ verify-short:
 
 # Replay the checked-in fuzz seed corpora without fuzzing new inputs.
 fuzz-seed:
-	$(GO) test -run 'Fuzz' ./internal/compress ./internal/transport ./internal/service
+	$(GO) test -run 'Fuzz' ./internal/compress ./internal/dump ./internal/transport ./internal/service

@@ -33,6 +33,14 @@
 // latency, end-to-end jobs/minute and the structural stream-completeness
 // invariants.
 //
+// The io experiment, besides the §7 footprint summary, runs the ENC
+// pipeline serially and across the worker pool on the same snapshot and
+// emits BENCH_io.json: per-encoder encoded sizes (pinned exactly for the
+// deterministic coders), the bitwise serial/parallel equality and lossless
+// round-trip invariants, the Table-4-shaped per-worker ENC imbalance, and
+// a two-rank frame-stream leg asserting the TagDump frame equals the
+// collective file bit for bit.
+//
 // The regression gate diffs fresh results against checked-in baselines:
 //
 //	mpcf-bench -compare bench/BENCH_sim.json,bench/BENCH_net.json
@@ -64,6 +72,7 @@ func main() {
 	netJSONPath := flag.String("net-json", "BENCH_net.json", "machine-readable output path of the net experiment (empty: skip)")
 	cloudJSONPath := flag.String("cloud-json", "BENCH_cloud.json", "machine-readable output path of the cloud experiment (empty: skip)")
 	serviceJSONPath := flag.String("service-json", "BENCH_service.json", "machine-readable output path of the service experiment (empty: skip)")
+	ioJSONPath := flag.String("io-json", "BENCH_io.json", "machine-readable output path of the io experiment's ENC-pipeline record (empty: skip)")
 	pipeline := flag.Bool("pipeline", true, "primary sim-experiment mode: dependency-driven fused RHS+UP pipeline (false: bulk-synchronous staged baseline); both modes are always measured")
 	compare := flag.String("compare", "", "comma-separated baseline BENCH_*.json paths; rerun the matching benchmarks and exit 1 on regression")
 	compareCurrent := flag.String("compare-current", "", "comma-separated fresh BENCH_*.json paths paired with -compare by position: diff files instead of rerunning")
@@ -89,7 +98,7 @@ func main() {
 		"fig9":        func() { experiments.Fig9(w, *dur) },
 		"compression": func() { experiments.Compression(w, *n) },
 		"throughput":  func() { experiments.Throughput(w, *steps) },
-		"io":          func() { experiments.IO(w, *n) },
+		"io":          func() { experiments.IO(w, *n); experiments.BenchIO(w, *n, *ioJSONPath) },
 		"sim":         func() { experiments.BenchSim(w, *n, *steps, *jsonPath, *pipeline) },
 		"net":         func() { experiments.BenchNet(w, *netJSONPath) },
 		"cloud":       func() { experiments.BenchCloud(w, "cloud", 0, *cloudJSONPath) },

@@ -22,6 +22,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
@@ -75,7 +76,9 @@ func main() {
 	wall := flag.Bool("wall", false, "reflecting wall at z=0 with wall-pressure diagnostics")
 	dumpEvery := flag.Int("dump-every", 0, "compressed dump cadence in steps (0: never)")
 	dumpDir := flag.String("dump-dir", ".", "dump output directory")
-	encoder := flag.String("encoder", "zlib", "dump encoder: zlib or rle")
+	encoder := flag.String("encoder", "zlib", "dump encoder: zlib, rle, sig or huff")
+	frameDir := flag.String("frame-dir", "", "stream every dump as an assembled frame over the TagDump channel and write the raw frame bytes (bitwise identical to the dump file) into this directory on rank 0")
+	frameLog := flag.String("frame-log", "", "stream every dump as an assembled frame and append one JSONL record per frame (base64 payload) to this path on rank 0 — the file mpcf-serve tails into job \"frame\" events")
 	diagEvery := flag.Int("diag-every", 10, "diagnostics cadence in steps")
 	ckptEvery := flag.Int("checkpoint-every", 0, "write a lossless checkpoint every so many steps (0: never)")
 	ckptPath := flag.String("checkpoint", "checkpoint.ckp", "checkpoint file path")
@@ -242,6 +245,39 @@ func main() {
 	cfg.RebalanceEvery = *rebalanceEvery
 	cfg.RebalanceThreshold = *rebalanceThreshold
 	cfg.ForceRebalanceStep = *rebalanceForceStep
+	// Frame streaming: the flags are uniform across a fleet (the streaming
+	// is collective), while the sink below only ever runs on rank 0.
+	if *frameDir != "" || *frameLog != "" {
+		cfg.StreamFrames = true
+		var frameLogFile *os.File
+		cfg.FrameSink = func(f cubism.Frame) error {
+			if *frameDir != "" {
+				if err := os.WriteFile(filepath.Join(*frameDir, f.Name), f.Data, 0o644); err != nil {
+					return err
+				}
+			}
+			if *frameLog != "" {
+				if frameLogFile == nil {
+					var err error
+					frameLogFile, err = os.OpenFile(*frameLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+					if err != nil {
+						return err
+					}
+				}
+				rec, err := json.Marshal(cubism.FrameRecord{
+					Name: f.Name, Step: f.Step, Quantity: f.Quantity,
+					Time: f.Time, Bytes: len(f.Data), Data: f.Data,
+				})
+				if err != nil {
+					return err
+				}
+				if _, err := frameLogFile.Write(append(rec, '\n')); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
 	if obsOn {
 		cfg.Observe = &cubism.ObserveConfig{
 			TracePath:      *obsTrace,

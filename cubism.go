@@ -216,8 +216,16 @@ type Config struct {
 	DumpDir   string
 	// EpsP, EpsG are decimation thresholds (0: the paper's 1e-2 / 1e-3).
 	EpsP, EpsG float64
-	// Encoder is the lossless dump coder: "zlib" (default) or "rle".
+	// Encoder is the lossless dump coder: "zlib" (default), "rle", "sig"
+	// or "huff".
 	Encoder string
+	// StreamFrames additionally ships every dump as an assembled frame
+	// over the dedicated TagDump transport channel to the rank-0 sink,
+	// bitwise identical to the dump file. Must be uniform across the
+	// fleet (the streaming is collective).
+	StreamFrames bool
+	// FrameSink receives assembled frames on rank 0.
+	FrameSink FrameSink
 
 	// DiagEvery controls the diagnostics cadence (0: every step).
 	DiagEvery int
@@ -463,6 +471,8 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		EpsP:               cfg.EpsP,
 		EpsG:               cfg.EpsG,
 		Encoder:            cfg.Encoder,
+		StreamFrames:       cfg.StreamFrames,
+		FrameSink:          cfg.FrameSink,
 		DiagEvery:          cfg.DiagEvery,
 		CheckpointEvery:    cfg.CheckpointEvery,
 		CheckpointPath:     cfg.CheckpointPath,
@@ -509,6 +519,21 @@ func writeChecksums(path string, t cluster.Totals) error {
 
 // DumpHeader is the self-describing metadata of a compressed dump file.
 type DumpHeader = dump.Header
+
+// Frame is one streamed compressed snapshot (full dump-file bytes).
+type Frame = dump.Frame
+
+// FrameSink consumes streamed frames on the sink rank.
+type FrameSink = dump.FrameSink
+
+// FrameRecord is the JSONL shape of a streamed frame in a -frame-log file.
+type FrameRecord = dump.FrameRecord
+
+// DecodeDumpFrame parses a complete dump-file image (a streamed frame)
+// exactly like ReadDump parses a file on disk.
+func DecodeDumpFrame(data []byte) (DumpHeader, []*compress.Compressed, error) {
+	return dump.Decode(data)
+}
 
 // ReadDump opens a compressed dump file and reconstructs the per-block
 // scalar fields of every rank (rank-major, blocks in space-filling-curve

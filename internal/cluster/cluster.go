@@ -107,6 +107,10 @@ type Rank struct {
 	ghostNS int64
 	waitNS  int64
 
+	// dumpSeq counts streamed frames; it versions the TagDump namespace so
+	// frames of the same step (p then Γ) never reuse a (dst, tag) pair.
+	dumpSeq int
+
 	reg                  [][]float32 // low-storage Runge-Kutta registers, one per block
 	rhs                  [][]float32 // RHS evaluation buffers, one per block
 	u0                   [][]float32 // step-initial copies, allocated only for ssprk3
@@ -475,19 +479,42 @@ func (r *Rank) Advance() float64 {
 	return dt
 }
 
+// DumpTarget selects where one compressed snapshot goes: a collective
+// shared file (Path), a streamed frame over the TagDump channel to the
+// rank-0 sink (Stream, with Sink receiving the assembled file image there),
+// or both from a single compression pass.
+type DumpTarget struct {
+	Path   string
+	Stream bool
+	// Sink receives the assembled frame on rank 0; nil streams and drops
+	// (the network work stays identical on every rank).
+	Sink dump.FrameSink
+}
+
 // Dump writes one quantity's compressed snapshot collectively. The header
 // carries each rank's canonical block-id table so readers can reassemble
 // the global field under any layout.
 func (r *Rank) Dump(path string, q compress.Quantity, eps float64, encoder string) (compress.Stats, error) {
+	stats, _, err := r.DumpTo(DumpTarget{Path: path}, q, eps, encoder)
+	return stats, err
+}
+
+// DumpTo compresses one quantity once — the ENC stage fans out per block
+// across the engine's persistent worker pool — and delivers the result to
+// the selected targets. It returns the compression stats and the number of
+// frame bytes this rank moved over the TagDump channel (0 when not
+// streaming).
+func (r *Rank) DumpTo(t DumpTarget, q compress.Quantity, eps float64, encoder string) (compress.Stats, int64, error) {
 	sp := r.tr.StartSpan("dump", r.rankID, 0)
 	defer sp.End()
 	t0 := time.Now()
 	c, stats, err := compress.Compress(r.G, q, compress.Options{
 		Epsilon: eps, Encoder: encoder, Workers: r.Engine.Workers(),
-		Tracer: r.tr, Rank: r.rankID,
+		Parallel: r.Engine.Parallel,
+		Tracer:   r.tr, Rank: r.rankID,
 	})
 	if err != nil {
-		return stats, err
+		return stats, 0, err
 	}
 	var dec, enc time.Duration
 	for i := range stats.DecTimes {
@@ -512,12 +539,23 @@ func (r *Rank) Dump(path string, q compress.Quantity, eps float64, encoder strin
 	for i, b := range r.G.Blocks {
 		ids[i] = r.Layout.LinearID([3]int{b.X, b.Y, b.Z})
 	}
-	if _, err := dump.WriteCollective(r.Comm, path, hdr, c, ids); err != nil {
-		return stats, err
+	if t.Path != "" {
+		if _, err := dump.WriteCollective(r.Comm, t.Path, hdr, c, ids); err != nil {
+			return stats, 0, err
+		}
+	}
+	var streamed int64
+	if t.Stream {
+		seq := r.dumpSeq
+		r.dumpSeq++
+		streamed, err = dump.StreamCollective(r.Comm, seq, hdr, c, ids, t.Sink)
+		if err != nil {
+			return stats, 0, err
+		}
 	}
 	r.Mon.Kernel("IO").RecordSince(tIO, 0, stats.Encoded)
 	r.Mon.Kernel("IO_WAVELET").RecordSince(t0, 0, stats.RawBytes)
-	return stats, nil
+	return stats, streamed, nil
 }
 
 // Diagnostics holds the global flow statistics of Figure 5.

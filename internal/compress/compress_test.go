@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 	"time"
@@ -46,7 +47,7 @@ func smoothPrim(x, y, z float64) physics.Prim {
 
 func TestEncodersRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	for _, name := range []string{"zlib", "rle", "sig"} {
+	for _, name := range []string{"zlib", "rle", "sig", "huff"} {
 		enc, err := NewEncoder(name)
 		if err != nil {
 			t.Fatal(err)
@@ -173,21 +174,60 @@ func TestCompressLossless(t *testing.T) {
 	}
 }
 
-func TestChunkPartition(t *testing.T) {
-	for _, tc := range []struct{ total, workers int }{{10, 3}, {7, 7}, {16, 4}, {5, 2}} {
-		covered := make([]bool, tc.total)
-		for w := 0; w < tc.workers; w++ {
-			lo, hi := chunk(tc.total, tc.workers, w)
-			for i := lo; i < hi; i++ {
-				if covered[i] {
-					t.Fatalf("block %d covered twice (%d/%d)", i, tc.total, tc.workers)
+// poolRunner runs the parallel-for body on w real goroutines pulling block
+// indexes from a shared channel — a stand-in for the node engine pool with
+// a deliberately nondeterministic schedule.
+func poolRunner(workers int) func(region string, n int, body func(w, i int)) {
+	return func(region string, n int, body func(w, i int)) {
+		ch := make(chan int)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := range ch {
+					body(w, i)
 				}
-				covered[i] = true
-			}
+			}(w)
 		}
-		for i, c := range covered {
-			if !c {
-				t.Fatalf("block %d uncovered (%d/%d)", i, tc.total, tc.workers)
+		for i := 0; i < n; i++ {
+			ch <- i
+		}
+		close(ch)
+		wg.Wait()
+	}
+}
+
+// TestParallelSerialBitwise is the determinism keystone of the parallel ENC
+// stage: for every encoder, the per-block streams produced by a serial pass
+// and by a multi-worker pool with a racing schedule must be bitwise
+// identical.
+func TestParallelSerialBitwise(t *testing.T) {
+	g := testGrid(8, 3, smoothPrim)
+	for _, name := range []string{"zlib", "rle", "sig", "huff"} {
+		for _, eps := range []float64{0, 1e-3} {
+			serial, _, err := Compress(g, Pressure, Options{Epsilon: eps, Encoder: name})
+			if err != nil {
+				t.Fatalf("%s serial: %v", name, err)
+			}
+			for _, workers := range []int{2, 4, 7} {
+				par, stats, err := Compress(g, Pressure, Options{
+					Epsilon: eps, Encoder: name, Workers: workers, Parallel: poolRunner(workers),
+				})
+				if err != nil {
+					t.Fatalf("%s parallel: %v", name, err)
+				}
+				if len(par.Streams) != len(serial.Streams) {
+					t.Fatalf("%s: stream count %d vs %d", name, len(par.Streams), len(serial.Streams))
+				}
+				for i := range par.Streams {
+					if !bytes.Equal(par.Streams[i], serial.Streams[i]) {
+						t.Fatalf("%s eps=%g workers=%d: block %d stream differs from serial", name, eps, workers, i)
+					}
+				}
+				if len(stats.EncTimes) != workers {
+					t.Fatalf("%s: EncTimes has %d slots, want %d", name, len(stats.EncTimes), workers)
+				}
 			}
 		}
 	}
@@ -202,6 +242,41 @@ func TestImbalanceStatistic(t *testing.T) {
 	}
 	if Imbalance(nil) != 0 || Imbalance(ts[:1]) != 0 {
 		t.Error("degenerate imbalance should be 0")
+	}
+}
+
+func TestHuffPropertyRoundTrip(t *testing.T) {
+	enc := Huff{}
+	f := func(src []byte) bool {
+		c, err := enc.Encode(nil, src)
+		if err != nil {
+			return false
+		}
+		d, err := enc.Decode(nil, c)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(d, src)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHuffDeterministicAcrossCalls(t *testing.T) {
+	// The golden corpus pins huff output bitwise, so encoding must be a
+	// pure function of the input — including tie-breaks in tree building.
+	src := []byte("aabbbcccc\x00\x00\x00\x00\x00dddddddd")
+	a, err := Huff{}.Encode(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Huff{}.Encode(nil, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("huff encoding not deterministic")
 	}
 }
 

@@ -1,7 +1,9 @@
 // Package compress implements the paper's wavelet-based data compression
 // scheme (§5, Figure 3): per-block forward wavelet transform, threshold
-// decimation of detail coefficients, concatenation into per-thread buffers,
-// and lossless encoding of each buffer as a single stream.
+// decimation of detail coefficients, and lossless encoding. Each block is
+// an independent extract→FWT→decimate→encode task producing its own
+// stream, slotted by block index — the unit the node worker pool
+// parallelizes while keeping the bytes schedule-independent.
 package compress
 
 import (
@@ -25,8 +27,8 @@ type Encoder interface {
 	Decode(dst, src []byte) ([]byte, error)
 }
 
-// NewEncoder returns the encoder registered under name ("zlib", "rle" or
-// "sig").
+// NewEncoder returns the encoder registered under name ("zlib", "rle",
+// "sig" or "huff").
 func NewEncoder(name string) (Encoder, error) {
 	switch name {
 	case "zlib":
@@ -35,6 +37,8 @@ func NewEncoder(name string) (Encoder, error) {
 		return RLE{}, nil
 	case "sig":
 		return Sig{}, nil
+	case "huff":
+		return Huff{}, nil
 	default:
 		return nil, fmt.Errorf("compress: unknown encoder %q", name)
 	}

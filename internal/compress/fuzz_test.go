@@ -1,9 +1,49 @@
 package compress
 
 import (
+	"bytes"
 	"math"
 	"testing"
 )
+
+// FuzzEntropyRoundTrip checks the lossless coders' contract on arbitrary
+// byte payloads: Encode then Decode reproduces the input exactly, and
+// encoding the same payload twice produces the same bytes — the
+// determinism the parallel ENC pipeline's bitwise guarantee rests on.
+func FuzzEntropyRoundTrip(f *testing.F) {
+	f.Add([]byte{}, uint8(0))
+	f.Add([]byte{0}, uint8(3))
+	f.Add(bytes.Repeat([]byte{0}, 300), uint8(1))                       // long zero run (rle)
+	f.Add(bytes.Repeat([]byte{0xAB}, 64), uint8(3))                     // single-symbol alphabet (huff)
+	f.Add([]byte("abacabadabacabae"), uint8(3))                         // skewed alphabet
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0, 2, 0, 0, 0, 0, 0}, uint8(2))   // sparse words (sig)
+	f.Add([]byte{0xff, 0x00, 0x7f, 0x80, 0x01, 0xfe, 0x55, 0xaa}, uint8(0))
+	f.Fuzz(func(t *testing.T, data []byte, encSel uint8) {
+		name := []string{"zlib", "rle", "sig", "huff"}[int(encSel)%4]
+		enc, err := NewEncoder(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stream, err := enc.Encode(nil, data)
+		if err != nil {
+			t.Fatalf("%s: encoding %d bytes: %v", name, len(data), err)
+		}
+		got, err := enc.Decode(nil, stream)
+		if err != nil {
+			t.Fatalf("%s: decoding own encoding: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: round trip of %d bytes returned %d different bytes", name, len(data), len(got))
+		}
+		again, err := enc.Encode(nil, data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(stream, again) {
+			t.Fatalf("%s: encoding is not deterministic across calls", name)
+		}
+	})
+}
 
 // fieldFromBytes builds an n³ coefficient block from arbitrary fuzz bytes:
 // four bytes per coefficient, cycled when data is short, with non-finite
@@ -64,11 +104,11 @@ func FuzzZerotreeRoundTrip(f *testing.F) {
 }
 
 // FuzzDecompressCorrupt feeds arbitrary bytes through every decode path —
-// the three lossless encoders, the record-framed Decompress, and the
+// the four lossless encoders, the record-framed Decompress, and the
 // zerotree decoder. Corrupt input must surface as an error, never a panic
 // or a runaway allocation.
 func FuzzDecompressCorrupt(f *testing.F) {
-	encoders := []string{"zlib", "rle", "sig"}
+	encoders := []string{"zlib", "rle", "sig", "huff"}
 	// Seed with a valid single-block stream per encoder (block 0, all-zero
 	// coefficients, n=8) so the fuzzer starts from the success path, plus a
 	// truncation of each.
@@ -88,7 +128,7 @@ func FuzzDecompressCorrupt(f *testing.F) {
 	f.Add([]byte{0x00, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, uint8(1), uint8(3), uint8(2))
 	f.Add([]byte{0xfe, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, uint8(2), uint8(200), uint8(0))
 	f.Fuzz(func(t *testing.T, stream []byte, encSel, nSel, blocks uint8) {
-		name := encoders[int(encSel)%3]
+		name := encoders[int(encSel)%len(encoders)]
 
 		// Raw encoder decode: error or success, never a panic.
 		enc, err := NewEncoder(name)

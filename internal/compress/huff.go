@@ -1,0 +1,263 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Huff is a canonical order-0 Huffman coder over bytes — the "faster
+// entropy coder" slot of the pipeline. Unlike zlib (whose emitted bytes
+// depend on the library version), the format below is fully specified by
+// this file, so its output is stable across platforms and Go releases and
+// can be pinned bitwise by the golden corpus. It spends no time on match
+// finding, which makes encoding substantially cheaper than DEFLATE on the
+// decimated coefficient streams while still collapsing the dominant zero
+// bytes to about one bit each.
+//
+// Stream layout:
+//
+//	uvarint srcLen
+//	  (empty source: nothing else)
+//	256 bytes: canonical code length per symbol (0 = absent)
+//	MSB-first bitstream of srcLen canonical codes
+//
+// Canonical code assignment: symbols sorted by (length, value); codes count
+// upward within a length and shift left when the length grows. Ties while
+// building the tree are broken by deterministic rules (stable sort by
+// (frequency, symbol); leaf queue preferred on equal weight), so identical
+// input always yields identical bytes.
+type Huff struct{}
+
+// Name implements Encoder.
+func (Huff) Name() string { return "huff" }
+
+// maxHuffLen bounds code lengths. A length above 56 would overflow the
+// encoder's bit accumulator; reaching it requires Fibonacci-like frequency
+// growth and an input beyond 2^34 bytes, far past any block payload.
+const maxHuffLen = 56
+
+// huffLengths computes deterministic Huffman code lengths for the given
+// frequency table using the two-queue method over leaves sorted by
+// (frequency, symbol).
+func huffLengths(freq *[256]int64) ([256]uint8, error) {
+	var lengths [256]uint8
+	type hnode struct {
+		weight      int64
+		left, right int // node indexes, -1 for leaves
+		sym         int
+	}
+	var nodes []hnode
+	for s := 0; s < 256; s++ {
+		if freq[s] > 0 {
+			nodes = append(nodes, hnode{weight: freq[s], left: -1, right: -1, sym: s})
+		}
+	}
+	switch len(nodes) {
+	case 0:
+		return lengths, nil
+	case 1:
+		lengths[nodes[0].sym] = 1
+		return lengths, nil
+	}
+	sort.SliceStable(nodes, func(i, j int) bool {
+		if nodes[i].weight != nodes[j].weight {
+			return nodes[i].weight < nodes[j].weight
+		}
+		return nodes[i].sym < nodes[j].sym
+	})
+	// Two queues: sorted leaves and internal nodes (produced in
+	// nondecreasing weight order). Preferring the leaf queue on ties keeps
+	// the construction deterministic and the tree shallow.
+	leaves := make([]int, len(nodes))
+	for i := range leaves {
+		leaves[i] = i
+	}
+	var internal []int
+	pop := func() int {
+		if len(leaves) > 0 && (len(internal) == 0 || nodes[leaves[0]].weight <= nodes[internal[0]].weight) {
+			n := leaves[0]
+			leaves = leaves[1:]
+			return n
+		}
+		n := internal[0]
+		internal = internal[1:]
+		return n
+	}
+	for len(leaves)+len(internal) > 1 {
+		a := pop()
+		b := pop()
+		nodes = append(nodes, hnode{weight: nodes[a].weight + nodes[b].weight, left: a, right: b, sym: -1})
+		internal = append(internal, len(nodes)-1)
+	}
+	root := pop()
+	// Depth-first depth assignment; the tree has at most 511 nodes.
+	type walk struct{ node, depth int }
+	stack := []walk{{root, 0}}
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nd := nodes[w.node]
+		if nd.left < 0 {
+			if w.depth > maxHuffLen {
+				return lengths, fmt.Errorf("compress: huff code length %d exceeds limit", w.depth)
+			}
+			lengths[nd.sym] = uint8(w.depth)
+			continue
+		}
+		stack = append(stack, walk{nd.left, w.depth + 1}, walk{nd.right, w.depth + 1})
+	}
+	return lengths, nil
+}
+
+// huffCodes assigns canonical codes from the length table: symbols ordered
+// by (length, value), codes counting upward per length.
+func huffCodes(lengths *[256]uint8) [256]uint64 {
+	var codes [256]uint64
+	var countPerLen [maxHuffLen + 1]int
+	for _, l := range lengths {
+		countPerLen[l]++
+	}
+	countPerLen[0] = 0 // absent symbols carry no codes
+	var nextCode [maxHuffLen + 1]uint64
+	code := uint64(0)
+	for l := 1; l <= maxHuffLen; l++ {
+		code = (code + uint64(countPerLen[l-1])) << 1
+		nextCode[l] = code
+	}
+	for s := 0; s < 256; s++ {
+		if l := lengths[s]; l > 0 {
+			codes[s] = nextCode[l]
+			nextCode[l]++
+		}
+	}
+	return codes
+}
+
+// Encode implements Encoder.
+func (Huff) Encode(dst, src []byte) ([]byte, error) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], uint64(len(src)))
+	dst = append(dst, tmp[:n]...)
+	if len(src) == 0 {
+		return dst, nil
+	}
+	var freq [256]int64
+	for _, b := range src {
+		freq[b]++
+	}
+	lengths, err := huffLengths(&freq)
+	if err != nil {
+		return nil, err
+	}
+	codes := huffCodes(&lengths)
+	dst = append(dst, lengths[:]...)
+	// MSB-first bit packing: the accumulator holds < 8 pending bits before
+	// each code is shifted in, so lengths up to maxHuffLen=56 fit in 64.
+	var acc uint64
+	var nbits uint
+	for _, b := range src {
+		l := uint(lengths[b])
+		acc = acc<<l | codes[b]
+		nbits += l
+		for nbits >= 8 {
+			nbits -= 8
+			dst = append(dst, byte(acc>>nbits))
+		}
+	}
+	if nbits > 0 {
+		dst = append(dst, byte(acc<<(8-nbits)))
+	}
+	return dst, nil
+}
+
+// Decode implements Encoder.
+func (Huff) Decode(dst, src []byte) ([]byte, error) {
+	srcLen64, n := binary.Uvarint(src)
+	if n <= 0 {
+		return nil, fmt.Errorf("compress: corrupt huff header")
+	}
+	src = src[n:]
+	if srcLen64 == 0 {
+		return dst, nil
+	}
+	// Every decoded symbol consumes at least one bit, so a valid claim
+	// never exceeds 8 bits per remaining byte (minus the 256-byte length
+	// table); this bounds the allocation against the input size.
+	if len(src) < 256 {
+		return nil, fmt.Errorf("compress: truncated huff length table")
+	}
+	var lengths [256]uint8
+	copy(lengths[:], src[:256])
+	bits := src[256:]
+	if srcLen64 > uint64(len(bits))*8 {
+		return nil, fmt.Errorf("compress: huff length %d exceeds stream capacity", srcLen64)
+	}
+	srcLen := int(srcLen64)
+
+	// Canonical decode tables: per length, the first code and the index of
+	// its first symbol in the (length, value)-ordered symbol list.
+	var countPerLen [maxHuffLen + 1]int
+	kraft := uint64(0)
+	for s := 0; s < 256; s++ {
+		l := lengths[s]
+		if l > maxHuffLen {
+			return nil, fmt.Errorf("compress: huff code length %d exceeds limit", l)
+		}
+		if l > 0 {
+			countPerLen[l]++
+			kraft += 1 << (maxHuffLen - uint(l))
+		}
+	}
+	if kraft > 1<<maxHuffLen {
+		return nil, fmt.Errorf("compress: huff length table oversubscribed")
+	}
+	var firstCode [maxHuffLen + 1]uint64
+	var firstSym [maxHuffLen + 1]int
+	syms := make([]byte, 0, 256)
+	code, idx := uint64(0), 0
+	for l := 1; l <= maxHuffLen; l++ {
+		if l > 1 {
+			code = (code + uint64(countPerLen[l-1])) << 1
+		}
+		firstCode[l] = code
+		firstSym[l] = idx
+		idx += countPerLen[l]
+	}
+	for l := 1; l <= maxHuffLen; l++ {
+		for s := 0; s < 256; s++ {
+			if int(lengths[s]) == l {
+				syms = append(syms, byte(s))
+			}
+		}
+	}
+
+	out := make([]byte, 0, srcLen)
+	var acc uint64
+	var nbits uint
+	bi := 0
+	for len(out) < srcLen {
+		code, l := uint64(0), 0
+		for {
+			if nbits == 0 {
+				if bi >= len(bits) {
+					return nil, fmt.Errorf("compress: truncated huff bitstream")
+				}
+				acc = uint64(bits[bi])
+				nbits = 8
+				bi++
+			}
+			nbits--
+			code = code<<1 | (acc>>nbits)&1
+			l++
+			if l > maxHuffLen {
+				return nil, fmt.Errorf("compress: huff code too long")
+			}
+			if d := code - firstCode[l]; code >= firstCode[l] && d < uint64(countPerLen[l]) {
+				out = append(out, syms[firstSym[l]+int(d)])
+				break
+			}
+		}
+	}
+	return append(dst, out...), nil
+}

@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
-	"sync"
 	"time"
 
 	"cubism/internal/grid"
@@ -59,11 +58,19 @@ type Options struct {
 	// Scale converts Epsilon to an absolute threshold; 0 means the max
 	// absolute value of each block (a per-block relative threshold).
 	Scale float64
-	// Encoder selects the lossless back-end ("zlib" or "rle").
+	// Encoder selects the lossless back-end ("zlib", "rle", "sig" or
+	// "huff").
 	Encoder string
-	// Workers is the number of concurrent compression goroutines (the
-	// paper's per-thread buffers); 0 means one.
+	// Workers is the number of worker slots: the width of the per-worker
+	// timing arrays and of the scratch pool. When Parallel is set it must
+	// be at least the pool's worker count; 0 means one.
 	Workers int
+	// Parallel (optional) runs body(w, i) for every i in [0, n) across a
+	// persistent worker pool, with worker ids w < Workers. The per-block
+	// tasks are independent and slot their output by block index, so any
+	// schedule produces the same bytes. nil runs the blocks serially on
+	// worker 0 — bitwise identical to every parallel schedule.
+	Parallel func(region string, n int, body func(w, i int))
 	// Tracer (optional) records per-worker fwt_decimate/encode spans on
 	// Rank's trace tracks.
 	Tracer *telemetry.Tracer
@@ -113,8 +120,10 @@ func Imbalance(ts []time.Duration) float64 {
 	return (maxT.Seconds() - minT.Seconds()) / avg
 }
 
-// Compressed is one quantity's compressed payload: per-worker encoded
-// streams, self-describing enough to invert.
+// Compressed is one quantity's compressed payload: one encoded stream per
+// block, in block order, self-describing enough to invert. (Decompress also
+// accepts the pre-PR-10 layout of multi-record per-worker streams; the
+// record format is shared.)
 type Compressed struct {
 	N        int // block edge
 	Blocks   int // number of blocks
@@ -124,9 +133,21 @@ type Compressed struct {
 	Streams  [][]byte
 }
 
+// encScratch is one worker's reusable buffers: the FWT plan, the extracted
+// field, and the raw record the encoder consumes. A pool worker executes
+// its tasks serially, so indexing scratch by worker id is race-free.
+type encScratch struct {
+	fwt   *wavelet.FWT3
+	field []float32
+	raw   []byte
+}
+
 // Compress runs the full pipeline over every block of the grid: extract the
-// quantity, forward-transform, decimate, concatenate per-worker, encode
-// each worker buffer as one stream.
+// quantity, forward-transform, decimate, and encode each block as its own
+// stream, slotted by block index. Block tasks are independent and outputs
+// are position-addressed, so the bytes are identical whether the blocks run
+// serially or scattered across a worker pool in any order — the determinism
+// contract the dump format and the golden corpus rely on.
 func Compress(g *grid.Grid, q Quantity, opt Options) (*Compressed, Stats, error) {
 	enc, err := NewEncoder(opt.Encoder)
 	if err != nil {
@@ -137,16 +158,13 @@ func Compress(g *grid.Grid, q Quantity, opt Options) (*Compressed, Stats, error)
 		workers = 1
 	}
 	nb := len(g.Blocks)
-	if workers > nb {
-		workers = nb
-	}
 	n := g.N
 	cells := n * n * n
 
 	out := &Compressed{
 		N: n, Blocks: nb,
 		Quantity: q.String(), Encoder: opt.Encoder, Epsilon: opt.Epsilon,
-		Streams: make([][]byte, workers),
+		Streams: make([][]byte, nb),
 	}
 	stats := Stats{
 		Blocks:   nb,
@@ -157,40 +175,38 @@ func Compress(g *grid.Grid, q Quantity, opt Options) (*Compressed, Stats, error)
 	}
 
 	kept := make([]int64, workers)
-	encodeErr := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			fwt := wavelet.NewFWT3(n)
-			field := make([]float32, cells)
-			// Per-thread decimation buffer (paper: "a dedicated decimation
-			// buffer for each thread"): raw records of every block this
-			// worker owns, encoded at the end as a single stream.
-			var raw []byte
-			var rec [4]byte
-			lo, hi := chunk(nb, workers, w)
-			t0 := time.Now()
-			sp := opt.Tracer.StartSpan("fwt_decimate", opt.Rank, w+1)
-			for bi := lo; bi < hi; bi++ {
-				q.Extract(g.Blocks[bi], field)
-				fwt.Forward(field)
-				kept[w] += decimate(field, n, opt.Epsilon, opt.Scale)
-				binary.LittleEndian.PutUint32(rec[:], uint32(bi))
-				raw = append(raw, rec[:]...)
-				raw = appendFloats(raw, field)
-			}
-			sp.End()
-			stats.DecTimes[w] = time.Since(t0)
-			t0 = time.Now()
-			sp = opt.Tracer.StartSpan("encode", opt.Rank, w+1)
-			out.Streams[w], encodeErr[w] = enc.Encode(nil, raw)
-			sp.End()
-			stats.EncTimes[w] = time.Since(t0)
-		}(w)
+	encodeErr := make([]error, nb)
+	scratch := make([]*encScratch, workers)
+	for w := range scratch {
+		scratch[w] = &encScratch{fwt: wavelet.NewFWT3(n), field: make([]float32, cells)}
 	}
-	wg.Wait()
+	body := func(w, bi int) {
+		s := scratch[w]
+		t0 := time.Now()
+		sp := opt.Tracer.StartSpan("fwt_decimate", opt.Rank, w+1)
+		q.Extract(g.Blocks[bi], s.field)
+		s.fwt.Forward(s.field)
+		k := decimate(s.field, n, opt.Epsilon, opt.Scale)
+		var rec [4]byte
+		binary.LittleEndian.PutUint32(rec[:], uint32(bi))
+		s.raw = append(s.raw[:0], rec[:]...)
+		s.raw = appendFloats(s.raw, s.field)
+		sp.End()
+		t1 := time.Now()
+		stats.DecTimes[w] += t1.Sub(t0)
+		kept[w] += k
+		sp = opt.Tracer.StartSpan("encode", opt.Rank, w+1)
+		out.Streams[bi], encodeErr[bi] = enc.Encode(nil, s.raw)
+		sp.End()
+		stats.EncTimes[w] += time.Since(t1)
+	}
+	if opt.Parallel != nil {
+		opt.Parallel("ENC.block", nb, body)
+	} else {
+		for bi := 0; bi < nb; bi++ {
+			body(0, bi)
+		}
+	}
 	for _, e := range encodeErr {
 		if e != nil {
 			return nil, Stats{}, e
@@ -198,21 +214,11 @@ func Compress(g *grid.Grid, q Quantity, opt Options) (*Compressed, Stats, error)
 	}
 	for w := 0; w < workers; w++ {
 		stats.Kept += kept[w]
-		stats.Encoded += int64(len(out.Streams[w]))
+	}
+	for _, s := range out.Streams {
+		stats.Encoded += int64(len(s))
 	}
 	return out, stats, nil
-}
-
-// chunk returns the [lo, hi) block range of worker w out of n workers.
-func chunk(total, workers, w int) (lo, hi int) {
-	per := total / workers
-	rem := total % workers
-	lo = w*per + min(w, rem)
-	hi = lo + per
-	if w < rem {
-		hi++
-	}
-	return
 }
 
 // decimate zeroes detail coefficients with |d| <= eps*scale and returns the
@@ -295,8 +301,12 @@ func (c *Compressed) Decompress() ([][]float32, error) {
 	}
 	cells := n * n * n
 	recSize := 4 + cells*4
-	fields := make([][]float32, c.Blocks)
-	fwt := wavelet.NewFWT3(n)
+	// Decode every stream before sizing the output: the block count is an
+	// untrusted header field, so it must be corroborated by actual decoded
+	// records before it drives an allocation (a frame claiming 2^60 blocks
+	// must fail cheaply, not OOM).
+	raws := make([][]byte, 0, len(c.Streams))
+	totalRecs := 0
 	for _, stream := range c.Streams {
 		raw, err := enc.Decode(nil, stream)
 		if err != nil {
@@ -305,6 +315,15 @@ func (c *Compressed) Decompress() ([][]float32, error) {
 		if len(raw)%recSize != 0 {
 			return nil, fmt.Errorf("compress: stream size %d not a multiple of record size %d", len(raw), recSize)
 		}
+		totalRecs += len(raw) / recSize
+		raws = append(raws, raw)
+	}
+	if totalRecs != c.Blocks {
+		return nil, fmt.Errorf("compress: payload carries %d block records, header says %d blocks", totalRecs, c.Blocks)
+	}
+	fields := make([][]float32, c.Blocks)
+	fwt := wavelet.NewFWT3(n)
+	for _, raw := range raws {
 		for off := 0; off < len(raw); off += recSize {
 			bi := int(binary.LittleEndian.Uint32(raw[off:]))
 			if bi < 0 || bi >= c.Blocks {

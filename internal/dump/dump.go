@@ -96,50 +96,23 @@ func WriteCollective(comm *mpi.Comm, path string, hdr Header, c *compress.Compre
 
 	var headerBytes []byte
 	if comm.Rank() == 0 {
-		hdr.Ranks = make([]RankEntry, comm.Size())
-		streamTables := make([][]int, comm.Size())
-		streamTables[0] = streams
-		idTables := make([][]int64, comm.Size())
-		idTables[0] = blockIDs
+		entries := make([]RankEntry, comm.Size())
+		entries[0] = RankEntry{Size: mySize, Blocks: c.Blocks, Streams: streams, BlockIDs: blockIDs}
 		for r := 1; r < comm.Size(); r++ {
 			data := comm.RecvInts(r, tagStreams)
 			tbl := make([]int, int(streamsFlat[r]))
 			for i := range tbl {
 				tbl[i] = int(data[i])
 			}
-			streamTables[r] = tbl
+			entries[r] = RankEntry{Size: int64(sizes[r]), Blocks: int(blockCounts[r]), Streams: tbl}
 			if blockIDs != nil {
-				idTables[r] = comm.RecvInts(r, tagIDs)
+				entries[r].BlockIDs = comm.RecvInts(r, tagIDs)
 			}
 		}
-		// Two passes: encode with zero offsets to learn the header length,
-		// then fix the offsets and re-encode with padding to fixed size.
-		for r := range hdr.Ranks {
-			hdr.Ranks[r] = RankEntry{Size: int64(sizes[r]), Blocks: int(blockCounts[r]), Streams: streamTables[r], BlockIDs: idTables[r]}
-		}
-		probe, err := json.Marshal(hdr)
+		var err error
+		headerBytes, err = buildHeader(&hdr, entries)
 		if err != nil {
 			return 0, err
-		}
-		// Reserve room for offset digits growing after assignment.
-		headerLen := len(probe) + 32*comm.Size()
-		base := int64(len(Magic)) + 4 + int64(headerLen)
-		var off int64
-		for r := range hdr.Ranks {
-			hdr.Ranks[r].Offset = base + off
-			off += hdr.Ranks[r].Size
-		}
-		body, err := json.Marshal(hdr)
-		if err != nil {
-			return 0, err
-		}
-		if len(body) > headerLen {
-			return 0, fmt.Errorf("dump: header length estimate too small (%d > %d)", len(body), headerLen)
-		}
-		headerBytes = make([]byte, headerLen)
-		copy(headerBytes, body)
-		for i := len(body); i < headerLen; i++ {
-			headerBytes[i] = ' '
 		}
 	}
 
@@ -177,30 +150,78 @@ func WriteCollective(comm *mpi.Comm, path string, hdr Header, c *compress.Compre
 	return mySize, f.Close()
 }
 
+// buildHeader lays out the padded fixed-size header from the per-rank
+// entries (offsets are assigned here). Extracted from the collective writer
+// so the frame-streaming sink produces byte-identical headers — the bitwise
+// file≡frame contract rests on this being the only header serializer.
+func buildHeader(hdr *Header, entries []RankEntry) ([]byte, error) {
+	hdr.Ranks = entries
+	// Two passes: encode with zero offsets to learn the header length,
+	// then fix the offsets and re-encode with padding to fixed size.
+	probe, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	// Reserve room for offset digits growing after assignment.
+	headerLen := len(probe) + 32*len(entries)
+	base := int64(len(Magic)) + 4 + int64(headerLen)
+	var off int64
+	for r := range hdr.Ranks {
+		hdr.Ranks[r].Offset = base + off
+		off += hdr.Ranks[r].Size
+	}
+	body, err := json.Marshal(hdr)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) > headerLen {
+		return nil, fmt.Errorf("dump: header length estimate too small (%d > %d)", len(body), headerLen)
+	}
+	headerBytes := make([]byte, headerLen)
+	copy(headerBytes, body)
+	for i := len(body); i < headerLen; i++ {
+		headerBytes[i] = ' '
+	}
+	return headerBytes, nil
+}
+
 // Read opens a dump file and returns its header and the per-rank compressed
 // payloads, reassembled into compress.Compressed values ready to
 // Decompress.
 func Read(path string) (Header, []*compress.Compressed, error) {
-	var hdr Header
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return hdr, nil, err
+		return Header{}, nil, err
 	}
+	hdr, out, err := Decode(data)
+	if err != nil {
+		return hdr, nil, fmt.Errorf("dump: %s: %v", path, err)
+	}
+	return hdr, out, nil
+}
+
+// Decode parses a complete dump file (or streamed frame — the bytes are
+// identical) held in memory. Every field of the self-describing header is
+// untrusted: offsets, sizes and stream tables are bounds-checked before
+// they slice the data, so corrupt or adversarial frames fail with an error
+// instead of a panic or an outsized allocation.
+func Decode(data []byte) (Header, []*compress.Compressed, error) {
+	var hdr Header
 	if len(data) < len(Magic)+4 || string(data[:len(Magic)]) != Magic {
-		return hdr, nil, fmt.Errorf("dump: %s: bad magic", path)
+		return hdr, nil, fmt.Errorf("bad magic")
 	}
 	hlen := int(binary.LittleEndian.Uint32(data[len(Magic):]))
 	hstart := len(Magic) + 4
-	if hstart+hlen > len(data) {
-		return hdr, nil, fmt.Errorf("dump: %s: truncated header", path)
+	if hlen < 0 || hstart+hlen > len(data) {
+		return hdr, nil, fmt.Errorf("truncated header")
 	}
 	if err := json.Unmarshal(trimSpaces(data[hstart:hstart+hlen]), &hdr); err != nil {
-		return hdr, nil, fmt.Errorf("dump: %s: %v", path, err)
+		return hdr, nil, err
 	}
 	out := make([]*compress.Compressed, len(hdr.Ranks))
 	for r, re := range hdr.Ranks {
-		if re.Offset+re.Size > int64(len(data)) {
-			return hdr, nil, fmt.Errorf("dump: %s: rank %d payload out of range", path, r)
+		if re.Offset < 0 || re.Size < 0 || re.Size > int64(len(data)) || re.Offset+re.Size > int64(len(data)) {
+			return hdr, nil, fmt.Errorf("rank %d payload out of range", r)
 		}
 		payload := data[re.Offset : re.Offset+re.Size]
 		c := &compress.Compressed{
@@ -212,11 +233,14 @@ func Read(path string) (Header, []*compress.Compressed, error) {
 		}
 		off := 0
 		for _, sz := range re.Streams {
+			if sz < 0 || sz > len(payload)-off {
+				return hdr, nil, fmt.Errorf("rank %d stream table out of range", r)
+			}
 			c.Streams = append(c.Streams, payload[off:off+sz])
 			off += sz
 		}
 		if int64(off) != re.Size {
-			return hdr, nil, fmt.Errorf("dump: %s: rank %d stream table inconsistent", path, r)
+			return hdr, nil, fmt.Errorf("rank %d stream table inconsistent", r)
 		}
 		out[r] = c
 	}

@@ -1,0 +1,139 @@
+package dump
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+
+	"cubism/internal/compress"
+	"cubism/internal/mpi"
+)
+
+// Frame is one streamed compressed snapshot delivered to the sink rank:
+// Data holds the complete dump-file bytes (magic, padded header, rank
+// payloads in rank order), bitwise identical to what WriteCollective puts
+// on disk for the same state.
+type Frame struct {
+	Name     string
+	Step     int
+	Quantity string
+	Time     float64
+	Data     []byte
+}
+
+// FrameSink consumes assembled frames on the sink rank.
+type FrameSink func(Frame) error
+
+// FrameRecord is the JSONL shape of one streamed frame in a frame log
+// (mpcf-sim -frame-log): Data is the full file image, base64 in JSON. The
+// service tails these records back into "frame" events.
+type FrameRecord struct {
+	Name     string  `json:"name"`
+	Step     int     `json:"step"`
+	Quantity string  `json:"quantity"`
+	Time     float64 `json:"time"`
+	Bytes    int     `json:"bytes"`
+	Data     []byte  `json:"data"`
+}
+
+// streamMeta is the per-rank metadata message of a streamed frame.
+type streamMeta struct {
+	Size     int64   `json:"size"`
+	Blocks   int     `json:"blocks"`
+	Streams  []int   `json:"streams"`
+	BlockIDs []int64 `json:"block_ids,omitempty"`
+	Chunks   int     `json:"chunks"`
+}
+
+// streamChunkSize is the target payload chunk size on the wire. Chunks grow
+// past it only when a payload would otherwise exceed mpi.MaxDumpParts
+// messages.
+const streamChunkSize = 256 << 10
+
+// StreamCollective ships one quantity's compressed payload from every rank
+// to the sink rank (rank 0) over the dedicated TagDump channel, where the
+// full dump-file image is assembled and handed to sink. All ranks must call
+// it with the same seq (the caller's per-dump frame counter, which keeps
+// successive frames on distinct tags). sink runs only on rank 0 and may be
+// nil there (the frame is then assembled and dropped, keeping the network
+// work identical). Returns the number of frame bytes this rank handled:
+// metadata+payload sent for nonzero ranks, the assembled frame size for the
+// sink.
+func StreamCollective(comm *mpi.Comm, seq int, hdr Header, c *compress.Compressed, blockIDs []int64, sink FrameSink) (int64, error) {
+	var payload []byte
+	streams := make([]int, len(c.Streams))
+	for i, s := range c.Streams {
+		streams[i] = len(s)
+		payload = append(payload, s...)
+	}
+	chunk := streamChunkSize
+	if len(payload) > chunk*mpi.MaxDumpParts {
+		chunk = (len(payload) + mpi.MaxDumpParts - 1) / mpi.MaxDumpParts
+	}
+	chunks := (len(payload) + chunk - 1) / chunk
+
+	if comm.Rank() != 0 {
+		meta, err := json.Marshal(streamMeta{
+			Size: int64(len(payload)), Blocks: c.Blocks, Streams: streams,
+			BlockIDs: blockIDs, Chunks: chunks,
+		})
+		if err != nil {
+			return 0, err
+		}
+		comm.SendBytes(0, mpi.TagDump(seq, 0), meta)
+		sent := int64(len(meta))
+		for p := 0; p < chunks; p++ {
+			lo := p * chunk
+			hi := min(lo+chunk, len(payload))
+			comm.SendBytes(0, mpi.TagDump(seq, p+1), payload[lo:hi])
+			sent += int64(hi - lo)
+		}
+		return sent, nil
+	}
+
+	// Sink: collect every rank's metadata and payload in rank order, then
+	// lay out the file image exactly like the collective writer.
+	entries := make([]RankEntry, comm.Size())
+	entries[0] = RankEntry{Size: int64(len(payload)), Blocks: c.Blocks, Streams: streams, BlockIDs: blockIDs}
+	payloads := make([][]byte, comm.Size())
+	payloads[0] = payload
+	for r := 1; r < comm.Size(); r++ {
+		var meta streamMeta
+		if err := json.Unmarshal(comm.RecvBytes(r, mpi.TagDump(seq, 0)), &meta); err != nil {
+			return 0, fmt.Errorf("dump: rank %d frame metadata: %v", r, err)
+		}
+		entries[r] = RankEntry{Size: meta.Size, Blocks: meta.Blocks, Streams: meta.Streams, BlockIDs: meta.BlockIDs}
+		buf := make([]byte, 0, meta.Size)
+		for p := 0; p < meta.Chunks; p++ {
+			buf = append(buf, comm.RecvBytes(r, mpi.TagDump(seq, p+1))...)
+		}
+		if int64(len(buf)) != meta.Size {
+			return 0, fmt.Errorf("dump: rank %d frame payload %d bytes, metadata says %d", r, len(buf), meta.Size)
+		}
+		payloads[r] = buf
+	}
+	headerBytes, err := buildHeader(&hdr, entries)
+	if err != nil {
+		return 0, err
+	}
+	var total int64 = int64(len(Magic)) + 4 + int64(len(headerBytes))
+	for _, p := range payloads {
+		total += int64(len(p))
+	}
+	data := make([]byte, 0, total)
+	data = append(data, Magic...)
+	var lenBuf [4]byte
+	binary.LittleEndian.PutUint32(lenBuf[:], uint32(len(headerBytes)))
+	data = append(data, lenBuf[:]...)
+	data = append(data, headerBytes...)
+	for _, p := range payloads {
+		data = append(data, p...)
+	}
+	if sink != nil {
+		name := fmt.Sprintf("%s_step%06d.mpcf", hdr.Quantity, hdr.Step)
+		if err := sink(Frame{Name: name, Step: hdr.Step, Quantity: hdr.Quantity, Time: hdr.Time, Data: data}); err != nil {
+			return 0, err
+		}
+	}
+	return int64(len(data)), nil
+}

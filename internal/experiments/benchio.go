@@ -1,0 +1,304 @@
+package experiments
+
+// The I/O-pipeline benchmark: run the ENC stage (wavelet transform,
+// decimation, lossless entropy coding) serially and across the node
+// engine's persistent worker pool on the same bubble-cloud snapshot, prove
+// the two produce bitwise-identical streams, record the Table-4-shaped
+// per-worker ENC imbalance the parallel pipeline actually exhibits, and
+// ship one frame through the TagDump stream of a two-rank world to assert
+// the assembled frame matches the collective writer's file bit for bit.
+// The record (BENCH_io.json) pins the structural invariants exactly —
+// encoded sizes of the deterministic coders, bitwise equality, frame
+// identity — and gates the rates generously.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"cubism/internal/compress"
+	"cubism/internal/dump"
+	"cubism/internal/grid"
+	"cubism/internal/mpi"
+	"cubism/internal/node"
+)
+
+// BenchIOEncoder is one encoder's row of the I/O-pipeline record.
+type BenchIOEncoder struct {
+	Encoder string `json:"encoder"`
+	// Deterministic marks coders whose output bytes are a pure function of
+	// the input (rle, sig, huff): their encoded size is pinned exactly by
+	// the gate. zlib's bytes may shift across Go releases, so only its
+	// round trip and bitwise serial/parallel equality are held.
+	Deterministic bool  `json:"deterministic"`
+	EncodedBytes  int64 `json:"encoded_bytes"`
+	// ParallelBitwise: every per-block stream of the pool run equals the
+	// serial run's byte for byte.
+	ParallelBitwise bool `json:"parallel_bitwise"`
+	// Lossless: the parallel output decodes and reconstructs every block.
+	Lossless bool    `json:"lossless"`
+	Ratio    float64 `json:"ratio"`
+	EncMBps  float64 `json:"enc_mbps"`
+	// ENCImbalance is the Table-4 statistic (tmax-tmin)/tavg over the
+	// per-worker ENC times of the pool run — measurable here, unlike on
+	// the serial host the paper's caveat used to apply to.
+	ENCImbalance float64 `json:"enc_imbalance"`
+	DECImbalance float64 `json:"dec_imbalance"`
+}
+
+// BenchIOResult is the machine-readable record of the I/O-pipeline
+// experiment (BENCH_io.json). The "enc_pipeline" key (the ENC pool width)
+// doubles as the kind discriminator for DetectBenchKind, like "kernels"
+// (sim), "transports" (net), "observables" (cloud) and "service_jobs"
+// (service).
+type BenchIOResult struct {
+	Workers   int     `json:"enc_pipeline"` // kind discriminator: pool width
+	BlockSize int     `json:"block_size"`
+	Blocks    int     `json:"blocks"`
+	Epsilon   float64 `json:"epsilon"`
+
+	Encoders []BenchIOEncoder `json:"encoders"`
+
+	// Frame-stream leg: a two-rank world writes the collective file and
+	// streams the same state over TagDump; the assembled frame must be the
+	// file, bitwise.
+	StreamRanks      int   `json:"stream_ranks"`
+	FrameMatchesFile bool  `json:"frame_matches_file"`
+	FrameBytes       int64 `json:"frame_bytes"`
+
+	WallSeconds float64 `json:"wall_seconds"`
+}
+
+// benchIOEncoders lists the coders the experiment sweeps; deterministic
+// marks the ones whose encoded bytes the gate pins exactly.
+var benchIOEncoders = []struct {
+	name          string
+	deterministic bool
+}{
+	{"zlib", false},
+	{"rle", true},
+	{"sig", true},
+	{"huff", true},
+}
+
+// RunBenchIO executes the experiment at block edge n with the given ENC
+// pool width. Zero arguments take the benchmark defaults (16³ blocks,
+// 4 workers — a fixed width so the imbalance row is comparable across
+// machines).
+func RunBenchIO(n, workers int) (BenchIOResult, error) {
+	if n == 0 {
+		n = 16
+	}
+	if workers == 0 {
+		workers = 4
+	}
+	const eps = 1e-2
+	g := cloudGrid(n, 64/n, 7)
+	eng := node.New(g, grid.PeriodicBC(), workers, false)
+	defer eng.Close()
+
+	res := BenchIOResult{
+		Workers: workers, BlockSize: n, Blocks: len(g.Blocks), Epsilon: eps,
+	}
+	start := time.Now()
+	for _, e := range benchIOEncoders {
+		serial, _, err := compress.Compress(g, compress.Pressure, compress.Options{
+			Epsilon: eps, Encoder: e.name, Workers: 1,
+		})
+		if err != nil {
+			return res, err
+		}
+		t0 := time.Now()
+		par, st, err := compress.Compress(g, compress.Pressure, compress.Options{
+			Epsilon: eps, Encoder: e.name,
+			Workers: eng.Workers(), Parallel: eng.Parallel,
+		})
+		if err != nil {
+			return res, err
+		}
+		encWall := time.Since(t0).Seconds()
+		row := BenchIOEncoder{
+			Encoder: e.name, Deterministic: e.deterministic,
+			EncodedBytes: st.Encoded, Ratio: st.Rate(),
+			ENCImbalance: compress.Imbalance(st.EncTimes),
+			DECImbalance: compress.Imbalance(st.DecTimes),
+		}
+		if encWall > 0 {
+			row.EncMBps = float64(st.RawBytes) / encWall / 1e6
+		}
+		row.ParallelBitwise = len(par.Streams) == len(serial.Streams)
+		for i := range par.Streams {
+			if !row.ParallelBitwise || !bytes.Equal(par.Streams[i], serial.Streams[i]) {
+				row.ParallelBitwise = false
+				break
+			}
+		}
+		if fields, err := par.Decompress(); err == nil && len(fields) == par.Blocks {
+			row.Lossless = true
+		}
+		res.Encoders = append(res.Encoders, row)
+	}
+
+	match, frameBytes, err := runBenchIOStream(n)
+	if err != nil {
+		return res, err
+	}
+	res.StreamRanks = 2
+	res.FrameMatchesFile = match
+	res.FrameBytes = frameBytes
+	res.WallSeconds = time.Since(start).Seconds()
+	return res, nil
+}
+
+// runBenchIOStream runs the frame-stream leg: a two-rank inproc world
+// writes the collective dump file and streams the same compressed state
+// over the TagDump channel; returns whether the assembled frame equals the
+// file bitwise, and the frame size.
+func runBenchIOStream(n int) (bool, int64, error) {
+	dir, err := os.MkdirTemp("", "mpcf-bench-io-")
+	if err != nil {
+		return false, 0, err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "p.mpcf")
+	nb := 64 / n
+
+	var frame dump.Frame
+	var runErr error
+	world := mpi.NewWorld(2)
+	world.Run(func(comm *mpi.Comm) {
+		g := cloudGrid(n, nb, int64(7+comm.Rank()))
+		c, _, err := compress.Compress(g, compress.Pressure, compress.Options{
+			Epsilon: 1e-2, Encoder: "huff", Workers: 2,
+		})
+		if err != nil {
+			runErr = err
+			return
+		}
+		ids := make([]int64, len(g.Blocks))
+		for i := range ids {
+			ids[i] = int64(comm.Rank()*len(ids) + i)
+		}
+		hdr := dump.Header{
+			Quantity: "p", Encoder: "huff", Epsilon: 1e-2, BlockSize: n,
+			RankDims: [3]int{2, 1, 1}, BlockDims: [3]int{nb, nb, nb},
+			Step: 1, Time: 1e-3,
+		}
+		if _, err := dump.WriteCollective(comm, path, hdr, c, ids); err != nil {
+			runErr = err
+			return
+		}
+		var sink dump.FrameSink
+		if comm.Rank() == 0 {
+			sink = func(f dump.Frame) error {
+				frame = f
+				return nil
+			}
+		}
+		if _, err := dump.StreamCollective(comm, 0, hdr, c, ids, sink); err != nil {
+			runErr = err
+		}
+	})
+	if runErr != nil {
+		return false, 0, runErr
+	}
+	fileBytes, err := os.ReadFile(path)
+	if err != nil {
+		return false, 0, err
+	}
+	return bytes.Equal(frame.Data, fileBytes), int64(len(frame.Data)), nil
+}
+
+// CompareBenchIO diffs a fresh I/O-pipeline record against the baseline.
+// The structural invariants — bitwise serial/parallel equality, lossless
+// round trips, frame-equals-file, and the deterministic coders' encoded
+// sizes — are exact; the throughput rates use the generous machine
+// thresholds; the imbalance row only has to stay a sane statistic (the
+// magnitude is scheduling noise on a shared runner).
+func CompareBenchIO(base, fresh BenchIOResult, th CompareThresholds) *CompareReport {
+	r := &CompareReport{Kind: "io"}
+	if base.BlockSize != fresh.BlockSize || base.Blocks != fresh.Blocks ||
+		base.Workers != fresh.Workers || base.Epsilon != fresh.Epsilon {
+		r.fail("configuration mismatch: baseline N=%d blocks=%d workers=%d eps=%g, fresh N=%d blocks=%d workers=%d eps=%g — regenerate the baseline (make bench-snapshot)",
+			base.BlockSize, base.Blocks, base.Workers, base.Epsilon,
+			fresh.BlockSize, fresh.Blocks, fresh.Workers, fresh.Epsilon)
+		return r
+	}
+	baseRows := map[string]BenchIOEncoder{}
+	for _, row := range base.Encoders {
+		baseRows[row.Encoder] = row
+	}
+	for _, row := range fresh.Encoders {
+		b, ok := baseRows[row.Encoder]
+		if !ok {
+			r.note("encoder %s not in baseline, skipped", row.Encoder)
+			continue
+		}
+		delete(baseRows, row.Encoder)
+		r.checkExact(row.Encoder+" parallel_bitwise", b2i(b.ParallelBitwise), b2i(row.ParallelBitwise))
+		r.checkExact(row.Encoder+" lossless", b2i(b.Lossless), b2i(row.Lossless))
+		if b.Deterministic {
+			r.checkExact(row.Encoder+" encoded_bytes", b.EncodedBytes, row.EncodedBytes)
+		}
+		r.checkMin(row.Encoder+" enc_mbps", b.EncMBps, row.EncMBps, th.MinRateFrac)
+		r.Checks++
+		if row.ENCImbalance < 0 {
+			r.fail("%s enc_imbalance %g is negative — not a (tmax-tmin)/tavg statistic",
+				row.Encoder, row.ENCImbalance)
+		}
+	}
+	for name := range baseRows {
+		r.Checks++
+		r.fail("encoder %s present in baseline but absent from fresh run", name)
+	}
+	r.checkExact("stream_ranks", int64(base.StreamRanks), int64(fresh.StreamRanks))
+	r.checkExact("frame_matches_file", b2i(base.FrameMatchesFile), b2i(fresh.FrameMatchesFile))
+	r.checkExact("frame_bytes", base.FrameBytes, fresh.FrameBytes)
+	return r
+}
+
+// b2i maps a structural boolean onto checkExact's integer domain.
+func b2i(v bool) int64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// BenchIO runs the I/O-pipeline experiment, prints the human summary and
+// writes BENCH_io.json (skipped when jsonPath is empty).
+func BenchIO(w io.Writer, n int, jsonPath string) {
+	header(w, "ENC pipeline benchmark: parallel encode + frame stream")
+	res, err := RunBenchIO(n, 0)
+	if err != nil {
+		panic(err)
+	}
+	line(w, "N=%d, %d blocks, eps=%g, %d ENC workers", res.BlockSize, res.Blocks, res.Epsilon, res.Workers)
+	for _, row := range res.Encoders {
+		line(w, "%-5s %9d B  ratio %6.2f:1  %8.1f MB/s  bitwise=%v lossless=%v  ENC imb %.2f  DEC imb %.2f",
+			row.Encoder, row.EncodedBytes, row.Ratio, row.EncMBps,
+			row.ParallelBitwise, row.Lossless, row.ENCImbalance, row.DECImbalance)
+	}
+	line(w, "frame stream (%d ranks): frame==file %v, %d bytes",
+		res.StreamRanks, res.FrameMatchesFile, res.FrameBytes)
+	line(w, "wall %.2fs", res.WallSeconds)
+	if jsonPath == "" {
+		return
+	}
+	if err := WriteBenchIOJSON(jsonPath, res); err != nil {
+		panic(err)
+	}
+	line(w, "wrote %s", jsonPath)
+}
+
+// WriteBenchIOJSON writes the record as indented JSON.
+func WriteBenchIOJSON(path string, res BenchIOResult) error {
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+)
+
+func ioBaseline() BenchIOResult {
+	return BenchIOResult{
+		Workers: 4, BlockSize: 16, Blocks: 64, Epsilon: 1e-2,
+		Encoders: []BenchIOEncoder{
+			{Encoder: "zlib", Deterministic: false, EncodedBytes: 58000,
+				ParallelBitwise: true, Lossless: true, Ratio: 17.8, EncMBps: 50,
+				ENCImbalance: 1.2, DECImbalance: 0.8},
+			{Encoder: "huff", Deterministic: true, EncodedBytes: 194008,
+				ParallelBitwise: true, Lossless: true, Ratio: 5.4, EncMBps: 70,
+				ENCImbalance: 0.9, DECImbalance: 1.1},
+		},
+		StreamRanks: 2, FrameMatchesFile: true, FrameBytes: 394072,
+		WallSeconds: 0.2,
+	}
+}
+
+func TestCompareIOIdenticalPasses(t *testing.T) {
+	r := CompareBenchIO(ioBaseline(), ioBaseline(), DefaultThresholds(1))
+	if !r.OK() {
+		t.Fatalf("identical records regressed: %v", r.Regressions)
+	}
+	if r.Checks == 0 {
+		t.Fatal("no checks performed")
+	}
+}
+
+func TestCompareIOStructuralIsExact(t *testing.T) {
+	fresh := ioBaseline()
+	fresh.Encoders[1].ParallelBitwise = false // parallel path diverged
+	r := CompareBenchIO(ioBaseline(), fresh, DefaultThresholds(1))
+	if r.OK() {
+		t.Fatal("a non-bitwise parallel path passed the gate")
+	}
+	if !strings.Contains(strings.Join(r.Regressions, "\n"), "parallel_bitwise") {
+		t.Fatalf("regression does not name parallel_bitwise: %v", r.Regressions)
+	}
+
+	fresh = ioBaseline()
+	fresh.Encoders[1].EncodedBytes++ // deterministic coder's bytes drifted
+	if r := CompareBenchIO(ioBaseline(), fresh, DefaultThresholds(1)); r.OK() {
+		t.Fatal("a deterministic coder's size drift passed the gate")
+	}
+
+	fresh = ioBaseline()
+	fresh.Encoders[0].EncodedBytes += 500 // zlib may drift across Go releases
+	if r := CompareBenchIO(ioBaseline(), fresh, DefaultThresholds(1)); !r.OK() {
+		t.Fatalf("zlib size drift failed the gate: %v", r.Regressions)
+	}
+
+	fresh = ioBaseline()
+	fresh.FrameMatchesFile = false
+	if r := CompareBenchIO(ioBaseline(), fresh, DefaultThresholds(1)); r.OK() {
+		t.Fatal("a frame/file mismatch passed the gate")
+	}
+}
+
+func TestCompareIOImbalanceIsOnlySanityChecked(t *testing.T) {
+	fresh := ioBaseline()
+	fresh.Encoders[0].ENCImbalance = 3.9 // scheduling noise, not a regression
+	fresh.Encoders[1].ENCImbalance = 0.0
+	if r := CompareBenchIO(ioBaseline(), fresh, DefaultThresholds(1)); !r.OK() {
+		t.Fatalf("imbalance magnitude failed the gate: %v", r.Regressions)
+	}
+	fresh.Encoders[1].ENCImbalance = -0.1
+	if r := CompareBenchIO(ioBaseline(), fresh, DefaultThresholds(1)); r.OK() {
+		t.Fatal("a negative imbalance statistic passed the gate")
+	}
+}
+
+func TestCompareIOConfigMismatch(t *testing.T) {
+	fresh := ioBaseline()
+	fresh.Workers = 8
+	r := CompareBenchIO(ioBaseline(), fresh, DefaultThresholds(1))
+	if r.OK() {
+		t.Fatal("pool-width mismatch passed")
+	}
+	if !strings.Contains(r.Regressions[0], "configuration mismatch") {
+		t.Fatalf("unexpected failure message: %v", r.Regressions)
+	}
+}
+
+func TestDetectBenchKindIO(t *testing.T) {
+	data, err := json.Marshal(ioBaseline())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kind, err := DetectBenchKind(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "io" {
+		t.Fatalf("kind = %q, want io", kind)
+	}
+}
+
+// TestRunBenchIO exercises the live experiment at the benchmark defaults.
+// The structural invariants the gate holds on the committed baseline must
+// hold here: every encoder bitwise-equal across schedules and lossless,
+// the deterministic coders non-empty, and the streamed frame identical to
+// the collective file.
+func TestRunBenchIO(t *testing.T) {
+	res, err := RunBenchIO(16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Encoders) != len(benchIOEncoders) {
+		t.Fatalf("%d encoder rows, want %d", len(res.Encoders), len(benchIOEncoders))
+	}
+	for _, row := range res.Encoders {
+		if !row.ParallelBitwise {
+			t.Errorf("%s: parallel output is not bitwise-identical to serial", row.Encoder)
+		}
+		if !row.Lossless {
+			t.Errorf("%s: parallel output did not decode", row.Encoder)
+		}
+		if row.EncodedBytes <= 0 {
+			t.Errorf("%s: encoded %d bytes", row.Encoder, row.EncodedBytes)
+		}
+		if row.ENCImbalance < 0 {
+			t.Errorf("%s: negative ENC imbalance %g", row.Encoder, row.ENCImbalance)
+		}
+	}
+	if !res.FrameMatchesFile {
+		t.Error("streamed frame differs from the collective file")
+	}
+	if res.FrameBytes <= 0 {
+		t.Errorf("frame bytes %d", res.FrameBytes)
+	}
+}
+
+// TestCommittedIOBaselineParses guards the checked-in baseline: it must
+// detect as an io record and hold the bitwise/lossless/frame invariants
+// the CI compare reruns against.
+func TestCommittedIOBaselineParses(t *testing.T) {
+	data, err := os.ReadFile("../../bench/BENCH_io.json")
+	if err != nil {
+		t.Skipf("no committed baseline: %v", err)
+	}
+	kind, err := DetectBenchKind(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kind != "io" {
+		t.Fatalf("kind = %q, want io", kind)
+	}
+	var res BenchIOResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Encoders) == 0 || !res.FrameMatchesFile {
+		t.Fatalf("baseline incomplete or non-clean: %+v", res)
+	}
+	for _, row := range res.Encoders {
+		if !row.ParallelBitwise || !row.Lossless {
+			t.Fatalf("baseline encoder %s not bitwise/lossless: %+v", row.Encoder, row)
+		}
+		if row.ENCImbalance < 0 {
+			t.Fatalf("baseline encoder %s has negative imbalance", row.Encoder)
+		}
+	}
+}

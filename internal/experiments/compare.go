@@ -333,7 +333,10 @@ func DetectBenchKind(data []byte) (string, error) {
 	if _, ok := probe["service_jobs"]; ok {
 		return "service", nil
 	}
-	return "", fmt.Errorf("experiments: bench record has none of \"kernels\", \"transports\", \"observables\" or \"service_jobs\" — not a BENCH_sim.json, BENCH_net.json, BENCH_cloud.json or BENCH_service.json")
+	if _, ok := probe["enc_pipeline"]; ok {
+		return "io", nil
+	}
+	return "", fmt.Errorf("experiments: bench record has none of \"kernels\", \"transports\", \"observables\", \"service_jobs\" or \"enc_pipeline\" — not a BENCH_sim.json, BENCH_net.json, BENCH_cloud.json, BENCH_service.json or BENCH_io.json")
 }
 
 // CompareBenchFiles loads baseline and fresh records from disk, matches
@@ -387,6 +390,15 @@ func CompareBenchFiles(basePath, freshPath string, th CompareThresholds) (*Compa
 			return nil, fmt.Errorf("%s: %w", freshPath, err)
 		}
 		return CompareBenchService(base, fresh, th), nil
+	case "io":
+		var base, fresh BenchIOResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, fmt.Errorf("%s: %w", basePath, err)
+		}
+		if err := json.Unmarshal(freshData, &fresh); err != nil {
+			return nil, fmt.Errorf("%s: %w", freshPath, err)
+		}
+		return CompareBenchIO(base, fresh, th), nil
 	default:
 		var base, fresh BenchNetResult
 		if err := json.Unmarshal(baseData, &base); err != nil {
@@ -460,6 +472,21 @@ func CompareAgainstBaseline(basePath, freshPath string, pipeline bool,
 			}
 		}
 		return CompareBenchService(base, fresh, th), nil
+	case "io":
+		var base BenchIOResult
+		if err := json.Unmarshal(baseData, &base); err != nil {
+			return nil, fmt.Errorf("%s: %w", basePath, err)
+		}
+		fresh, err := RunBenchIO(base.BlockSize, base.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if freshPath != "" {
+			if err := WriteBenchIOJSON(freshPath, fresh); err != nil {
+				return nil, err
+			}
+		}
+		return CompareBenchIO(base, fresh, th), nil
 	default:
 		var base BenchNetResult
 		if err := json.Unmarshal(baseData, &base); err != nil {

@@ -22,12 +22,16 @@ import (
 //	         2..4, RK stage in bits 0..1)
 //	migrate: 0x05 | block         (whole-block state transfers during a
 //	         rebalance, outside any halo epoch)
+//	dump:    0x06 | seq | part    (compressed-frame streaming to the sink
+//	         rank: frame sequence in bits 8..23, part in bits 0..7 with
+//	         part 0 the metadata message and 1..255 the payload chunks)
 const (
 	classGhost   = 0x01 << 24
 	classColl    = 0x02 << 24
 	classStream  = 0x03 << 24
 	classGhostB  = 0x04 << 24
 	classMigrate = 0x05 << 24
+	classDump    = 0x06 << 24
 
 	classMask = 0xFF << 24
 )
@@ -62,6 +66,21 @@ func TagMigrate(block int64) int {
 		panic(fmt.Sprintf("mpi: migrate tag out of range (block %d)", block))
 	}
 	return classMigrate | int(block)
+}
+
+// MaxDumpParts bounds the payload chunk count of one streamed frame.
+const MaxDumpParts = 0xFF
+
+// TagDump returns the tag of one message of streamed compressed frame seq
+// (wrapped to 16 bits): part 0 carries the rank's metadata, parts 1..255
+// the payload chunks. The sequence number keeps successive frames on
+// distinct (dst, tag) pairs even when several quantities dump in the same
+// tag epoch.
+func TagDump(seq, part int) int {
+	if part < 0 || part > MaxDumpParts {
+		panic(fmt.Sprintf("mpi: dump part out of range (%d)", part))
+	}
+	return classDump | (seq&0xFFFF)<<8 | part
 }
 
 // TagStream returns the tag for dump stream channel n.

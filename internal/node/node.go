@@ -101,6 +101,15 @@ func (e *Engine) SetTrace(t *telemetry.Tracer, rank int) {
 	e.pool.rank.Store(int64(rank))
 }
 
+// Parallel runs body(worker, item) for every item in [0, n), distributing
+// items dynamically across the persistent pool workers — the generic
+// parallel-for other layers (the dump ENC stage) schedule onto the same
+// threads as the solver kernels. region names the spans recorded on each
+// worker's trace track.
+func (e *Engine) Parallel(region string, n int, body func(w, i int)) {
+	e.parallel(region, n, body)
+}
+
 // parallel runs body(worker, blockOrdinal) for every ordinal in [0, n),
 // distributing ordinals dynamically across the pool workers. region names
 // the spans recorded on each worker's trace track.

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"cubism/internal/dump"
 	"cubism/internal/sim"
 )
 
@@ -35,7 +36,7 @@ func (s JobState) Terminal() bool {
 // stream, so a reconnecting subscriber resumes with ?from=<next seq>.
 type Event struct {
 	Seq  int       `json:"seq"`
-	Type string    `json:"type"` // state | step | log | observables
+	Type string    `json:"type"` // state | step | log | observables | frame
 	Time time.Time `json:"time"`
 
 	// State transitions ("state" events); Reason explains cancels.
@@ -51,6 +52,22 @@ type Event struct {
 
 	// Observables is the final collapse metric map ("observables" events).
 	Observables map[string]float64 `json:"observables,omitempty"`
+
+	// Frame carries one streamed compressed snapshot ("frame" events).
+	Frame *FrameEvent `json:"frame,omitempty"`
+}
+
+// FrameEvent is one streamed compressed dump on the event stream: Data is
+// the complete dump-file image (bitwise identical to the file in the job's
+// artifact directory), base64-encoded on the wire, decodable with
+// dump.Decode.
+type FrameEvent struct {
+	Name     string  `json:"name"`
+	Step     int     `json:"step"`
+	Quantity string  `json:"quantity"`
+	T        float64 `json:"t"`
+	Bytes    int     `json:"bytes"`
+	Data     []byte  `json:"data"`
 }
 
 // StepEvent is the streamed per-step record: step counter, simulated
@@ -173,6 +190,14 @@ func (j *Job) emitStep(s sim.StepInfo) {
 		ev.EquivRadius = s.Diag.EquivRadius
 	}
 	j.emit(Event{Type: "step", Step: ev})
+}
+
+// emitFrame streams one compressed dump frame.
+func (j *Job) emitFrame(f dump.Frame) {
+	j.emit(Event{Type: "frame", Frame: &FrameEvent{
+		Name: f.Name, Step: f.Step, Quantity: f.Quantity,
+		T: f.Time, Bytes: len(f.Data), Data: f.Data,
+	}})
 }
 
 // setObservables records the final metric map and streams it.

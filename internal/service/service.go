@@ -14,6 +14,7 @@ import (
 	"sync"
 	"time"
 
+	"cubism/internal/dump"
 	"cubism/internal/launch"
 	"cubism/internal/scenario"
 	"cubism/internal/sim"
@@ -604,6 +605,19 @@ func (s *Service) runInproc(j *Job) (stopped bool, err error) {
 	cfg.StopCheckpoint = true
 	cfg.CheckpointPath = filepath.Join(j.Dir, "checkpoint.ckp")
 	cfg.RestorePath = j.restore // resume a requeued drained job's work
+	if j.Spec.Params.DumpEvery > 0 {
+		// Frames land in the artifact directory AND on the event stream:
+		// the sink runs on the world's rank 0 goroutine with the assembled
+		// dump-file image, bitwise identical to the file beside it.
+		cfg.DumpEvery = j.Spec.Params.DumpEvery
+		cfg.DumpDir = j.Dir
+		cfg.Encoder = j.Spec.Params.Encoder
+		cfg.StreamFrames = true
+		cfg.FrameSink = func(f dump.Frame) error {
+			j.emitFrame(f)
+			return nil
+		}
+	}
 	j.installCancel(func(reason string) { ctl.Stop(reason) })
 
 	obs := scenario.NewObserver(c)
@@ -669,14 +683,22 @@ func (s *Service) runFleet(j *Job) (stopped bool, err error) {
 	}
 	j.installCancel(func(string) { fl.Interrupt() })
 
-	// Tail rank 0's step log into the event stream while the fleet runs.
+	// Tail rank 0's step log into the event stream while the fleet runs,
+	// and — when the job dumps — the frame log the rank-0 sink appends.
 	tailStop := make(chan struct{})
 	tailDone := make(chan struct{})
 	go tailStepLog(stepLogPath, tailStop, tailDone, j)
+	frameDone := make(chan struct{})
+	if j.Spec.Params.DumpEvery > 0 {
+		go tailFrameLog(filepath.Join(j.Dir, "frames.jsonl"), tailStop, frameDone, j)
+	} else {
+		close(frameDone)
+	}
 
 	code := fl.Wait()
 	close(tailStop)
 	<-tailDone
+	<-frameDone
 
 	if m, rerr := readObservables(obsPath); rerr == nil {
 		j.setObservables(m)
@@ -729,6 +751,17 @@ func (s *Service) fleetArgs(j *Job, c *scenario.Case) []string {
 	if p.Layout != "" {
 		args = append(args, "-layout", p.Layout)
 	}
+	if p.DumpEvery > 0 {
+		// Dump flags are uniform across the fleet (frame streaming is
+		// collective); -frame-log is uniform too, but only rank 0 — the
+		// stream's sink — ever writes it, so the shared path is safe.
+		args = append(args, "-dump-every", fmt.Sprint(p.DumpEvery),
+			"-dump-dir", j.Dir,
+			"-frame-log", filepath.Join(j.Dir, "frames.jsonl"))
+		if p.Encoder != "" {
+			args = append(args, "-encoder", p.Encoder)
+		}
+	}
 	return args
 }
 
@@ -737,6 +770,38 @@ func triple(t [3]int) string { return fmt.Sprintf("%d,%d,%d", t[0], t[1], t[2]) 
 // tailStepLog polls rank 0's JSONL step log and re-emits each record as a
 // step event; after stop it drains whatever the final flush appended.
 func tailStepLog(path string, stop <-chan struct{}, done chan<- struct{}, j *Job) {
+	tailJSONL(path, stop, done, func(line []byte) {
+		var rec telemetry.StepRecord
+		if json.Unmarshal(line, &rec) != nil {
+			return
+		}
+		j.emit(Event{Type: "step", Step: &StepEvent{
+			Step: rec.Step, T: rec.Time, DT: rec.DT, WallMS: rec.WallMS,
+			HasDiag:     rec.HasDiag,
+			MaxPressure: rec.MaxPressure, WallPressure: rec.WallPressure,
+			KineticEnergy: rec.KineticEnergy, EquivRadius: rec.EquivRadius,
+		}})
+	})
+}
+
+// tailFrameLog polls the frame log the fleet's rank-0 sink appends
+// (mpcf-sim -frame-log) and re-emits each record as a frame event carrying
+// the complete dump-file bytes.
+func tailFrameLog(path string, stop <-chan struct{}, done chan<- struct{}, j *Job) {
+	tailJSONL(path, stop, done, func(line []byte) {
+		var rec dump.FrameRecord
+		if json.Unmarshal(line, &rec) != nil {
+			return
+		}
+		j.emitFrame(dump.Frame{Name: rec.Name, Step: rec.Step,
+			Quantity: rec.Quantity, Time: rec.Time, Data: rec.Data})
+	})
+}
+
+// tailJSONL polls a growing JSONL file, invoking emit with each complete
+// line; after stop it drains whatever the final flush appended. The file
+// may not exist yet when the tail starts.
+func tailJSONL(path string, stop <-chan struct{}, done chan<- struct{}, emit func(line []byte)) {
 	defer close(done)
 	var f *os.File
 	var rd *bufio.Reader
@@ -764,16 +829,7 @@ func tailStepLog(path string, stop <-chan struct{}, done chan<- struct{}, j *Job
 			}
 			line := partial
 			partial = nil
-			var rec telemetry.StepRecord
-			if json.Unmarshal(line, &rec) != nil {
-				continue
-			}
-			j.emit(Event{Type: "step", Step: &StepEvent{
-				Step: rec.Step, T: rec.Time, DT: rec.DT, WallMS: rec.WallMS,
-				HasDiag:     rec.HasDiag,
-				MaxPressure: rec.MaxPressure, WallPressure: rec.WallPressure,
-				KineticEnergy: rec.KineticEnergy, EquivRadius: rec.EquivRadius,
-			}})
+			emit(line)
 		}
 	}
 	tick := time.NewTicker(50 * time.Millisecond)

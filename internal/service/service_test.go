@@ -11,6 +11,8 @@ import (
 	"syscall"
 	"testing"
 	"time"
+
+	"cubism/internal/dump"
 )
 
 // TestMain doubles as the fake mpcf-sim of the fleet tests (the helper-
@@ -23,6 +25,10 @@ func TestMain(m *testing.M) {
 	}
 	os.Exit(m.Run())
 }
+
+// fakeFramePayload is the frame body the fake rank-0 sim logs; the fleet
+// frame-tail test asserts it survives the JSONL round trip untouched.
+func fakeFramePayload() []byte { return []byte("\x00\x01frame-bytes\xff\xfe") }
 
 // argVal extracts the value of a "-flag value" pair from os.Args.
 func argVal(name string) string {
@@ -58,6 +64,13 @@ func fakeSim() {
 		}
 		if p := argVal("observables"); p != "" {
 			os.WriteFile(p, []byte(`{"peak_amp": 2.5, "non_finite": 0}`+"\n"), 0o644)
+		}
+		if p := argVal("frame-log"); p != "" {
+			rec, _ := json.Marshal(dump.FrameRecord{
+				Name: "p_step000002.mpcf", Step: 2, Quantity: "p",
+				Time: 0.002, Bytes: len(fakeFramePayload()), Data: fakeFramePayload(),
+			})
+			os.WriteFile(p, append(rec, '\n'), 0o644)
 		}
 		fmt.Println("fake rank 0 done")
 	}

@@ -47,6 +47,13 @@ type SpecParams struct {
 	// Layout is the block-to-rank layout: cartesian (default), hilbert,
 	// morton or rowmajor.
 	Layout string `json:"layout,omitempty"`
+	// DumpEvery streams a compressed p and Γ snapshot every so many steps
+	// (0: never): the frames land in the job's artifact directory and are
+	// forwarded as "frame" events on the job event stream, each carrying
+	// the complete dump-file bytes.
+	DumpEvery int `json:"dump_every,omitempty"`
+	// Encoder selects the dump coder: zlib (default), rle, sig or huff.
+	Encoder string `json:"encoder,omitempty"`
 }
 
 // JobSpec is the submission body of POST /v1/jobs. The spec hashes to a
@@ -200,6 +207,14 @@ func (s *JobSpec) Validate() error {
 	case "", "cartesian", "hilbert", "morton", "rowmajor":
 	default:
 		return fmt.Errorf("layout %q (want cartesian, hilbert, morton or rowmajor)", p.Layout)
+	}
+	if p.DumpEvery < 0 || p.DumpEvery > 100000 {
+		return fmt.Errorf("dump_every %d outside [0, 100000]", p.DumpEvery)
+	}
+	switch p.Encoder {
+	case "", "zlib", "rle", "sig", "huff":
+	default:
+		return fmt.Errorf("encoder %q (want zlib, rle, sig or huff)", p.Encoder)
 	}
 	// The dry build catches everything only the registry knows: it is the
 	// single source of truth for parameter feasibility.

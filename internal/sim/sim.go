@@ -11,6 +11,7 @@ import (
 
 	"cubism/internal/cluster"
 	"cubism/internal/compress"
+	"cubism/internal/dump"
 	"cubism/internal/grid"
 	"cubism/internal/mpi"
 	"cubism/internal/perf"
@@ -34,8 +35,19 @@ type Config struct {
 	DumpDir string
 	// EpsP and EpsG are the decimation thresholds (paper: 1e-2 and 1e-3).
 	EpsP, EpsG float64
-	// Encoder is the lossless back-end ("zlib" default).
+	// Encoder is the lossless back-end ("zlib" default; also "rle", "sig",
+	// "huff").
 	Encoder string
+
+	// StreamFrames additionally ships every dump as an assembled frame to
+	// the rank-0 sink over the dedicated TagDump transport channel. The
+	// streaming is collective, so the flag must be uniform across the
+	// fleet. The frame bytes are identical to the dump file's.
+	StreamFrames bool
+	// FrameSink receives assembled frames on rank 0 (ignored elsewhere).
+	// May be nil with StreamFrames set: frames are then assembled and
+	// dropped, keeping the network work uniform.
+	FrameSink dump.FrameSink
 
 	// DiagEvery computes global diagnostics every so many steps (0: every
 	// step).
@@ -137,6 +149,9 @@ type StepInfo struct {
 	DumpRates map[string]float64
 	// DumpMBps is the encoded dump bitrate in MB/s when this step dumped.
 	DumpMBps float64
+	// FrameBytes is the number of streamed-frame bytes this rank moved
+	// over the TagDump channel when this step dumped with StreamFrames.
+	FrameBytes int64
 }
 
 // Summary reports campaign-level results gathered on rank 0.
@@ -207,6 +222,7 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 		poolWorkersG, poolQueueG *telemetry.Gauge
 		poolBusyG                *telemetry.Gauge
 		migrationsC              *telemetry.Counter
+		streamBytesC             *telemetry.Counter
 		layoutBlocksG            []*telemetry.Gauge
 	)
 	if reg != nil {
@@ -229,6 +245,8 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 			"rank-0 pool busy time over busy+idle time", nil)
 		migrationsC = reg.Counter("mpcf_migrations_total",
 			"blocks migrated by layout rebalances, all ranks", nil)
+		streamBytesC = reg.Counter("mpcf_dump_stream_bytes_total",
+			"compressed-frame bytes this process moved over the TagDump channel", nil)
 		layoutBlocksG = make([]*telemetry.Gauge, nRanks)
 		for rk := range layoutBlocksG {
 			layoutBlocksG[rk] = reg.Gauge("mpcf_layout_blocks",
@@ -325,19 +343,29 @@ func Run(cfg Config, onStep func(StepInfo)) (Summary, error) {
 					q   compress.Quantity
 					eps float64
 				}{{compress.Pressure, cfg.EpsP}, {compress.Gamma, cfg.EpsG}} {
-					path := filepath.Join(cfg.DumpDir,
-						fmt.Sprintf("%s_step%06d.mpcf", dq.q, r.Step))
-					st, err := r.Dump(path, dq.q, dq.eps, cfg.Encoder)
+					target := cluster.DumpTarget{
+						Path: filepath.Join(cfg.DumpDir,
+							fmt.Sprintf("%s_step%06d.mpcf", dq.q, r.Step)),
+						Stream: cfg.StreamFrames,
+					}
+					if root {
+						target.Sink = cfg.FrameSink
+					}
+					st, streamed, err := r.DumpTo(target, dq.q, dq.eps, cfg.Encoder)
 					if err != nil {
 						runErr = err
 						return
 					}
 					rates[dq.q.String()] = st.Rate()
 					encoded += st.Encoded
+					info.FrameBytes += streamed
 				}
 				info.DumpRates = rates
 				if d := time.Since(dumpStart).Seconds(); d > 0 {
 					info.DumpMBps = float64(encoded) / 1e6 / d
+				}
+				if streamBytesC != nil && info.FrameBytes > 0 {
+					streamBytesC.Add(info.FrameBytes)
 				}
 			}
 			if cfg.CheckpointEvery > 0 && r.Step%cfg.CheckpointEvery == 0 {
